@@ -1,0 +1,148 @@
+#pragma once
+
+// Shared scaffolding for the per-figure benchmark binaries.
+//
+// Every binary accepts:
+//   --paper           use the paper's full-scale parameters (10M-row YCSB,
+//                     100k transactions, 40 threads); default is a quick
+//                     scale sized for a laptop/CI container
+//   --threads N       worker threads
+//   --rows N          YCSB table size
+//   --txns N          measured transactions per thread
+//   --warmup N        warmup transactions per thread
+//   --csv             additionally print CSV blocks
+//
+// Quick-scale defaults keep every range-size/scan-length RATIO of the paper
+// intact (e.g. 610-key logical ranges), so curve shapes are comparable even
+// though absolute throughput is not.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/config.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "workload/tpcc/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace rocc {
+namespace bench {
+
+struct BenchEnv {
+  Config cfg;
+  bool paper = false;
+  bool csv = false;
+  // Quick scale keeps the paper's 40 workers (cheap under the fiber runner)
+  // but shrinks the table and transaction counts.
+  uint32_t threads = 40;
+  uint64_t rows = 1'000'000;
+  uint64_t txns_per_thread = 400;
+  uint64_t warmup = 50;
+
+  std::string Describe() const {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "scale=%s threads=%u rows=%llu txns/thread=%llu",
+                  paper ? "paper" : "quick", threads,
+                  static_cast<unsigned long long>(rows),
+                  static_cast<unsigned long long>(txns_per_thread));
+    return buf;
+  }
+};
+
+inline BenchEnv ParseEnv(int argc, char** argv) {
+  BenchEnv env;
+  env.cfg = Config(argc, argv);
+  env.paper = env.cfg.GetBool("paper", false);
+  if (env.paper) {
+    env.threads = 40;
+    env.rows = 10'000'000;
+    env.txns_per_thread = 2500;  // 100k total at 40 threads, per paper
+    env.warmup = 250;
+  }
+  env.threads = static_cast<uint32_t>(env.cfg.GetInt("threads", env.threads));
+  env.rows = static_cast<uint64_t>(env.cfg.GetInt("rows", env.rows));
+  env.txns_per_thread =
+      static_cast<uint64_t>(env.cfg.GetInt("txns", env.txns_per_thread));
+  env.warmup = static_cast<uint64_t>(env.cfg.GetInt("warmup", env.warmup));
+  env.csv = env.cfg.GetBool("csv", false);
+  return env;
+}
+
+/// One YCSB measurement: loads (or reuses) the table and runs the protocol.
+///
+/// The YCSB hybrid workload never inserts or deletes, so one loaded Database
+/// can be reused across protocol runs within a binary; pass a fresh one per
+/// binary invocation.
+class YcsbBench {
+ public:
+  YcsbBench(const BenchEnv& env, YcsbOptions opts) : env_(env), opts_(opts) {
+    opts_.num_rows = env.rows;
+    workload_ = std::make_unique<YcsbWorkload>(opts_);
+    workload_->Load(&db_);
+  }
+
+  /// Re-parameterise the generator without reloading data (same row count).
+  void Reconfigure(const YcsbOptions& opts) {
+    YcsbOptions next = opts;
+    next.num_rows = opts_.num_rows;
+    next.payload_size = opts_.payload_size;
+    const uint32_t table = workload_->table_id();
+    opts_ = next;
+    workload_ = std::make_unique<YcsbWorkload>(opts_);
+    workload_->SetLoadedTable(table);
+  }
+
+  RunResult Run(const std::string& proto, uint32_t ranges_hint = 0,
+                uint32_t ring_capacity = 4096, bool register_writes = true,
+                uint32_t threads_override = 0) {
+    auto cc = CreateProtocol(proto, &db_, *workload_,
+                             threads_override == 0 ? env_.threads : threads_override,
+                             ranges_hint, ring_capacity, register_writes);
+    return RunWith(std::move(cc), threads_override);
+  }
+
+  /// Run a caller-built protocol instance (custom options / ablations).
+  RunResult RunWith(std::unique_ptr<ConcurrencyControl> cc,
+                    uint32_t threads_override = 0) {
+    RunOptions run;
+    run.num_threads = threads_override == 0 ? env_.threads : threads_override;
+    run.txns_per_thread = env_.txns_per_thread;
+    run.warmup_txns_per_thread = env_.warmup;
+    return RunExperiment(cc.get(), workload_.get(), run);
+  }
+
+  YcsbWorkload& workload() { return *workload_; }
+  const YcsbOptions& options() const { return opts_; }
+  Database* db() { return &db_; }
+
+ private:
+  BenchEnv env_;
+  YcsbOptions opts_;
+  Database db_;
+  std::unique_ptr<YcsbWorkload> workload_;
+};
+
+/// One modified-TPC-C measurement; reloads the database per run so every
+/// protocol starts from identical state.
+inline RunResult RunTpcc(const BenchEnv& env, const TpccOptions& opts,
+                         const std::string& proto, uint32_t threads,
+                         uint32_t ranges_hint = 0, uint32_t ring_capacity = 4096) {
+  Database db;
+  TpccWorkload workload(opts);
+  workload.Load(&db);
+  auto cc = CreateProtocol(proto, &db, workload, threads, ranges_hint,
+                           ring_capacity);
+  RunOptions run;
+  run.num_threads = threads;
+  run.txns_per_thread = env.txns_per_thread;
+  run.warmup_txns_per_thread = env.warmup;
+  return RunExperiment(cc.get(), &workload, run);
+}
+
+inline std::string F(double v, int p = 2) { return ReportTable::Fmt(v, p); }
+inline std::string F(uint64_t v) { return ReportTable::Fmt(v); }
+
+}  // namespace bench
+}  // namespace rocc

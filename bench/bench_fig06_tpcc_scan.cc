@@ -1,0 +1,49 @@
+// Fig. 6 — Modified TPC-C: (a) throughput and (b) average latency of the
+// bulk (top-shopper reward) scan transactions as the customer scan length
+// grows from 100 to 3000.
+//
+// Paper setup: 40 threads = 40 warehouses, mix 40% Payment / 40% NewOrder /
+// 10% bulk / 4% OrderStatus / 4% Delivery / 2% StockLevel; bulk scans stay
+// in the local warehouse; Payment crosses warehouses 15% of the time.
+// Expected shape: same ordering as Fig. 5 — LRV degrades with long scans,
+// RV best overall.
+
+#include "bench_common.h"
+
+using namespace rocc;        // NOLINT
+using namespace rocc::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  BenchEnv env = ParseEnv(argc, argv);
+  // TPC-C loads ~100k rows per warehouse; quick mode uses fewer workers.
+  if (!env.cfg.Has("threads") && !env.paper) env.threads = 8;
+  if (!env.cfg.Has("txns")) env.txns_per_thread = env.paper ? 2500 : 400;
+  const uint32_t warehouses = static_cast<uint32_t>(
+      env.cfg.GetInt("warehouses", env.paper ? 40 : std::max(2u, env.threads / 2)));
+
+  PrintBanner("Fig. 6: modified TPC-C bulk-scan throughput & latency vs scan length",
+              env.Describe() + " warehouses=" + std::to_string(warehouses));
+
+  ReportTable table({"scan_len", "scheme", "scan_tps", "scan_avg_lat_ms",
+                     "total_tps", "scan_abort_rate"});
+
+  const auto scan_lens =
+      env.cfg.GetIntList("scan_lens", env.paper
+                                          ? std::vector<int64_t>{100, 500, 1000, 2000, 3000}
+                                          : std::vector<int64_t>{100, 500, 1000, 3000});
+  for (int64_t scan_len : scan_lens) {
+    TpccOptions opts;
+    opts.num_warehouses = warehouses;
+    opts.bulk_scan_length = static_cast<uint32_t>(scan_len);
+    opts.initial_orders_per_district = env.paper ? 100 : 30;
+    for (const char* scheme : {"lrv", "gwv", "rocc"}) {
+      const RunResult r = RunTpcc(env, opts, scheme, env.threads);
+      table.AddRow({F(static_cast<uint64_t>(scan_len)), scheme,
+                    F(r.ScanThroughput(), 1),
+                    F(r.stats.latency_scan.Mean() / 1e6, 3), F(r.Throughput(), 1),
+                    F(r.stats.ScanAbortRate(), 4)});
+    }
+  }
+  table.Print(env.csv);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 7 — Hybrid YCSB scalability with increasing threads: (a) throughput,
+// (b) abort rate of scan transactions, (c) average number of overlapping
+// transactions validated per scan (the hardware-independent cost metric).
+//
+// Paper setup: threads 4..40, scan length 100. Expected shape: RV scales
+// near-linearly and validates a small constant number of transactions; GWV
+// validates hundreds and trails; LRV's growth slows past ~20 threads.
+// (On a single-core container the throughput column cannot show parallel
+// speedup; the validated-transaction and abort-rate columns carry Fig. 7's
+// explanatory content.)
+
+#include "bench_common.h"
+
+using namespace rocc;        // NOLINT
+using namespace rocc::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  BenchEnv env = ParseEnv(argc, argv);
+  PrintBanner("Fig. 7: hybrid YCSB scalability (scan length 100)",
+              env.Describe());
+
+  if (!env.cfg.Has("txns")) env.txns_per_thread = env.paper ? 2500 : 300;
+
+  YcsbOptions opts;
+  opts.theta = 0.7;
+  opts.scan_length = 100;
+  YcsbBench bench(env, opts);
+
+  ReportTable table({"threads", "scheme", "tps", "scan_abort_rate",
+                     "val_txns_per_scan", "val_recs_per_commit"});
+
+  const auto thread_counts =
+      env.cfg.GetIntList("thread_list", {4, 8, 16, 24, 32, 40});
+  for (int64_t threads : thread_counts) {
+    for (const char* scheme : {"lrv", "gwv", "rocc"}) {
+      const RunResult r =
+          bench.Run(scheme, 0, 4096, true, static_cast<uint32_t>(threads));
+      table.AddRow({F(static_cast<uint64_t>(threads)), scheme,
+                    F(r.Throughput(), 1), F(r.stats.ScanAbortRate(), 4),
+                    F(r.ValidatedTxnsPerScan(), 2),
+                    F(r.ValidatedRecordsPerCommit(), 2)});
+    }
+  }
+  table.Print(env.csv);
+  return 0;
+}

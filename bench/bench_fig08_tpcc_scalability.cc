@@ -1,0 +1,46 @@
+// Fig. 8 — Modified TPC-C scalability with increasing cores; the scan
+// length is 3000 customers (one whole district's worth) and the number of
+// warehouses equals the number of threads, as in the paper.
+//
+// Expected shape: LRV stops scaling early (~8 threads) under the huge
+// re-scan cost; GWV rises then declines past ~24 threads; RV peaks latest
+// and highest. On one core, the validated-work columns carry the story.
+
+#include "bench_common.h"
+
+using namespace rocc;        // NOLINT
+using namespace rocc::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  BenchEnv env = ParseEnv(argc, argv);
+  if (!env.cfg.Has("txns")) env.txns_per_thread = env.paper ? 2500 : 400;
+  const uint32_t scan_len =
+      static_cast<uint32_t>(env.cfg.GetInt("scan_len", env.paper ? 3000 : 1000));
+
+  PrintBanner("Fig. 8: modified TPC-C scalability (scan length " +
+                  std::to_string(scan_len) + ", warehouses = threads)",
+              env.Describe());
+
+  ReportTable table({"threads", "scheme", "tps", "scan_tps", "scan_abort_rate",
+                     "val_txns_per_scan"});
+
+  const auto thread_counts = env.cfg.GetIntList(
+      "thread_list", env.paper ? std::vector<int64_t>{1, 4, 8, 16, 24, 32, 40}
+                               : std::vector<int64_t>{1, 2, 4, 8});
+  for (int64_t threads : thread_counts) {
+    TpccOptions opts;
+    opts.num_warehouses = static_cast<uint32_t>(threads);
+    opts.bulk_scan_length = scan_len;
+    opts.initial_orders_per_district = env.paper ? 100 : 30;
+    for (const char* scheme : {"lrv", "gwv", "rocc"}) {
+      const RunResult r =
+          RunTpcc(env, opts, scheme, static_cast<uint32_t>(threads));
+      table.AddRow({F(static_cast<uint64_t>(threads)), scheme,
+                    F(r.Throughput(), 1), F(r.ScanThroughput(), 1),
+                    F(r.stats.ScanAbortRate(), 4),
+                    F(r.ValidatedTxnsPerScan(), 2)});
+    }
+  }
+  table.Print(env.csv);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 12 — Registration overhead on a scan-free write-intensive workload
+// (YCSB-A: 50/50 read/write, 5 ops per transaction, no scans): ROCC with
+// registration vs ROCC with registration turned off, (a) across partitioning
+// granularity and (b) across workload skew. TPS is normalised to the
+// no-registration run.
+//
+// Expected shape: overhead below ~10% at no/low skew and across
+// granularities (growing slightly with finer partitions); 18-21% at
+// medium/high skew where many transactions compete to register into a few
+// hot ranges.
+
+#include "bench_common.h"
+
+using namespace rocc;        // NOLINT
+using namespace rocc::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  BenchEnv env = ParseEnv(argc, argv);
+  PrintBanner("Fig. 12: ROCC registration overhead on scan-free YCSB-A",
+              env.Describe());
+
+  YcsbOptions opts;
+  opts.scan_txn_fraction = 0.0;
+  opts.read_fraction = 0.5;
+  opts.theta = 0.7;
+  YcsbBench bench(env, opts);
+  const uint32_t default_ranges = bench.workload().DefaultNumRanges();
+
+  std::printf("(a) varying partitioning granularity, low skew\n");
+  ReportTable ta({"num_ranges", "tps_registration", "tps_no_registration",
+                  "normalized_tps", "registrations"});
+  for (uint32_t n :
+       {1u, 16u, std::max(1u, default_ranges / 4), default_ranges,
+        default_ranges * 4}) {
+    const RunResult off = bench.Run("rocc", n, 4096, /*register_writes=*/false);
+    const RunResult on = bench.Run("rocc", n, 4096, /*register_writes=*/true);
+    ta.AddRow({F(static_cast<uint64_t>(n)), F(on.Throughput(), 1),
+               F(off.Throughput(), 1),
+               F(off.Throughput() > 0 ? on.Throughput() / off.Throughput() : 0, 3),
+               F(on.stats.registrations)});
+  }
+  ta.Print(env.csv);
+
+  std::printf("\n(b) varying workload skew, default granularity\n");
+  ReportTable tb({"skew_theta", "tps_registration", "tps_no_registration",
+                  "normalized_tps"});
+  for (double theta : env.cfg.GetDoubleList("thetas", {0.0, 0.7, 0.88, 1.04})) {
+    YcsbOptions cur = bench.options();
+    cur.theta = theta;
+    bench.Reconfigure(cur);
+    const RunResult off = bench.Run("rocc", 0, 4096, /*register_writes=*/false);
+    const RunResult on = bench.Run("rocc", 0, 4096, /*register_writes=*/true);
+    tb.AddRow({F(theta, 2), F(on.Throughput(), 1), F(off.Throughput(), 1),
+               F(off.Throughput() > 0 ? on.Throughput() / off.Throughput() : 0, 3)});
+  }
+  tb.Print(env.csv);
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Component microbenchmarks (google-benchmark): the hot primitives whose
+// costs drive the paper's analysis — TxnRing registration and window reads,
+// Zipfian draws, B+Tree point gets and range scans, TID-word lock cycles,
+// and ROCC predicate construction.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipfian.h"
+#include "core/rocc.h"
+#include "core/txn_ring.h"
+#include "index/btree.h"
+#include "index/hash_index.h"
+#include "storage/database.h"
+
+namespace rocc {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfianDraw(benchmark::State& state) {
+  ZipfianGenerator gen(10'000'000, state.range(0) / 100.0);
+  Rng rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(gen.Next(rng));
+}
+BENCHMARK(BM_ZipfianDraw)->Arg(0)->Arg(70)->Arg(104);
+
+void BM_TxnRingRegister(benchmark::State& state) {
+  TxnRing ring(4096);
+  TxnDescriptor desc;
+  for (auto _ : state) benchmark::DoNotOptimize(ring.Register(&desc));
+}
+BENCHMARK(BM_TxnRingRegister);
+
+void BM_TxnRingWindowRead(benchmark::State& state) {
+  TxnRing ring(4096);
+  TxnDescriptor desc;
+  for (int i = 0; i < 2048; i++) ring.Register(&desc);
+  const uint64_t window = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const uint64_t v = ring.Version();
+    for (uint64_t seq = v - window + 1; seq <= v; seq++) {
+      benchmark::DoNotOptimize(ring.Get(seq));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * window);
+}
+BENCHMARK(BM_TxnRingWindowRead)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_TidWordLockCycle(benchmark::State& state) {
+  alignas(64) char mem[Row::AllocSize(8)];
+  Row* row = Row::Init(mem, 0, 1, 8, true);
+  uint64_t version = 2;
+  for (auto _ : state) {
+    row->TryLock();
+    row->UnlockWithVersion(version++);
+  }
+}
+BENCHMARK(BM_TidWordLockCycle);
+
+class TreeFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const ::benchmark::State& state) override {
+    if (tree) return;
+    tree = std::make_unique<BTree>();
+    n = static_cast<uint64_t>(state.range(0));
+    for (uint64_t k = 0; k < n; k++) {
+      tree->Insert(k, reinterpret_cast<Row*>((k << 3) | 1));
+    }
+  }
+  void TearDown(const ::benchmark::State&) override {}
+  std::unique_ptr<BTree> tree;
+  uint64_t n = 0;
+};
+
+BENCHMARK_DEFINE_F(TreeFixture, PointGet)(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(tree->Get(rng.Uniform(n)));
+}
+BENCHMARK_REGISTER_F(TreeFixture, PointGet)->Arg(1 << 20);
+
+BENCHMARK_DEFINE_F(TreeFixture, RangeScan100)(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    const uint64_t start = rng.Uniform(n - 100);
+    tree->ScanRange(start, start + 100, [&](uint64_t key, Row*) {
+      sum += key;
+      return true;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK_REGISTER_F(TreeFixture, RangeScan100)->Arg(1 << 20);
+
+void BM_HashIndexGet(benchmark::State& state) {
+  HashIndex idx(1 << 20);
+  for (uint64_t k = 0; k < (1 << 20); k++) {
+    idx.Insert(k, reinterpret_cast<Row*>((k << 3) | 1));
+  }
+  Rng rng(5);
+  for (auto _ : state) benchmark::DoNotOptimize(idx.Get(rng.Uniform(1 << 20)));
+}
+BENCHMARK(BM_HashIndexGet);
+
+// Predicate construction + range validation on an otherwise idle engine:
+// the pure CPU cost of ROCC's scan bookkeeping (§V-H overhead analysis).
+void BM_RoccScanPredicates(benchmark::State& state) {
+  static Database* db = [] {
+    auto* d = new Database();
+    const uint32_t t = d->CreateTable("t", Schema({{"v", 8, 0}}));
+    for (uint64_t k = 0; k < 100'000; k++) d->LoadRow(t, k, &k);
+    return d;
+  }();
+  RoccOptions opts;
+  RangeConfig rc;
+  rc.table_id = 0;
+  rc.key_min = 0;
+  rc.key_max = 100'000;
+  rc.num_ranges = 164;  // ~610 keys per range
+  opts.tables = {rc};
+  Rocc cc(db, 1, std::move(opts));
+  Rng rng(6);
+  const uint64_t scan_len = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    TxnDescriptor* t = cc.Begin(0);
+    cc.Scan(t, 0, rng.Uniform(100'000 - scan_len), 0, scan_len, nullptr);
+    benchmark::DoNotOptimize(t->predicates.size());
+    cc.Commit(t);
+  }
+  state.SetItemsProcessed(state.iterations() * scan_len);
+}
+BENCHMARK(BM_RoccScanPredicates)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace rocc
+
+BENCHMARK_MAIN();

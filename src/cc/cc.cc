@@ -1,0 +1,476 @@
+#include "cc/cc.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "cc/occ_util.h"
+#include "common/fiber.h"
+#include "common/timer.h"
+
+namespace rocc {
+
+namespace {
+constexpr int kLockSpins = 128;
+
+uint64_t MakeTxnId(uint32_t thread_id, uint64_t seq) {
+  return (static_cast<uint64_t>(thread_id) << 48) | (seq & ((1ULL << 48) - 1));
+}
+}  // namespace
+
+OccBase::OccBase(Database* db, uint32_t num_threads)
+    : db_(db), epoch_(num_threads) {
+  ctxs_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; i++) {
+    ctxs_.push_back(std::make_unique<ThreadCtx>());
+  }
+  for (size_t tbl = 0; tbl < db_->NumTables(); tbl++) {
+    max_row_size_ = std::max(max_row_size_, db_->GetTable(tbl)->row_size());
+  }
+  for (auto& ctx : ctxs_) ctx->scratch.resize(std::max<uint32_t>(max_row_size_, 8));
+}
+
+OccBase::~OccBase() {
+  for (auto& ctx : ctxs_) {
+    ctx->retired.Reclaim(~0ULL, [&](TxnDescriptor* d) { delete d; });
+    for (TxnDescriptor* d : ctx->free_list) delete d;
+  }
+}
+
+void OccBase::PaceValidation(uint32_t* counter) const {
+  if (validation_pacing_ == 0) return;
+  if (++*counter >= validation_pacing_) {
+    *counter = 0;
+    CooperativeYield();
+  }
+}
+
+void OccBase::AttachThread(uint32_t thread_id, TxnStats* sink) {
+  ctxs_[thread_id]->stats = sink;
+}
+
+TxnDescriptor* OccBase::Begin(uint32_t thread_id) {
+  ThreadCtx& ctx = *ctxs_[thread_id];
+  ctx.retired.Reclaim(epoch_.MinActive(),
+                      [&](TxnDescriptor* d) { ctx.free_list.push_back(d); });
+  TxnDescriptor* t;
+  if (!ctx.free_list.empty()) {
+    t = ctx.free_list.back();
+    ctx.free_list.pop_back();
+  } else {
+    t = new TxnDescriptor();
+    ctx.allocated++;
+  }
+  epoch_.Enter(thread_id);
+  t->Reset(MakeTxnId(thread_id, ++ctx.txn_seq), thread_id, clock_.Current());
+  t->begin_nanos = NowNanos();
+  t->is_scan_txn = false;
+  return t;
+}
+
+Status OccBase::Read(TxnDescriptor* t, uint32_t table_id, uint64_t key, void* out) {
+  Row* row = db_->GetIndex(table_id)->Get(key);
+  bool have_base = false;
+  if (row != nullptr) {
+    uint64_t tidw = 0;
+    switch (ReadRecordNoWait(row, out, &tidw)) {
+      case ReadResult::kOk:
+        t->read_set.push_back({row, tidw});
+        have_base = true;
+        break;
+      case ReadResult::kLocked:
+      case ReadResult::kContended:
+        stats(t->thread_id).abort_dirty_read++;
+        return Status::Aborted("dirty read");
+      case ReadResult::kAbsent:
+        break;
+    }
+  }
+  // Overlay this transaction's own pending writes in chronological order.
+  bool wrote = false;
+  bool deleted = false;
+  for (const WriteEntry& we : t->write_set) {
+    if (we.table_id != table_id || we.key != key) continue;
+    switch (we.kind) {
+      case WriteEntry::Kind::kDelete:
+        deleted = true;
+        wrote = false;
+        break;
+      case WriteEntry::Kind::kInsert:
+      case WriteEntry::Kind::kUpdate:
+        std::memcpy(static_cast<char*>(out) + we.field_offset,
+                    t->ImageAt(we.data_offset), we.data_size);
+        wrote = true;
+        deleted = false;
+        break;
+    }
+  }
+  if (deleted) return Status::NotFound();
+  if (!have_base && !wrote) return Status::NotFound();
+  return Status::Ok();
+}
+
+Status OccBase::Update(TxnDescriptor* t, uint32_t table_id, uint64_t key,
+                       const void* data, uint32_t size, uint32_t field_offset) {
+  const Table* tab = db_->GetTable(table_id);
+  if (field_offset + size > tab->row_size()) {
+    return Status::InvalidArgument("update exceeds row payload");
+  }
+  Row* row = nullptr;
+  const int wi = t->FindWrite(table_id, key);
+  if (wi >= 0) {
+    if (t->write_set[wi].kind == WriteEntry::Kind::kDelete) return Status::NotFound();
+    row = t->write_set[wi].row;  // may still be null for a pending insert
+  } else {
+    row = db_->GetIndex(table_id)->Get(key);
+    if (row == nullptr || row->IsAbsent()) return Status::NotFound();
+  }
+  WriteEntry we;
+  we.row = row;
+  we.key = key;
+  we.table_id = table_id;
+  we.kind = WriteEntry::Kind::kUpdate;
+  we.locked = false;
+  we.data_offset = t->AppendImage(data, size);
+  we.data_size = size;
+  we.field_offset = field_offset;
+  t->write_set.push_back(we);
+  return Status::Ok();
+}
+
+Status OccBase::Insert(TxnDescriptor* t, uint32_t table_id, uint64_t key,
+                       const void* payload) {
+  if (t->FindWrite(table_id, key) >= 0) return Status::KeyExists();
+  Row* existing = db_->GetIndex(table_id)->Get(key);
+  if (existing != nullptr && !existing->IsAbsent()) return Status::KeyExists();
+  const Table* tab = db_->GetTable(table_id);
+  WriteEntry we;
+  we.row = nullptr;  // placeholder is created at lock time
+  we.key = key;
+  we.table_id = table_id;
+  we.kind = WriteEntry::Kind::kInsert;
+  we.locked = false;
+  we.data_offset = t->AppendImage(payload, tab->row_size());
+  we.data_size = tab->row_size();
+  we.field_offset = 0;
+  t->write_set.push_back(we);
+  return Status::Ok();
+}
+
+Status OccBase::Remove(TxnDescriptor* t, uint32_t table_id, uint64_t key) {
+  const int wi = t->FindWrite(table_id, key);
+  if (wi >= 0 && t->write_set[wi].kind == WriteEntry::Kind::kDelete) {
+    return Status::NotFound();
+  }
+  Row* row = db_->GetIndex(table_id)->Get(key);
+  if (row == nullptr || row->IsAbsent()) return Status::NotFound();
+  WriteEntry we;
+  we.row = row;
+  we.key = key;
+  we.table_id = table_id;
+  we.kind = WriteEntry::Kind::kDelete;
+  we.locked = false;
+  we.data_offset = 0;
+  we.data_size = 0;
+  we.field_offset = 0;
+  t->write_set.push_back(we);
+  return Status::Ok();
+}
+
+Status OccBase::ScanRecords(TxnDescriptor* t, uint32_t table_id, uint64_t start_key,
+                            uint64_t end_bound, uint64_t limit, ScanConsumer* consumer,
+                            bool track_records, uint64_t* last_key,
+                            uint64_t* delivered, bool* consumer_stopped) {
+  ThreadCtx& ctx = *ctxs_[t->thread_id];
+  char* buf = ctx.scratch.data();
+  Status result = Status::Ok();
+  uint64_t n = 0;
+  uint64_t lk = start_key;
+  bool stopped = false;
+  const uint64_t effective_end = end_bound == 0 ? ~0ULL : end_bound;
+
+  // Read-your-own-writes for scans: pending inserts of this transaction are
+  // not yet indexed, so collect the ones falling in the scanned window and
+  // merge them into the index stream in key order.
+  std::vector<uint64_t> pending = PendingInsertKeys(t, table_id, start_key,
+                                                    effective_end);
+  std::vector<char> insert_buf;
+  size_t pi = 0;
+  // Delivers pending inserted keys below `bound`; false = stop the scan.
+  auto flush_pending_below = [&](uint64_t bound) -> bool {
+    while (pi < pending.size() && pending[pi] < bound) {
+      if (insert_buf.empty()) insert_buf.resize(db_->GetTable(table_id)->row_size());
+      const uint64_t key = pending[pi++];
+      BuildLocalImage(t, table_id, key, insert_buf.data());
+      n++;
+      lk = key;
+      const bool want_more =
+          consumer == nullptr || consumer->OnRecord(key, insert_buf.data());
+      if (!want_more) {
+        stopped = true;
+        return false;
+      }
+      if (limit != 0 && n >= limit) return false;
+    }
+    return true;
+  };
+
+  db_->GetIndex(table_id)->ScanRange(
+      start_key, effective_end,
+      [&](uint64_t key, Row* row) -> bool {
+        if (!flush_pending_below(key)) return false;
+        // A pending insert whose key turned visible concurrently would be
+        // delivered by the index path below; drop the duplicate.
+        while (pi < pending.size() && pending[pi] == key) pi++;
+        uint64_t tidw = 0;
+        switch (ReadRecordNoWait(row, buf, &tidw)) {
+          case ReadResult::kAbsent:
+            return true;  // tombstone: skip
+          case ReadResult::kLocked:
+          case ReadResult::kContended:
+            // Per the paper, a scanned record locked by a committing writer
+            // is dirty and the scanning transaction aborts immediately.
+            stats(t->thread_id).abort_dirty_read++;
+            result = Status::Aborted("dirty scan");
+            return false;
+          case ReadResult::kOk:
+            break;
+        }
+        // Overlay own pending updates so a transaction sees its prior writes.
+        bool self_deleted = false;
+        for (const WriteEntry& we : t->write_set) {
+          if (we.table_id != table_id || we.key != key) continue;
+          if (we.kind == WriteEntry::Kind::kDelete) {
+            self_deleted = true;
+          } else {
+            std::memcpy(buf + we.field_offset, t->ImageAt(we.data_offset),
+                        we.data_size);
+            self_deleted = false;
+          }
+        }
+        if (self_deleted) return true;
+        if (track_records) t->scan_records.push_back({row, tidw});
+        n++;
+        lk = key;
+        const bool want_more = consumer == nullptr || consumer->OnRecord(key, buf);
+        if (!want_more) {
+          stopped = true;
+          return false;
+        }
+        return !(limit != 0 && n >= limit);
+      });
+
+  // Pending inserts beyond the last indexed key still belong to the window.
+  if (result.ok() && !stopped && !(limit != 0 && n >= limit)) {
+    flush_pending_below(effective_end);
+  }
+
+  stats(t->thread_id).scanned_records += n;
+  *last_key = lk;
+  *delivered = n;
+  *consumer_stopped = stopped;
+  return result;
+}
+
+std::vector<uint64_t> OccBase::PendingInsertKeys(const TxnDescriptor* t,
+                                                 uint32_t table_id, uint64_t lo,
+                                                 uint64_t hi) const {
+  std::vector<uint64_t> keys;
+  const auto& ws = t->write_set;
+  for (size_t i = 0; i < ws.size(); i++) {
+    const WriteEntry& we = ws[i];
+    if (we.table_id != table_id || we.kind != WriteEntry::Kind::kInsert) continue;
+    if (we.key < lo || we.key >= hi) continue;
+    // The key exists for this transaction unless a later delete undid it.
+    bool exists = true;
+    for (size_t j = i + 1; j < ws.size(); j++) {
+      if (ws[j].table_id == we.table_id && ws[j].key == we.key) {
+        exists = ws[j].kind != WriteEntry::Kind::kDelete;
+      }
+    }
+    if (exists) keys.push_back(we.key);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+void OccBase::BuildLocalImage(const TxnDescriptor* t, uint32_t table_id,
+                              uint64_t key, char* out) const {
+  std::memset(out, 0, db_->GetTable(table_id)->row_size());
+  for (const WriteEntry& we : t->write_set) {
+    if (we.table_id != table_id || we.key != key) continue;
+    if (we.kind == WriteEntry::Kind::kDelete) continue;
+    std::memcpy(out + we.field_offset, t->ImageAt(we.data_offset), we.data_size);
+  }
+}
+
+bool OccBase::ValidateReadSet(TxnDescriptor* t) {
+  TxnStats& s = stats(t->thread_id);
+  for (const ReadEntry& re : t->read_set) {
+    s.validated_records++;
+    const uint64_t cur = re.row->tid.load(std::memory_order_acquire);
+    if (TidWord::IsLocked(cur)) {
+      if (t->FindWriteByRow(re.row) < 0) return false;  // locked by another txn
+      if ((cur & ~TidWord::kLockBit) != re.observed_tid) return false;
+    } else if (cur != re.observed_tid) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool OccBase::LockWriteSet(TxnDescriptor* t) {
+  auto& ws = t->write_set;
+  std::vector<uint32_t> order(ws.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (ws[a].table_id != ws[b].table_id) return ws[a].table_id < ws[b].table_id;
+    if (ws[a].key != ws[b].key) return ws[a].key < ws[b].key;
+    return a < b;  // stable: chronological within a key
+  });
+
+  for (size_t oi = 0; oi < order.size(); oi++) {
+    WriteEntry& we = ws[order[oi]];
+    if (oi > 0) {
+      const WriteEntry& prev = ws[order[oi - 1]];
+      if (prev.table_id == we.table_id && prev.key == we.key) {
+        we.row = prev.row;  // first occurrence holds the lock
+        continue;
+      }
+    }
+    if (we.kind == WriteEntry::Kind::kInsert) {
+      Table* tab = db_->GetTable(we.table_id);
+      OrderedIndex* idx = db_->GetIndex(we.table_id);
+      Row* placeholder = tab->CreatePlaceholderRow(we.key);
+      Status st = idx->Insert(we.key, placeholder);
+      if (st.ok()) {
+        we.row = placeholder;
+        we.locked = true;
+        continue;
+      }
+      // Key already indexed: resurrect an unlocked tombstone, else conflict.
+      Row* existing = idx->Get(we.key);
+      if (existing == nullptr || !existing->TryLock()) return false;
+      if (!existing->IsAbsent()) {
+        existing->Unlock();
+        return false;  // live duplicate
+      }
+      we.row = existing;
+      we.locked = true;
+    } else {
+      if (!we.row->LockWithSpin(kLockSpins)) return false;
+      we.locked = true;
+      if (we.row->IsAbsent()) return false;  // deleted under us; cleanup unlocks
+    }
+  }
+  return true;
+}
+
+void OccBase::UnlockWriteSet(TxnDescriptor* t) {
+  for (WriteEntry& we : t->write_set) {
+    if (!we.locked) continue;
+    we.locked = false;
+    if (we.kind == WriteEntry::Kind::kInsert) {
+      // Hide the placeholder, then unlink it. A racing reader that still
+      // holds the pointer sees absent+unlocked and skips it.
+      we.row->tid.store(TidWord::kAbsentBit, std::memory_order_release);
+      db_->GetIndex(we.table_id)->Remove(we.key);
+    } else {
+      we.row->Unlock();
+    }
+  }
+}
+
+void OccBase::ApplyWritesAndUnlock(TxnDescriptor* t, uint64_t commit_ts) {
+  // Apply after-images in chronological order (multiple partial updates of
+  // one row compose left to right).
+  for (const WriteEntry& we : t->write_set) {
+    if (we.kind == WriteEntry::Kind::kDelete || we.row == nullptr) continue;
+    std::memcpy(we.row->Data() + we.field_offset, t->ImageAt(we.data_offset),
+                we.data_size);
+  }
+  for (WriteEntry& we : t->write_set) {
+    if (!we.locked) continue;
+    we.locked = false;
+    if (we.kind == WriteEntry::Kind::kDelete) {
+      db_->GetIndex(we.table_id)->Remove(we.key);
+      we.row->UnlockAsDeleted(commit_ts);
+    } else {
+      we.row->UnlockWithVersion(commit_ts);
+    }
+  }
+}
+
+void OccBase::FinishTxn(TxnDescriptor* t, TxnState final_state) {
+  t->state.store(final_state, std::memory_order_release);
+  ThreadCtx& ctx = *ctxs_[t->thread_id];
+  const uint32_t thread_id = t->thread_id;
+  ctx.retired.Retire(t, epoch_.Current());
+  epoch_.Exit(thread_id);
+}
+
+Status OccBase::Commit(TxnDescriptor* t) {
+  TxnStats& s = stats(t->thread_id);
+  const bool scan_txn = t->is_scan_txn;
+  const uint64_t begin_nanos = t->begin_nanos;
+  const uint64_t commit_start = NowNanos();
+
+  t->state.store(TxnState::kValidating, std::memory_order_release);
+  bool ok = true;
+  uint64_t cts = 0;
+  if (t->HasWrites()) {
+    ok = LockWriteSet(t);
+    if (ok) {
+      RegisterWrites(t);  // Algorithm 1 steps 1-4: lock, then register
+    } else {
+      s.abort_lock_fail++;
+    }
+  }
+  if (ok) {
+    cts = clock_.Next();  // step 5: serialization point
+    t->commit_ts.store(cts, std::memory_order_release);
+    if (!ValidateReadSet(t)) {
+      s.abort_read_validation++;
+      ok = false;
+    } else {
+      ok = ValidateScans(t);  // protocols count their own abort causes
+    }
+  }
+  const uint64_t validation_end = NowNanos();
+
+  if (ok) {
+    if (t->HasWrites()) ApplyWritesAndUnlock(t, cts);
+    FinishTxn(t, TxnState::kCommitted);
+    const uint64_t end = NowNanos();
+    s.validation_ns += validation_end - commit_start;
+    s.read_write_ns += (commit_start - begin_nanos) + (end - validation_end);
+    s.commits++;
+    s.latency_all.Record(end - begin_nanos);
+    if (scan_txn) {
+      s.scan_txn_commits++;
+      s.latency_scan.Record(end - begin_nanos);
+    }
+    return Status::Ok();
+  }
+
+  UnlockWriteSet(t);
+  FinishTxn(t, TxnState::kAborted);
+  s.abort_ns += NowNanos() - begin_nanos;
+  s.aborts++;
+  if (scan_txn) s.scan_txn_aborts++;
+  return Status::Aborted();
+}
+
+void OccBase::Abort(TxnDescriptor* t) {
+  // Read-phase abort: no locks are held before Commit runs.
+  TxnStats& s = stats(t->thread_id);
+  const bool scan_txn = t->is_scan_txn;
+  const uint64_t begin_nanos = t->begin_nanos;
+  FinishTxn(t, TxnState::kAborted);
+  s.abort_ns += NowNanos() - begin_nanos;
+  s.aborts++;
+  if (scan_txn) s.scan_txn_aborts++;
+}
+
+}  // namespace rocc

@@ -1,0 +1,190 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/status.h"
+#include "harness/stats.h"
+#include "storage/database.h"
+#include "txn/clock.h"
+#include "txn/epoch.h"
+#include "txn/txn.h"
+
+namespace rocc {
+
+/// Receiver for records produced by a range scan. Return false to stop the
+/// scan early. `payload` points into a transaction-local scratch buffer valid
+/// only for the duration of the call.
+class ScanConsumer {
+ public:
+  virtual ~ScanConsumer() = default;
+  virtual bool OnRecord(uint64_t key, const char* payload) = 0;
+};
+
+/// Pluggable serializable concurrency control.
+///
+/// The API is the DBx1000-style "one descriptor per in-flight transaction"
+/// model: a worker thread calls Begin, issues operations against the returned
+/// descriptor, then Commit or Abort. Any operation may return
+/// Status::Aborted, after which the caller must call Abort (Commit performs
+/// its own cleanup and retires the descriptor on both outcomes).
+class ConcurrencyControl {
+ public:
+  virtual ~ConcurrencyControl() = default;
+
+  virtual const char* Name() const = 0;
+
+  /// Bind a worker thread's stats sink; call once per thread before Begin.
+  virtual void AttachThread(uint32_t thread_id, TxnStats* stats) = 0;
+
+  virtual TxnDescriptor* Begin(uint32_t thread_id) = 0;
+
+  /// Point read by key; copies the row payload into `out` (row_size bytes).
+  virtual Status Read(TxnDescriptor* t, uint32_t table_id, uint64_t key,
+                      void* out) = 0;
+
+  /// Deferred write of `size` bytes at `field_offset` within the row payload.
+  virtual Status Update(TxnDescriptor* t, uint32_t table_id, uint64_t key,
+                        const void* data, uint32_t size, uint32_t field_offset) = 0;
+
+  /// Deferred insert of a full row payload.
+  virtual Status Insert(TxnDescriptor* t, uint32_t table_id, uint64_t key,
+                        const void* payload) = 0;
+
+  /// Deferred delete.
+  virtual Status Remove(TxnDescriptor* t, uint32_t table_id, uint64_t key) = 0;
+
+  /// Forward key-range scan. Visits visible records with
+  /// start_key <= key < end_key (end_key 0 = unbounded), stopping after
+  /// `limit` records when limit > 0 or when the consumer returns false.
+  virtual Status Scan(TxnDescriptor* t, uint32_t table_id, uint64_t start_key,
+                      uint64_t end_key, uint64_t limit, ScanConsumer* consumer) = 0;
+
+  /// Validate and apply. Returns Ok on commit, Aborted on validation failure;
+  /// the descriptor is retired either way.
+  virtual Status Commit(TxnDescriptor* t) = 0;
+
+  /// Abandon a transaction during its read phase.
+  virtual void Abort(TxnDescriptor* t) = 0;
+
+  /// Simulation hook: when `every` > 0, validation loops emit a cooperative
+  /// yield every `every` units of validation work (records re-read or
+  /// transactions examined). Under the fiber runner this makes validation
+  /// TIME visible as exposure time, as it is on real parallel hardware —
+  /// commits hold their write locks across the yields, exactly like a slow
+  /// validator does on a real core. No-op by default.
+  virtual void SetValidationPacing(uint32_t every) { (void)every; }
+};
+
+/// Shared machinery for the single-version OCC family (LRV, GWV, ROCC,
+/// MVRCC): readset/writeset bookkeeping, consistent record reads, sorted
+/// write locking, record-level readset validation, the write phase, and
+/// epoch-based descriptor recycling.
+///
+/// Subclasses customise three hooks:
+///  - Scan            : how scans are tracked (records vs. predicates)
+///  - RegisterWrites  : where write intentions are published (per-range ring,
+///                      global ring, or nowhere)
+///  - ValidateScans   : how tracked scans are validated
+class OccBase : public ConcurrencyControl {
+ public:
+  OccBase(Database* db, uint32_t num_threads);
+  ~OccBase() override;
+
+  void AttachThread(uint32_t thread_id, TxnStats* stats) override;
+  TxnDescriptor* Begin(uint32_t thread_id) override;
+  Status Read(TxnDescriptor* t, uint32_t table_id, uint64_t key, void* out) override;
+  Status Update(TxnDescriptor* t, uint32_t table_id, uint64_t key, const void* data,
+                uint32_t size, uint32_t field_offset) override;
+  Status Insert(TxnDescriptor* t, uint32_t table_id, uint64_t key,
+                const void* payload) override;
+  Status Remove(TxnDescriptor* t, uint32_t table_id, uint64_t key) override;
+  Status Commit(TxnDescriptor* t) override;
+  void Abort(TxnDescriptor* t) override;
+
+  Database* db() { return db_; }
+  GlobalClock& clock() { return clock_; }
+  EpochManager& epoch() { return epoch_; }
+
+  void SetValidationPacing(uint32_t every) override { validation_pacing_ = every; }
+
+ protected:
+  struct ThreadCtx {
+    TxnStats local_stats;           // fallback sink when none is attached
+    TxnStats* stats = nullptr;
+    std::vector<TxnDescriptor*> free_list;
+    RetireList<TxnDescriptor> retired;
+    std::vector<char> scratch;      // row-payload staging for scans/reads
+    uint64_t txn_seq = 0;
+    uint64_t allocated = 0;
+  };
+
+  /// Publish the transaction's write intentions after the lock phase and
+  /// before the commit timestamp is generated (Algorithm 1, steps 1-5).
+  virtual void RegisterWrites(TxnDescriptor* t) = 0;
+
+  /// Validate tracked scans after the readset (Algorithm 1, steps 11-26).
+  /// Returns false when the transaction must abort.
+  virtual bool ValidateScans(TxnDescriptor* t) = 0;
+
+  /// Walk the index over [start_key, end_bound) delivering up to `limit`
+  /// visible records (0 = unbounded) with OCC-consistent copies.
+  /// Aborts (returns kAborted) when a dirty (locked) record is met, unless
+  /// the record is this transaction's own write, in which case its local
+  /// after-image is delivered.
+  ///
+  /// When `track_records` is set, each delivered record is appended to
+  /// t->scan_records for LRV-style revalidation.
+  /// `last_key`/`delivered` report the last key visited and the count;
+  /// `consumer_stopped` reports that the consumer ended the scan early (the
+  /// scan's logical extent then ends at last_key + 1).
+  Status ScanRecords(TxnDescriptor* t, uint32_t table_id, uint64_t start_key,
+                     uint64_t end_bound, uint64_t limit, ScanConsumer* consumer,
+                     bool track_records, uint64_t* last_key, uint64_t* delivered,
+                     bool* consumer_stopped);
+
+  TxnStats& stats(uint32_t thread_id) {
+    ThreadCtx& ctx = *ctxs_[thread_id];
+    return ctx.stats != nullptr ? *ctx.stats : ctx.local_stats;
+  }
+
+  /// Record-level readset validation shared by every scheme.
+  bool ValidateReadSet(TxnDescriptor* t);
+
+  /// Lock the writeset in key order; resolves insert placeholders.
+  /// On failure unlocks everything it locked and returns false.
+  bool LockWriteSet(TxnDescriptor* t);
+
+  /// Apply after-images, publish versions, release locks (commit path).
+  void ApplyWritesAndUnlock(TxnDescriptor* t, uint64_t commit_ts);
+
+  /// Release locks without applying (abort path); removes insert placeholders.
+  void UnlockWriteSet(TxnDescriptor* t);
+
+  void FinishTxn(TxnDescriptor* t, TxnState final_state);
+
+  /// Yield point for validation loops (see SetValidationPacing). `counter`
+  /// is a caller-local unit count.
+  void PaceValidation(uint32_t* counter) const;
+
+  /// Keys this transaction has pending inserts for within [lo, hi), sorted;
+  /// used to merge read-your-own-writes into scan streams.
+  std::vector<uint64_t> PendingInsertKeys(const TxnDescriptor* t, uint32_t table_id,
+                                          uint64_t lo, uint64_t hi) const;
+
+  /// Materialise the transaction-local image of `key` (insert + later
+  /// partial updates) into `out` (row_size bytes).
+  void BuildLocalImage(const TxnDescriptor* t, uint32_t table_id, uint64_t key,
+                       char* out) const;
+
+  Database* db_;
+  GlobalClock clock_;
+  EpochManager epoch_;
+  std::vector<std::unique_ptr<ThreadCtx>> ctxs_;
+  uint32_t max_row_size_ = 0;
+  uint32_t validation_pacing_ = 0;
+};
+
+}  // namespace rocc

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "cc/cc.h"
+#include "core/txn_ring.h"
+
+namespace rocc {
+
+/// Options for the GWV baseline.
+struct GwvOptions {
+  /// Capacity of the single global recently-committed-transaction list.
+  /// Windows wider than this abort conservatively, so the global ring is
+  /// sized generously by default.
+  uint32_t global_ring_capacity = 1 << 16;
+};
+
+/// Global Writeset Validation — the HyPer-style baseline (paper §I-A).
+///
+/// Writers push themselves into ONE global sequenced list before drawing
+/// their commit timestamp (Fig. 2(a)). A scan keeps a predicate
+/// {start, end, rd_ts} where rd_ts is the global list version at scan start;
+/// at validation the transaction examines EVERY writer registered in
+/// (rd_ts, v_ts] — related or not — and checks each of its writeset keys
+/// against the predicate. The cost is proportional to the number of
+/// concurrent update transactions, which is what makes GWV degrade under
+/// write-intensive multi-core workloads (Fig. 1, Fig. 7).
+class HyperGwv : public OccBase {
+ public:
+  HyperGwv(Database* db, uint32_t num_threads, GwvOptions options = {});
+
+  const char* Name() const override { return "GWV"; }
+
+  Status Scan(TxnDescriptor* t, uint32_t table_id, uint64_t start_key,
+              uint64_t end_key, uint64_t limit, ScanConsumer* consumer) override;
+
+  TxnRing& global_list() { return global_list_; }
+
+ protected:
+  void RegisterWrites(TxnDescriptor* t) override;
+  bool ValidateScans(TxnDescriptor* t) override;
+
+ private:
+  TxnRing global_list_;
+};
+
+}  // namespace rocc

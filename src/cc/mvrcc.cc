@@ -1,0 +1,4 @@
+#include "cc/mvrcc.h"
+
+// Mvrcc is a thin behavioural variant of Rocc (see mvrcc.h); this translation
+// unit anchors the header in the library.

@@ -1,0 +1,42 @@
+#include "cc/occ_util.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/cacheline.h"
+
+namespace rocc {
+
+namespace {
+constexpr int kCopyRetries = 16;
+constexpr int kCtsSpins = 4096;
+}  // namespace
+
+ReadResult ReadRecordNoWait(const Row* row, void* out, uint64_t* tid_word) {
+  for (int attempt = 0; attempt < kCopyRetries; attempt++) {
+    const uint64_t v1 = row->tid.load(std::memory_order_acquire);
+    if (TidWord::IsLocked(v1)) return ReadResult::kLocked;
+    if (TidWord::IsAbsent(v1)) return ReadResult::kAbsent;
+    std::memcpy(out, row->Data(), row->payload_size);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const uint64_t v2 = row->tid.load(std::memory_order_acquire);
+    if (v1 == v2) {
+      *tid_word = v1;
+      return ReadResult::kOk;
+    }
+    CpuRelax();
+  }
+  return ReadResult::kContended;
+}
+
+uint64_t WaitForCommitTs(const TxnDescriptor* writer) {
+  for (int i = 0; i < kCtsSpins; i++) {
+    const uint64_t cts = writer->commit_ts.load(std::memory_order_acquire);
+    if (cts != 0) return cts;
+    if (writer->state.load(std::memory_order_acquire) == TxnState::kAborted) return 0;
+    CpuRelax();
+  }
+  return 0;
+}
+
+}  // namespace rocc

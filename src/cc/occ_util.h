@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "storage/row.h"
+#include "txn/txn.h"
+
+namespace rocc {
+
+/// Result of a no-wait consistent record read.
+enum class ReadResult : uint8_t {
+  kOk,         ///< stable copy obtained
+  kLocked,     ///< record is locked by a committing writer (dirty)
+  kContended,  ///< version kept changing past the retry budget
+  kAbsent,     ///< record is deleted / an unpublished insert placeholder
+};
+
+/// OCC stable read: copy the payload between two version loads. Per the
+/// paper, "ROCC treats locked records as dirty data" and the reader aborts
+/// immediately instead of spinning on the lock.
+ReadResult ReadRecordNoWait(const Row* row, void* out, uint64_t* tid_word);
+
+/// Bounded wait for another transaction's commit timestamp.
+///
+/// A validator may observe a writer that has registered but not yet drawn
+/// its commit timestamp (the gap is a handful of instructions). Returns the
+/// timestamp, or 0 if the writer aborted or stayed unresolved past the spin
+/// budget (callers treat 0 conservatively).
+uint64_t WaitForCommitTs(const TxnDescriptor* writer);
+
+}  // namespace rocc

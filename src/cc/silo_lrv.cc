@@ -1,0 +1,107 @@
+#include "cc/silo_lrv.h"
+
+namespace rocc {
+
+Status SiloLrv::Scan(TxnDescriptor* t, uint32_t table_id, uint64_t start_key,
+                     uint64_t end_key, uint64_t limit, ScanConsumer* consumer) {
+  ScanEntry entry;
+  entry.table_id = table_id;
+  entry.start_key = start_key;
+  entry.limit = limit;
+  entry.first_record = static_cast<uint32_t>(t->scan_records.size());
+
+  uint64_t last_key = 0;
+  uint64_t n = 0;
+  bool stopped = false;
+  Status st = ScanRecords(t, table_id, start_key, end_key, limit, consumer,
+                          /*track_records=*/true, &last_key, &n, &stopped);
+  if (!st.ok()) return st;
+
+  // Only physical rows are tracked for revalidation; the delivered count `n`
+  // may additionally include this transaction's own pending inserts.
+  entry.num_records =
+      static_cast<uint32_t>(t->scan_records.size()) - entry.first_record;
+  // The revalidation bound: where this scan logically stopped. A limited or
+  // consumer-terminated scan ends just past its last record; an exhausted
+  // one covers the whole request.
+  if ((limit != 0 && n >= limit) || stopped) {
+    entry.end_key = last_key + 1;
+    entry.limit = entry.num_records;
+  } else {
+    entry.end_key = end_key;  // 0 = unbounded, matches the original walk
+  }
+  t->scan_set.push_back(entry);
+  return Status::Ok();
+}
+
+bool SiloLrv::RevalidateScan(TxnDescriptor* t, const ScanEntry& entry,
+                             uint32_t* pace_counter) {
+  TxnStats& s = stats(t->thread_id);
+  bool conflict = false;
+  uint64_t seen = 0;
+  uint32_t cursor = entry.first_record;
+
+  db_->GetIndex(entry.table_id)
+      ->ScanRange(entry.start_key, entry.end_key == 0 ? ~0ULL : entry.end_key,
+                  [&](uint64_t key, Row* row) -> bool {
+                    (void)key;
+                    const uint64_t cur = row->tid.load(std::memory_order_acquire);
+                    if (TidWord::IsLocked(cur)) {
+                      const int wi = t->FindWriteByRow(row);
+                      if (wi < 0) {
+                        conflict = true;  // locked by another committer
+                        return false;
+                      }
+                      const WriteEntry::Kind kind = t->write_set[wi].kind;
+                      if (kind == WriteEntry::Kind::kInsert) {
+                        // Own insert placeholder: not indexed at scan time.
+                        return true;
+                      }
+                      if (kind == WriteEntry::Kind::kDelete) {
+                        // Deleted BEFORE the scan: the original pass skipped
+                        // it, so skip it here too. Deleted AFTER the scan:
+                        // it is the next recorded row — fall through and
+                        // match it (its version is frozen under our lock).
+                        const bool was_scanned =
+                            seen < entry.num_records &&
+                            t->scan_records[cursor + seen].row == row;
+                        if (!was_scanned) return true;
+                      }
+                      // Own update/late-delete: compare the stripped word.
+                    } else if (TidWord::IsAbsent(cur)) {
+                      return true;  // tombstone, invisible in both passes
+                    }
+                    if (seen >= entry.num_records) {
+                      conflict = true;  // a record appeared (phantom insert)
+                      return false;
+                    }
+                    const ScanRecord& rec = t->scan_records[cursor + seen];
+                    if (rec.row != row ||
+                        (cur & ~TidWord::kLockBit) != rec.observed_tid) {
+                      conflict = true;  // different row or changed version
+                      return false;
+                    }
+                    seen++;
+                    s.validated_records++;
+                    PaceValidation(pace_counter);
+                    if (entry.limit != 0 && seen >= entry.limit) return false;
+                    return true;
+                  });
+
+  if (conflict) return false;
+  // Fewer rows than before means a scanned record disappeared.
+  return seen == entry.num_records;
+}
+
+bool SiloLrv::ValidateScans(TxnDescriptor* t) {
+  uint32_t pace_counter = 0;
+  for (const ScanEntry& entry : t->scan_set) {
+    if (!RevalidateScan(t, entry, &pace_counter)) {
+      stats(t->thread_id).abort_scan_conflict++;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rocc

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "cc/cc.h"
+
+namespace rocc {
+
+/// Local Readset Validation — the Silo-style baseline (paper §I-A).
+///
+/// Scans record every returned row (pointer + observed version) in the
+/// transaction's scan set. Validation re-executes each scan against the index
+/// and requires the exact same sequence of rows with unchanged versions: this
+/// detects updates (version change), deletions and phantom inserts (sequence
+/// change) at a cost linear in the number of scanned records — the behaviour
+/// Fig. 1 and Fig. 5 attribute to LRV.
+class SiloLrv : public OccBase {
+ public:
+  SiloLrv(Database* db, uint32_t num_threads) : OccBase(db, num_threads) {}
+
+  const char* Name() const override { return "LRV"; }
+
+  Status Scan(TxnDescriptor* t, uint32_t table_id, uint64_t start_key,
+              uint64_t end_key, uint64_t limit, ScanConsumer* consumer) override;
+
+ protected:
+  void RegisterWrites(TxnDescriptor*) override {}
+  bool ValidateScans(TxnDescriptor* t) override;
+
+ private:
+  bool RevalidateScan(TxnDescriptor* t, const ScanEntry& entry,
+                      uint32_t* pace_counter);
+};
+
+}  // namespace rocc

@@ -1,0 +1,206 @@
+#include "cc/two_phase_locking.h"
+
+#include <cstring>
+
+#include "common/timer.h"
+
+namespace rocc {
+
+bool TplNoWait::OwnsLock(const TxnDescriptor* t, const Row* row) const {
+  for (const ReadEntry& re : t->read_set) {
+    if (re.row == row) return true;
+  }
+  return false;
+}
+
+bool TplNoWait::AcquireLock(TxnDescriptor* t, Row* row) {
+  if (OwnsLock(t, row)) return true;
+  if (!row->TryLock()) return false;  // no-wait
+  t->read_set.push_back({row, 0});
+  return true;
+}
+
+Status TplNoWait::Read(TxnDescriptor* t, uint32_t table_id, uint64_t key, void* out) {
+  Row* row = db_->GetIndex(table_id)->Get(key);
+  if (row == nullptr) return Status::NotFound();
+  if (!AcquireLock(t, row)) return Status::Aborted("lock conflict");
+  if (row->IsAbsent() && t->FindWriteByRow(row) < 0) {
+    return Status::NotFound();  // a foreign tombstone; own inserts overlay below
+  }
+  std::memcpy(out, row->Data(), row->payload_size);
+  // Overlay deferred writes so reads see this transaction's prior updates.
+  for (const WriteEntry& we : t->write_set) {
+    if (we.table_id != table_id || we.key != key) continue;
+    if (we.kind == WriteEntry::Kind::kDelete) return Status::NotFound();
+    std::memcpy(static_cast<char*>(out) + we.field_offset,
+                t->ImageAt(we.data_offset), we.data_size);
+  }
+  return Status::Ok();
+}
+
+Status TplNoWait::Update(TxnDescriptor* t, uint32_t table_id, uint64_t key,
+                         const void* data, uint32_t size, uint32_t field_offset) {
+  const int wi = t->FindWrite(table_id, key);
+  if (wi >= 0 && t->write_set[wi].kind == WriteEntry::Kind::kDelete) {
+    return Status::NotFound();  // updating a row this txn already deleted
+  }
+  Row* row = db_->GetIndex(table_id)->Get(key);
+  if (row == nullptr) return Status::NotFound();
+  if (!AcquireLock(t, row)) return Status::Aborted("lock conflict");
+  if (row->IsAbsent() && wi < 0) return Status::NotFound();
+  WriteEntry we;
+  we.row = row;
+  we.key = key;
+  we.table_id = table_id;
+  we.kind = WriteEntry::Kind::kUpdate;
+  we.locked = true;
+  we.data_offset = t->AppendImage(data, size);
+  we.data_size = size;
+  we.field_offset = field_offset;
+  t->write_set.push_back(we);
+  return Status::Ok();
+}
+
+Status TplNoWait::Insert(TxnDescriptor* t, uint32_t table_id, uint64_t key,
+                         const void* payload) {
+  Table* tab = db_->GetTable(table_id);
+  OrderedIndex* idx = db_->GetIndex(table_id);
+  Row* placeholder = tab->CreatePlaceholderRow(key);  // locked + absent
+  Status st = idx->Insert(key, placeholder);
+  if (!st.ok()) return Status::Aborted("duplicate key");
+  t->read_set.push_back({placeholder, 0});  // we hold its lock
+  WriteEntry we;
+  we.row = placeholder;
+  we.key = key;
+  we.table_id = table_id;
+  we.kind = WriteEntry::Kind::kInsert;
+  we.locked = true;
+  we.data_offset = t->AppendImage(payload, tab->row_size());
+  we.data_size = tab->row_size();
+  we.field_offset = 0;
+  t->write_set.push_back(we);
+  return Status::Ok();
+}
+
+Status TplNoWait::Remove(TxnDescriptor* t, uint32_t table_id, uint64_t key) {
+  const int wi = t->FindWrite(table_id, key);
+  if (wi >= 0 && t->write_set[wi].kind == WriteEntry::Kind::kDelete) {
+    return Status::NotFound();  // already deleted by this txn
+  }
+  Row* row = db_->GetIndex(table_id)->Get(key);
+  if (row == nullptr) return Status::NotFound();
+  if (!AcquireLock(t, row)) return Status::Aborted("lock conflict");
+  if (row->IsAbsent() && wi < 0) return Status::NotFound();
+  WriteEntry we;
+  we.row = row;
+  we.key = key;
+  we.table_id = table_id;
+  we.kind = WriteEntry::Kind::kDelete;
+  we.locked = true;
+  we.data_offset = 0;
+  we.data_size = 0;
+  we.field_offset = 0;
+  t->write_set.push_back(we);
+  return Status::Ok();
+}
+
+Status TplNoWait::Scan(TxnDescriptor* t, uint32_t table_id, uint64_t start_key,
+                       uint64_t end_key, uint64_t limit, ScanConsumer* consumer) {
+  Status result = Status::Ok();
+  uint64_t n = 0;
+  std::vector<char> buf(db_->GetTable(table_id)->row_size());
+  db_->GetIndex(table_id)->ScanRange(
+      start_key, end_key == 0 ? ~0ULL : end_key, [&](uint64_t key, Row* row) -> bool {
+        if (!AcquireLock(t, row)) {
+          result = Status::Aborted("lock conflict");
+          return false;
+        }
+        if (row->IsAbsent()) {
+          // Own insert placeholders are delivered (read-your-own-writes);
+          // foreign tombstones are invisible.
+          const int wi = t->FindWriteByRow(row);
+          if (wi < 0 || t->write_set[wi].kind != WriteEntry::Kind::kInsert) {
+            return true;
+          }
+        }
+        std::memcpy(buf.data(), row->Data(), row->payload_size);
+        for (const WriteEntry& we : t->write_set) {
+          if (we.table_id != table_id || we.key != key) continue;
+          if (we.kind == WriteEntry::Kind::kDelete) return true;
+          std::memcpy(buf.data() + we.field_offset, t->ImageAt(we.data_offset),
+                      we.data_size);
+        }
+        n++;
+        const bool more = consumer == nullptr || consumer->OnRecord(key, buf.data());
+        if (!more) return false;
+        return !(limit != 0 && n >= limit);
+      });
+  stats(t->thread_id).scanned_records += n;
+  return result;
+}
+
+void TplNoWait::ReleaseAll(TxnDescriptor* t, uint64_t commit_ts, bool committed) {
+  for (const ReadEntry& re : t->read_set) {
+    Row* row = re.row;
+    const int wi = t->FindWriteByRow(row);
+    if (!committed) {
+      if (wi >= 0 && t->write_set[wi].kind == WriteEntry::Kind::kInsert) {
+        row->tid.store(TidWord::kAbsentBit, std::memory_order_release);
+        db_->GetIndex(t->write_set[wi].table_id)->Remove(t->write_set[wi].key);
+      } else {
+        row->Unlock();
+      }
+      continue;
+    }
+    if (wi < 0) {
+      row->Unlock();  // read-only lock
+    } else if (t->write_set[wi].kind == WriteEntry::Kind::kDelete) {
+      db_->GetIndex(t->write_set[wi].table_id)->Remove(t->write_set[wi].key);
+      row->UnlockAsDeleted(commit_ts);
+    } else {
+      row->UnlockWithVersion(commit_ts);
+    }
+  }
+}
+
+Status TplNoWait::Commit(TxnDescriptor* t) {
+  TxnStats& s = stats(t->thread_id);
+  const bool scan_txn = t->is_scan_txn;
+  const uint64_t begin_nanos = t->begin_nanos;
+  const uint64_t commit_start = NowNanos();
+
+  const uint64_t cts = clock_.Next();
+  t->commit_ts.store(cts, std::memory_order_release);
+  // Locks were all acquired during the growing phase; apply and shrink.
+  for (const WriteEntry& we : t->write_set) {
+    if (we.kind == WriteEntry::Kind::kDelete) continue;
+    std::memcpy(we.row->Data() + we.field_offset, t->ImageAt(we.data_offset),
+                we.data_size);
+  }
+  ReleaseAll(t, cts, /*committed=*/true);
+  FinishTxn(t, TxnState::kCommitted);
+
+  const uint64_t end = NowNanos();
+  s.validation_ns += end - commit_start;
+  s.read_write_ns += commit_start - begin_nanos;
+  s.commits++;
+  s.latency_all.Record(end - begin_nanos);
+  if (scan_txn) {
+    s.scan_txn_commits++;
+    s.latency_scan.Record(end - begin_nanos);
+  }
+  return Status::Ok();
+}
+
+void TplNoWait::Abort(TxnDescriptor* t) {
+  TxnStats& s = stats(t->thread_id);
+  const bool scan_txn = t->is_scan_txn;
+  const uint64_t begin_nanos = t->begin_nanos;
+  ReleaseAll(t, 0, /*committed=*/false);
+  FinishTxn(t, TxnState::kAborted);
+  s.abort_ns += NowNanos() - begin_nanos;
+  s.aborts++;
+  if (scan_txn) s.scan_txn_aborts++;
+}
+
+}  // namespace rocc

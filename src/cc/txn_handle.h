@@ -1,0 +1,104 @@
+#pragma once
+
+#include <utility>
+
+#include "cc/cc.h"
+
+namespace rocc {
+
+/// RAII convenience wrapper around (ConcurrencyControl*, TxnDescriptor*).
+///
+/// A handle that goes out of scope without Commit() being called aborts the
+/// transaction, so early returns in application code can never leak a
+/// descriptor or leave an epoch pinned:
+///
+/// ```cpp
+/// Status Transfer(Rocc& cc, uint32_t tid, uint64_t a, uint64_t b) {
+///   TxnHandle txn(&cc, tid);
+///   uint64_t va, vb;
+///   ROCC_RETURN_NOT_OK(txn.Read(kAccounts, a, &va));   // abort on early exit
+///   ROCC_RETURN_NOT_OK(txn.Read(kAccounts, b, &vb));
+///   va -= 10; vb += 10;
+///   ROCC_RETURN_NOT_OK(txn.Update(kAccounts, a, &va, 8, 0));
+///   ROCC_RETURN_NOT_OK(txn.Update(kAccounts, b, &vb, 8, 0));
+///   return txn.Commit();
+/// }
+/// ```
+class TxnHandle {
+ public:
+  TxnHandle(ConcurrencyControl* cc, uint32_t thread_id)
+      : cc_(cc), txn_(cc->Begin(thread_id)) {}
+
+  ~TxnHandle() {
+    if (txn_ != nullptr) cc_->Abort(txn_);
+  }
+
+  TxnHandle(const TxnHandle&) = delete;
+  TxnHandle& operator=(const TxnHandle&) = delete;
+
+  TxnHandle(TxnHandle&& other) noexcept : cc_(other.cc_), txn_(other.txn_) {
+    other.txn_ = nullptr;
+  }
+  TxnHandle& operator=(TxnHandle&& other) noexcept {
+    if (this != &other) {
+      if (txn_ != nullptr) cc_->Abort(txn_);
+      cc_ = other.cc_;
+      txn_ = other.txn_;
+      other.txn_ = nullptr;
+    }
+    return *this;
+  }
+
+  Status Read(uint32_t table_id, uint64_t key, void* out) {
+    return cc_->Read(txn_, table_id, key, out);
+  }
+  Status Update(uint32_t table_id, uint64_t key, const void* data, uint32_t size,
+                uint32_t field_offset = 0) {
+    return cc_->Update(txn_, table_id, key, data, size, field_offset);
+  }
+  Status Insert(uint32_t table_id, uint64_t key, const void* payload) {
+    return cc_->Insert(txn_, table_id, key, payload);
+  }
+  Status Remove(uint32_t table_id, uint64_t key) {
+    return cc_->Remove(txn_, table_id, key);
+  }
+  Status Scan(uint32_t table_id, uint64_t start_key, uint64_t end_key,
+              uint64_t limit, ScanConsumer* consumer) {
+    return cc_->Scan(txn_, table_id, start_key, end_key, limit, consumer);
+  }
+
+  /// Read a fixed-size POD row into `out`.
+  template <typename RowT>
+  Status ReadRow(uint32_t table_id, uint64_t key, RowT* out) {
+    return cc_->Read(txn_, table_id, key, out);
+  }
+  /// Replace a fixed-size POD row.
+  template <typename RowT>
+  Status UpdateRow(uint32_t table_id, uint64_t key, const RowT& row) {
+    return cc_->Update(txn_, table_id, key, &row, sizeof(RowT), 0);
+  }
+
+  /// Mark this transaction as a bulk/scan transaction for statistics.
+  void MarkScanTxn() { txn_->is_scan_txn = true; }
+
+  /// Validate and apply; the handle is inert afterwards.
+  Status Commit() {
+    TxnDescriptor* t = std::exchange(txn_, nullptr);
+    return cc_->Commit(t);
+  }
+
+  /// Explicitly abort; the handle is inert afterwards.
+  void Abort() {
+    TxnDescriptor* t = std::exchange(txn_, nullptr);
+    if (t != nullptr) cc_->Abort(t);
+  }
+
+  bool active() const { return txn_ != nullptr; }
+  TxnDescriptor* descriptor() { return txn_; }
+
+ private:
+  ConcurrencyControl* cc_;
+  TxnDescriptor* txn_;
+};
+
+}  // namespace rocc

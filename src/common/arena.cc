@@ -1,0 +1,44 @@
+#include "common/arena.h"
+
+#include <cstdlib>
+
+namespace rocc {
+
+Arena::Arena(size_t initial_block_bytes) : next_block_(initial_block_bytes) {}
+
+Arena::~Arena() {
+  for (char* b : blocks_) std::free(b);
+}
+
+void Arena::NewBlock(size_t min_bytes) {
+  size_t sz = next_block_;
+  if (sz < min_bytes) sz = min_bytes;
+  next_block_ = sz * 2;
+  if (next_block_ > (64u << 20)) next_block_ = 64u << 20;
+  char* b = static_cast<char*>(std::aligned_alloc(kCacheLineSize, sz));
+  blocks_.push_back(b);
+  cur_ = b;
+  cur_left_ = sz;
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  uintptr_t p = reinterpret_cast<uintptr_t>(cur_);
+  size_t pad = (align - (p & (align - 1))) & (align - 1);
+  if (cur_ == nullptr || cur_left_ < bytes + pad) {
+    NewBlock(bytes + align);
+    p = reinterpret_cast<uintptr_t>(cur_);
+    pad = (align - (p & (align - 1))) & (align - 1);
+  }
+  void* out = cur_ + pad;
+  cur_ += bytes + pad;
+  cur_left_ -= bytes + pad;
+  allocated_ += bytes + pad;
+  return out;
+}
+
+void* Arena::AllocateConcurrent(size_t bytes, size_t align) {
+  SpinLatchGuard g(latch_);
+  return Allocate(bytes, align);
+}
+
+}  // namespace rocc

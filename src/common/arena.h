@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/latch.h"
+
+namespace rocc {
+
+/// Bump allocator with geometrically growing blocks.
+///
+/// Tables allocate row storage from an arena so that loading 10M rows does
+/// not make 10M malloc calls and row memory stays dense. Memory is released
+/// only when the arena is destroyed, matching the paper's setting where
+/// tables are preloaded and rows live for the whole experiment.
+class Arena {
+ public:
+  explicit Arena(size_t initial_block_bytes = 1 << 20);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocate `bytes` aligned to `align` (power of two).
+  void* Allocate(size_t bytes, size_t align = 8);
+
+  /// Thread-safe variant guarded by a latch; used by concurrent inserts.
+  void* AllocateConcurrent(size_t bytes, size_t align = 8);
+
+  size_t allocated_bytes() const { return allocated_; }
+
+ private:
+  void NewBlock(size_t min_bytes);
+
+  std::vector<char*> blocks_;
+  char* cur_ = nullptr;
+  size_t cur_left_ = 0;
+  size_t next_block_ = 0;
+  size_t allocated_ = 0;
+  SpinLatch latch_;
+};
+
+}  // namespace rocc

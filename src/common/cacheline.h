@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace rocc {
+
+/// Assumed cache-line size; 64 bytes on all supported x86-64 / AArch64 parts.
+inline constexpr size_t kCacheLineSize = 64;
+
+/// Wrapper that places `T` alone on its own cache line(s) to avoid false
+/// sharing between per-thread counters or hot global atomics.
+template <typename T>
+struct alignas(kCacheLineSize) CachePadded {
+  T value{};
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+/// CPU pause / yield hint for spin loops.
+inline void CpuRelax() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+}  // namespace rocc

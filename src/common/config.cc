@@ -1,0 +1,75 @@
+#include "common/config.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace rocc {
+
+Config::Config(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "true";
+    }
+  }
+}
+
+bool Config::Has(const std::string& key) const { return kv_.count(key) > 0; }
+
+void Config::Set(const std::string& key, const std::string& value) { kv_[key] = value; }
+
+std::string Config::GetString(const std::string& key, const std::string& def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Config::GetDouble(const std::string& key, double def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Config::GetBool(const std::string& key, bool def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<int64_t> Config::GetIntList(const std::string& key,
+                                        const std::vector<int64_t>& def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  std::vector<int64_t> out;
+  std::stringstream ss(it->second);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::strtoll(tok.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::vector<double> Config::GetDoubleList(const std::string& key,
+                                          const std::vector<double>& def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  std::vector<double> out;
+  std::stringstream ss(it->second);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::strtod(tok.c_str(), nullptr));
+  }
+  return out;
+}
+
+}  // namespace rocc

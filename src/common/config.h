@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rocc {
+
+/// Minimal command-line flag parser shared by the benchmark binaries.
+///
+/// Accepts `--name value` and `--name=value`; bare `--name` is treated as a
+/// boolean true. Unknown flags are collected so binaries can reject typos.
+class Config {
+ public:
+  Config() = default;
+  Config(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key, const std::string& def) const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  /// Comma-separated list of integers, e.g. "--threads 1,2,4".
+  std::vector<int64_t> GetIntList(const std::string& key,
+                                  const std::vector<int64_t>& def) const;
+  std::vector<double> GetDoubleList(const std::string& key,
+                                    const std::vector<double>& def) const;
+
+  void Set(const std::string& key, const std::string& value);
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace rocc

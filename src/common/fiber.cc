@@ -1,0 +1,152 @@
+#include "common/fiber.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/timer.h"
+
+#if !defined(__x86_64__)
+#include <ucontext.h>
+#endif
+
+namespace rocc {
+
+namespace {
+
+thread_local FiberScheduler* tls_scheduler = nullptr;
+thread_local bool tls_in_fiber = false;
+thread_local uint32_t tls_current_fiber = 0;
+
+}  // namespace
+
+#if defined(__x86_64__)
+
+// Minimal System-V x86-64 context switch: saves the callee-saved registers
+// on the current stack, stores the stack pointer through `save_sp`, then
+// installs `load_sp` and restores its registers. FP/SSE control words are
+// not switched (all fibers share the process defaults).
+extern "C" void RoccFiberSwitch(void** save_sp, void* load_sp);
+asm(R"(
+.text
+.globl RoccFiberSwitch
+.type RoccFiberSwitch, @function
+RoccFiberSwitch:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  movq %rsp, (%rdi)
+  movq %rsi, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  ret
+.size RoccFiberSwitch, .-RoccFiberSwitch
+)");
+
+#endif  // __x86_64__
+
+FiberScheduler::FiberScheduler() = default;
+FiberScheduler::~FiberScheduler() = default;
+
+void FiberScheduler::Trampoline() {
+  FiberScheduler* sched = tls_scheduler;
+  Fiber& fiber = *sched->fibers_[tls_current_fiber];
+  fiber.fn();
+  fiber.done = true;
+  // Return control to the scheduler permanently.
+  while (true) YieldFiber();
+}
+
+void FiberScheduler::Spawn(std::function<void()> fn, size_t stack_bytes) {
+  assert(!running_);
+  auto fiber = std::make_unique<Fiber>();
+  fiber->fn = std::move(fn);
+  fiber->stack = std::make_unique<char[]>(stack_bytes);
+
+#if defined(__x86_64__)
+  // Build the initial stack frame so the first RoccFiberSwitch "returns"
+  // into Trampoline with a correctly aligned stack (rsp % 16 == 8 at entry,
+  // as if reached via a call instruction).
+  // The first switch pops six registers and `ret`s into Trampoline. The ret
+  // consumes frame[0], leaving rsp = top + 8; the System-V ABI requires
+  // rsp % 16 == 8 at function entry (as if reached via call), so `top` must
+  // be exactly 16-byte aligned.
+  char* base = fiber->stack.get();
+  uintptr_t top = reinterpret_cast<uintptr_t>(base + stack_bytes - 64);
+  top &= ~static_cast<uintptr_t>(15);  // 16-byte aligned
+  auto* frame = reinterpret_cast<void**>(top);
+  frame[0] = reinterpret_cast<void*>(&FiberScheduler::Trampoline);
+  // Six dummy callee-saved registers below the return address.
+  void** sp = frame - 6;
+  std::memset(sp, 0, 6 * sizeof(void*));
+  fiber->resume_sp = sp;
+#else
+  // ucontext fallback: lazily initialised in SwitchIn via a stored flag.
+  fiber->resume_sp = nullptr;
+#endif
+
+  fibers_.push_back(std::move(fiber));
+}
+
+void FiberScheduler::SwitchIn(uint32_t index) {
+  current_ = index;
+  tls_current_fiber = index;
+  tls_in_fiber = true;
+#if defined(__x86_64__)
+  RoccFiberSwitch(&scheduler_sp_, fibers_[index]->resume_sp);
+#else
+#error "FiberScheduler requires x86-64 (ucontext fallback not wired)"
+#endif
+  tls_in_fiber = false;
+}
+
+void FiberScheduler::Run() {
+  assert(!tls_in_fiber && "nested schedulers are not supported");
+  FiberScheduler* prev = tls_scheduler;
+  tls_scheduler = this;
+  running_ = true;
+
+  size_t remaining = fibers_.size();
+  while (remaining > 0) {
+    for (uint32_t i = 0; i < fibers_.size(); i++) {
+      if (fibers_[i]->done) continue;
+      SwitchIn(i);
+      if (fibers_[i]->done) remaining--;
+    }
+  }
+
+  running_ = false;
+  tls_scheduler = prev;
+}
+
+bool FiberScheduler::InFiber() { return tls_in_fiber; }
+
+uint32_t FiberScheduler::CurrentFiber() { return tls_current_fiber; }
+
+void FiberScheduler::YieldFiber() {
+  FiberScheduler* sched = tls_scheduler;
+  assert(sched != nullptr && tls_in_fiber);
+#if defined(__x86_64__)
+  Fiber& fiber = *sched->fibers_[tls_current_fiber];
+  RoccFiberSwitch(&fiber.resume_sp, sched->scheduler_sp_);
+#endif
+  // Resumed: restore fiber-local markers (SwitchIn set them already).
+}
+
+bool FiberBarrier::Wait() {
+  arrived_++;
+  if (arrived_ == total_) {
+    completion_nanos_ = NowNanos();
+    return true;
+  }
+  while (arrived_ < total_) CooperativeYield();
+  return false;
+}
+
+}  // namespace rocc

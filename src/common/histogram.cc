@@ -1,0 +1,89 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <limits>
+
+namespace rocc {
+
+// Bucket layout: 4 sub-buckets per power of two. Bucket index for value v is
+// 4*floor(log2(v)) + next-2-bits, clamped to the table. This keeps relative
+// error under ~19% per bucket which is plenty for latency reporting.
+Histogram::Histogram() : buckets_(kNumBuckets, 0) { Reset(); }
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+}
+
+size_t Histogram::BucketFor(uint64_t v) {
+  if (v < 4) return static_cast<size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const uint64_t sub = (v >> (msb - 2)) & 3;  // next two bits below the MSB
+  size_t idx = static_cast<size_t>(msb) * 4 + static_cast<size_t>(sub);
+  return std::min(idx, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketLower(size_t b) {
+  if (b < 4) return b;
+  const size_t msb = b / 4;
+  const uint64_t sub = b % 4;
+  return (1ULL << msb) | (sub << (msb - 2));
+}
+
+void Histogram::Record(uint64_t value_ns) {
+  buckets_[BucketFor(value_ns)]++;
+  count_++;
+  sum_ += value_ns;
+  min_ = std::min(min_, value_ns);
+  max_ = std::max(max_, value_ns);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kNumBuckets; i++) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kNumBuckets; b++) {
+    if (buckets_[b] == 0) continue;
+    const uint64_t next = seen + buckets_[b];
+    if (static_cast<double>(next) >= target) {
+      const uint64_t lo = BucketLower(b);
+      const uint64_t hi = (b + 1 < kNumBuckets) ? BucketLower(b + 1) : max_;
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets_[b]);
+      uint64_t v = lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+      return std::clamp(v, min(), max_);
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1fus p50=%.1fus p99=%.1fus max=%.1fus",
+                static_cast<unsigned long long>(count_), Mean() / 1e3,
+                static_cast<double>(Percentile(50)) / 1e3,
+                static_cast<double>(Percentile(99)) / 1e3,
+                static_cast<double>(max_) / 1e3);
+  return buf;
+}
+
+}  // namespace rocc

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rocc {
+
+/// Log-bucketed latency histogram (nanosecond samples).
+///
+/// Buckets grow geometrically so that the full range from 100ns to minutes is
+/// covered with bounded error; recording is a single increment and histograms
+/// from different worker threads merge exactly.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value_ns);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Value at percentile p in [0, 100]; interpolated within a bucket.
+  uint64_t Percentile(double p) const;
+
+  std::string ToString() const;
+
+  static constexpr size_t kNumBuckets = 160;
+
+ private:
+  static size_t BucketFor(uint64_t v);
+  static uint64_t BucketLower(size_t b);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+};
+
+}  // namespace rocc

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/cacheline.h"
+
+namespace rocc {
+
+/// Test-and-test-and-set spin latch.
+///
+/// Used only for cold paths (catalog mutation, stat merging); transaction
+/// hot paths use per-record TID-word locks and lock-free rings instead.
+class SpinLatch {
+ public:
+  void Lock() {
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) CpuRelax();
+    }
+  }
+
+  bool TryLock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void Unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// RAII guard for SpinLatch.
+class SpinLatchGuard {
+ public:
+  explicit SpinLatchGuard(SpinLatch& latch) : latch_(latch) { latch_.Lock(); }
+  ~SpinLatchGuard() { latch_.Unlock(); }
+  SpinLatchGuard(const SpinLatchGuard&) = delete;
+  SpinLatchGuard& operator=(const SpinLatchGuard&) = delete;
+
+ private:
+  SpinLatch& latch_;
+};
+
+/// Sense-reversing spin barrier used by the experiment runner so all worker
+/// threads start the measured region together.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(uint32_t n) : total_(n) {}
+
+  void Wait() {
+    const bool sense = sense_.load(std::memory_order_relaxed);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == total_) {
+      count_.store(0, std::memory_order_relaxed);
+      sense_.store(!sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) == sense) CpuRelax();
+    }
+  }
+
+ private:
+  const uint32_t total_;
+  std::atomic<uint32_t> count_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace rocc

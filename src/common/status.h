@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rocc {
+
+/// Outcome codes for storage and transaction operations.
+///
+/// Transaction code paths treat `kAborted` as the normal "validation failed,
+/// retry the transaction" signal; everything else except `kOk` indicates a
+/// logic or configuration error.
+enum class Code : uint8_t {
+  kOk = 0,
+  kAborted,          ///< transaction must abort (conflict, lock busy, phantom)
+  kNotFound,         ///< key does not exist
+  kKeyExists,        ///< insert of a duplicate key
+  kInvalidArgument,  ///< caller misuse
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Lightweight status object returned by all fallible operations.
+///
+/// Statuses are cheap to copy: the common `Ok`/`Aborted` paths carry no
+/// message allocation.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  explicit Status(Code code) : code_(code) {}
+  Status(Code code, std::string_view msg) : code_(code), msg_(msg) {}
+
+  static Status Ok() { return Status(); }
+  static Status Aborted() { return Status(Code::kAborted); }
+  static Status Aborted(std::string_view msg) { return Status(Code::kAborted, msg); }
+  static Status NotFound() { return Status(Code::kNotFound); }
+  static Status NotFound(std::string_view msg) { return Status(Code::kNotFound, msg); }
+  static Status KeyExists() { return Status(Code::kKeyExists); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(Code::kResourceExhausted, msg);
+  }
+  static Status Internal(std::string_view msg) { return Status(Code::kInternal, msg); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool aborted() const { return code_ == Code::kAborted; }
+  bool not_found() const { return code_ == Code::kNotFound; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    switch (code_) {
+      case Code::kOk: return "OK";
+      case Code::kAborted: return "Aborted: " + msg_;
+      case Code::kNotFound: return "NotFound: " + msg_;
+      case Code::kKeyExists: return "KeyExists: " + msg_;
+      case Code::kInvalidArgument: return "InvalidArgument: " + msg_;
+      case Code::kResourceExhausted: return "ResourceExhausted: " + msg_;
+      case Code::kInternal: return "Internal: " + msg_;
+    }
+    return "Unknown";
+  }
+
+ private:
+  Code code_;
+  std::string msg_;
+};
+
+/// Propagate a non-OK status to the caller.
+#define ROCC_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::rocc::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+}  // namespace rocc

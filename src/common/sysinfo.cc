@@ -1,0 +1,42 @@
+#include "common/sysinfo.h"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace rocc {
+
+SysInfo SysInfo::Probe() {
+  SysInfo info;
+  info.logical_cores = std::thread::hardware_concurrency();
+  std::ifstream mem("/proc/meminfo");
+  std::string line;
+  while (std::getline(mem, line)) {
+    if (line.rfind("MemTotal:", 0) == 0) {
+      std::stringstream ss(line.substr(9));
+      uint64_t kb = 0;
+      ss >> kb;
+      info.total_memory_bytes = kb * 1024;
+      break;
+    }
+  }
+  std::ifstream cpu("/proc/cpuinfo");
+  while (std::getline(cpu, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      auto colon = line.find(':');
+      if (colon != std::string::npos) info.cpu_model = line.substr(colon + 2);
+      break;
+    }
+  }
+  if (info.cpu_model.empty()) info.cpu_model = "unknown";
+  return info;
+}
+
+std::string SysInfo::ToString() const {
+  std::stringstream ss;
+  ss << "cpu=\"" << cpu_model << "\" logical_cores=" << logical_cores
+     << " memory_gb=" << (static_cast<double>(total_memory_bytes) / (1ull << 30));
+  return ss.str();
+}
+
+}  // namespace rocc

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rocc {
+
+/// Host environment description, printed by every benchmark header to mirror
+/// the paper's Table I.
+struct SysInfo {
+  uint32_t logical_cores = 0;
+  uint64_t total_memory_bytes = 0;
+  std::string cpu_model;
+
+  static SysInfo Probe();
+  std::string ToString() const;
+};
+
+}  // namespace rocc

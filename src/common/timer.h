@@ -1,0 +1,52 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rocc {
+
+/// Monotonic clock in nanoseconds.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Accumulates elapsed wall time into a caller-owned counter on destruction.
+///
+/// The transaction harness uses one accumulator per execution phase
+/// (read/write, validation, abort) to reproduce the Fig. 1 breakdown.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(uint64_t* sink) : sink_(sink), start_(NowNanos()) {}
+  ~ScopedTimer() {
+    if (sink_ != nullptr) *sink_ += NowNanos() - start_;
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Stop early and credit the elapsed time now.
+  void Stop() {
+    if (sink_ != nullptr) *sink_ += NowNanos() - start_;
+    sink_ = nullptr;
+  }
+
+ private:
+  uint64_t* sink_;
+  uint64_t start_;
+};
+
+/// Simple stopwatch for benchmark driver loops.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowNanos()) {}
+  void Restart() { start_ = NowNanos(); }
+  uint64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNanos()) * 1e-9; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace rocc

@@ -1,0 +1,67 @@
+#include "common/zipfian.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+namespace rocc {
+namespace {
+
+// zeta(n, theta) is O(n); memoise it so sweeping benchmarks that rebuild
+// generators for every configuration do not recompute the 10M-term sum.
+std::mutex g_zeta_mu;
+std::map<std::pair<uint64_t, double>, double> g_zeta_cache;
+
+}  // namespace
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  {
+    std::lock_guard<std::mutex> lk(g_zeta_mu);
+    auto it = g_zeta_cache.find({n, theta});
+    if (it != g_zeta_cache.end()) return it->second;
+  }
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; i++) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  {
+    std::lock_guard<std::mutex> lk(g_zeta_mu);
+    g_zeta_cache[{n, theta}] = sum;
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, bool scramble)
+    : n_(n), theta_(theta), scramble_(scramble), uniform_(theta <= 0.0) {
+  if (uniform_ || n_ == 0) return;
+  alpha_ = 1.0 / (1.0 - theta_);
+  zetan_ = Zeta(n_, theta_);
+  zeta2theta_ = Zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next(Rng& rng) const {
+  if (n_ == 0) return 0;
+  uint64_t draw;
+  if (uniform_) {
+    draw = rng.Uniform(n_);
+  } else {
+    const double u = rng.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+      draw = 0;
+    } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+      draw = 1;
+    } else {
+      draw = static_cast<uint64_t>(static_cast<double>(n_) *
+                                   std::pow(eta_ * u - eta_ + 1.0, alpha_));
+      if (draw >= n_) draw = n_ - 1;
+    }
+  }
+  if (scramble_) {
+    uint64_t st = draw;
+    draw = SplitMix64(st) % n_;
+  }
+  return draw;
+}
+
+}  // namespace rocc

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace rocc {
+
+/// Zipfian-distributed key generator in the style of the YCSB core workload
+/// generator (Gray et al., "Quickly generating billion-record synthetic
+/// databases").
+///
+/// `theta` is the Zipfian skew constant used throughout the paper:
+///   no-skew = uniform, low-skew theta=0.7, medium theta=0.88, high theta=1.04.
+/// A theta of exactly 0 degrades gracefully to uniform.
+///
+/// The zeta normalisation constant is computed once per (n, theta) pair and
+/// shared; drawing a sample is O(1).
+class ZipfianGenerator {
+ public:
+  /// \param n      size of the key space; draws are in [0, n)
+  /// \param theta  Zipfian constant (0 => uniform)
+  /// \param scramble  if true, draws are scrambled with a 64-bit hash so that
+  ///                  hot keys are spread across the key space (YCSB
+  ///                  "scrambled zipfian"); the paper's hybrid workload uses
+  ///                  unscrambled draws so range scans hit hot ranges.
+  ZipfianGenerator(uint64_t n, double theta, bool scramble = false);
+
+  /// Draw one sample using the caller's RNG.
+  uint64_t Next(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  bool scramble_;
+  bool uniform_;
+  double alpha_ = 0;
+  double zetan_ = 0;
+  double eta_ = 0;
+  double zeta2theta_ = 0;
+};
+
+}  // namespace rocc

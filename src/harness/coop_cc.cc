@@ -1,0 +1,84 @@
+#include "harness/coop_cc.h"
+
+#include "common/fiber.h"
+#include "txn/epoch.h"
+
+namespace rocc {
+
+namespace {
+
+/// Wraps a consumer and yields every N delivered records. Scans hold no
+/// record locks during the read phase, so yielding here is always safe.
+class YieldingConsumer : public ScanConsumer {
+ public:
+  YieldingConsumer(ScanConsumer* inner, uint32_t every) : inner_(inner), every_(every) {}
+
+  bool OnRecord(uint64_t key, const char* payload) override {
+    if (++count_ >= every_) {
+      count_ = 0;
+      CooperativeYield();
+    }
+    return inner_ == nullptr || inner_->OnRecord(key, payload);
+  }
+
+ private:
+  ScanConsumer* inner_;
+  uint32_t every_;
+  uint32_t count_ = 0;
+};
+
+}  // namespace
+
+CoopYieldCc::CoopYieldCc(std::unique_ptr<ConcurrencyControl> inner,
+                         uint32_t ops_per_yield, uint32_t records_per_yield)
+    : owned_(std::move(inner)),
+      target_(owned_.get()),
+      ops_per_yield_(ops_per_yield == 0 ? 1 : ops_per_yield),
+      records_per_yield_(records_per_yield == 0 ? 1 : records_per_yield),
+      op_counts_(EpochManager::kMaxThreads) {}
+
+CoopYieldCc::CoopYieldCc(ConcurrencyControl* inner, uint32_t ops_per_yield,
+                         uint32_t records_per_yield)
+    : target_(inner),
+      ops_per_yield_(ops_per_yield == 0 ? 1 : ops_per_yield),
+      records_per_yield_(records_per_yield == 0 ? 1 : records_per_yield),
+      op_counts_(EpochManager::kMaxThreads) {}
+
+void CoopYieldCc::MaybeYield(uint32_t thread_id) {
+  uint32_t& count = *op_counts_[thread_id];
+  if (++count >= ops_per_yield_) {
+    count = 0;
+    std::this_thread::yield();
+  }
+}
+
+Status CoopYieldCc::Read(TxnDescriptor* t, uint32_t table_id, uint64_t key,
+                         void* out) {
+  MaybeYield(t->thread_id);
+  return target_->Read(t, table_id, key, out);
+}
+
+Status CoopYieldCc::Update(TxnDescriptor* t, uint32_t table_id, uint64_t key,
+                           const void* data, uint32_t size, uint32_t field_offset) {
+  MaybeYield(t->thread_id);
+  return target_->Update(t, table_id, key, data, size, field_offset);
+}
+
+Status CoopYieldCc::Insert(TxnDescriptor* t, uint32_t table_id, uint64_t key,
+                           const void* payload) {
+  MaybeYield(t->thread_id);
+  return target_->Insert(t, table_id, key, payload);
+}
+
+Status CoopYieldCc::Remove(TxnDescriptor* t, uint32_t table_id, uint64_t key) {
+  MaybeYield(t->thread_id);
+  return target_->Remove(t, table_id, key);
+}
+
+Status CoopYieldCc::Scan(TxnDescriptor* t, uint32_t table_id, uint64_t start_key,
+                         uint64_t end_key, uint64_t limit, ScanConsumer* consumer) {
+  YieldingConsumer wrapper(consumer, records_per_yield_);
+  return target_->Scan(t, table_id, start_key, end_key, limit, &wrapper);
+}
+
+}  // namespace rocc

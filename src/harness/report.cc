@@ -1,0 +1,82 @@
+#include "harness/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/sysinfo.h"
+
+namespace rocc {
+
+ReportTable::ReportTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ReportTable::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string ReportTable::Fmt(uint64_t v) { return std::to_string(v); }
+
+std::string ReportTable::ToText() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); c++) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); c++) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); c++) {
+      out << "  ";
+      out << cells[c];
+      for (size_t pad = cells[c].size(); pad < widths[c]; pad++) out << ' ';
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  std::string rule;
+  for (size_t c = 0; c < headers_.size(); c++) rule += "  " + std::string(widths[c], '-');
+  out << rule << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string ReportTable::ToCsv() const {
+  std::ostringstream out;
+  for (size_t c = 0; c < headers_.size(); c++) {
+    out << headers_[c] << (c + 1 < headers_.size() ? "," : "\n");
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); c++) {
+      out << row[c] << (c + 1 < row.size() ? "," : "\n");
+    }
+  }
+  return out.str();
+}
+
+void ReportTable::Print(bool csv) const {
+  std::fputs(ToText().c_str(), stdout);
+  if (csv) {
+    std::fputs("\n[csv]\n", stdout);
+    std::fputs(ToCsv().c_str(), stdout);
+  }
+  std::fflush(stdout);
+}
+
+void PrintBanner(const std::string& title, const std::string& params) {
+  const SysInfo info = SysInfo::Probe();
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("environment: %s\n", info.ToString().c_str());
+  if (!params.empty()) std::printf("parameters : %s\n", params.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace rocc

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rocc {
+
+/// Aligned text table + CSV emitter used by the figure benchmarks so every
+/// experiment prints the same rows the paper plots.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Render as an aligned text table.
+  std::string ToText() const;
+  /// Render as CSV (headers + rows).
+  std::string ToCsv() const;
+
+  /// Print both the text table and, when `csv` is true, the CSV block.
+  void Print(bool csv = false) const;
+
+  static std::string Fmt(double v, int precision = 2);
+  static std::string Fmt(uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print the standard benchmark banner: title, environment (paper Table I),
+/// and the parameter line.
+void PrintBanner(const std::string& title, const std::string& params);
+
+}  // namespace rocc

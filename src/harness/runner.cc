@@ -1,0 +1,158 @@
+#include "harness/runner.h"
+
+#include <thread>
+#include <vector>
+
+#include "cc/hyper_gwv.h"
+#include "cc/mvrcc.h"
+#include "cc/silo_lrv.h"
+#include "cc/two_phase_locking.h"
+#include "common/fiber.h"
+#include "common/latch.h"
+#include "harness/coop_cc.h"
+#include "common/timer.h"
+#include "core/rocc.h"
+
+namespace rocc {
+
+namespace {
+
+/// All workers as fibers on one OS thread, interleaved at operation
+/// granularity through CoopYieldCc (see common/fiber.h for why).
+RunResult RunFiberExperiment(ConcurrencyControl* cc, Workload* workload,
+                             const RunOptions& options) {
+  const uint32_t n = options.num_threads;
+  std::vector<TxnStats> warm_stats(n);
+  std::vector<TxnStats> stats(n);
+  CoopYieldCc coop(cc);  // non-owning: yield points around every operation
+  // Make validation work visible as exposure time (see SetValidationPacing):
+  // roughly one yield per "operation's worth" of validation.
+  cc->SetValidationPacing(options.validation_pacing);
+
+  FiberScheduler scheduler;
+  FiberBarrier loaded(n), warmed(n), measure_start(n), measure_end(n);
+  for (uint32_t tid = 0; tid < n; tid++) {
+    scheduler.Spawn([&, tid] {
+      Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + tid + 1);
+      cc->AttachThread(tid, &warm_stats[tid]);
+      loaded.Wait();
+      for (uint64_t i = 0; i < options.warmup_txns_per_thread; i++) {
+        workload->RunTxn(&coop, tid, rng);
+      }
+      warmed.Wait();
+      cc->AttachThread(tid, &stats[tid]);
+      measure_start.Wait();
+      for (uint64_t i = 0; i < options.txns_per_thread; i++) {
+        workload->RunTxn(&coop, tid, rng);
+      }
+      measure_end.Wait();
+    });
+  }
+  scheduler.Run();
+
+  RunResult result;
+  result.seconds = static_cast<double>(measure_end.completion_nanos() -
+                                       measure_start.completion_nanos()) *
+                   1e-9;
+  result.total_txns = static_cast<uint64_t>(n) * options.txns_per_thread;
+  for (const TxnStats& s : stats) result.stats.Merge(s);
+  return result;
+}
+
+RunResult RunThreadExperiment(ConcurrencyControl* cc, Workload* workload,
+                              const RunOptions& options) {
+  const uint32_t n = options.num_threads;
+  std::vector<TxnStats> warm_stats(n);
+  std::vector<TxnStats> stats(n);
+  SpinBarrier barrier(n + 1);  // workers + the coordinating thread
+
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (uint32_t tid = 0; tid < n; tid++) {
+    workers.emplace_back([&, tid] {
+      Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + tid + 1);
+      cc->AttachThread(tid, &warm_stats[tid]);
+      barrier.Wait();  // (1) everyone loaded
+      for (uint64_t i = 0; i < options.warmup_txns_per_thread; i++) {
+        workload->RunTxn(cc, tid, rng);
+      }
+      barrier.Wait();  // (2) warmup done
+      cc->AttachThread(tid, &stats[tid]);
+      barrier.Wait();  // (3) measured region starts
+      for (uint64_t i = 0; i < options.txns_per_thread; i++) {
+        workload->RunTxn(cc, tid, rng);
+      }
+      barrier.Wait();  // (4) measured region ends
+    });
+  }
+
+  barrier.Wait();  // (1)
+  barrier.Wait();  // (2)
+  Stopwatch watch;
+  barrier.Wait();  // (3)
+  watch.Restart();
+  barrier.Wait();  // (4)
+  const double seconds = watch.ElapsedSeconds();
+
+  for (auto& w : workers) w.join();
+
+  RunResult result;
+  result.seconds = seconds;
+  result.total_txns = static_cast<uint64_t>(n) * options.txns_per_thread;
+  for (const TxnStats& s : stats) result.stats.Merge(s);
+  return result;
+}
+
+}  // namespace
+
+RunResult RunExperiment(ConcurrencyControl* cc, Workload* workload,
+                        const RunOptions& options) {
+  bool fibers;
+  switch (options.mode) {
+    case ExecMode::kThreads:
+      fibers = false;
+      break;
+    case ExecMode::kFibers:
+      fibers = true;
+      break;
+    case ExecMode::kAuto:
+    default:
+      // Workers beyond the host's real parallelism would be timesliced at
+      // millisecond granularity; simulate fine-grained interleaving instead.
+      fibers = options.num_threads > std::thread::hardware_concurrency();
+      break;
+  }
+  return fibers ? RunFiberExperiment(cc, workload, options)
+                : RunThreadExperiment(cc, workload, options);
+}
+
+std::unique_ptr<ConcurrencyControl> CreateProtocol(
+    const std::string& name, Database* db, const Workload& workload,
+    uint32_t num_threads, uint32_t ranges_hint, uint32_t ring_capacity,
+    bool rocc_register_writes) {
+  if (name == "lrv" || name == "LRV" || name == "silo") {
+    return std::make_unique<SiloLrv>(db, num_threads);
+  }
+  if (name == "gwv" || name == "GWV" || name == "hyper") {
+    GwvOptions opts;
+    opts.global_ring_capacity = std::max<uint32_t>(ring_capacity, 1u << 16);
+    return std::make_unique<HyperGwv>(db, num_threads, opts);
+  }
+  if (name == "mvrcc" || name == "MVRCC") {
+    RoccOptions opts;
+    opts.tables = workload.RangeConfigs(ranges_hint, ring_capacity);
+    opts.default_ring_capacity = ring_capacity;
+    return std::make_unique<Mvrcc>(db, num_threads, std::move(opts));
+  }
+  if (name == "2pl" || name == "tpl") {
+    return std::make_unique<TplNoWait>(db, num_threads);
+  }
+  // Default: the paper's contribution.
+  RoccOptions opts;
+  opts.tables = workload.RangeConfigs(ranges_hint, ring_capacity);
+  opts.default_ring_capacity = ring_capacity;
+  opts.register_writes = rocc_register_writes;
+  return std::make_unique<Rocc>(db, num_threads, std::move(opts));
+}
+
+}  // namespace rocc

@@ -1,0 +1,4 @@
+#include "harness/stats.h"
+
+// TxnStats is header-only; this translation unit anchors the header in the
+// library build.

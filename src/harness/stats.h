@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/cacheline.h"
+#include "common/histogram.h"
+
+namespace rocc {
+
+/// Per-thread execution statistics.
+///
+/// Counters mirror the measurements the paper reports:
+///  - commits/aborts                        -> throughput, abort rate
+///  - read_write_ns / validation_ns /
+///    abort_ns                              -> Fig. 1 phase breakdown
+///  - validated_records                     -> LRV cost (records re-read)
+///  - validated_txns                        -> GWV/RV cost (overlapping txns
+///                                             examined; Fig. 7(c), 9(b))
+///  - registrations                         -> ROCC overhead analysis (Fig. 12)
+///
+/// Each worker thread owns one instance (cache-line padded); the runner
+/// merges them after the measured region.
+struct TxnStats {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t scan_txn_commits = 0;
+  uint64_t scan_txn_aborts = 0;
+
+  uint64_t read_write_ns = 0;   ///< read phase + write phase of committed txns
+  uint64_t validation_ns = 0;   ///< lock + register + validate of committed txns
+  uint64_t abort_ns = 0;        ///< total time of aborted attempts
+
+  uint64_t validated_records = 0;  ///< record-level checks incl. LRV re-reads
+  uint64_t validated_txns = 0;     ///< overlapping txns examined (GWV/RV/MVRCC)
+  uint64_t registrations = 0;      ///< range-list registrations performed
+  uint64_t scanned_records = 0;    ///< records returned by scan operators
+
+  // Abort causes (one per aborted attempt, diagnostic).
+  uint64_t abort_dirty_read = 0;       ///< read/scan hit a locked record
+  uint64_t abort_lock_fail = 0;        ///< writeset lock not acquired
+  uint64_t abort_read_validation = 0;  ///< readset version changed
+  uint64_t abort_scan_conflict = 0;    ///< predicate / re-scan found a writer
+  uint64_t abort_ring_lost = 0;        ///< ring wrapped or slot overwritten
+  uint64_t abort_unresolved = 0;       ///< writer commit ts unresolved in time
+
+  Histogram latency_all;   ///< committed transaction latency
+  Histogram latency_scan;  ///< committed bulk/scan transaction latency
+
+  void Merge(const TxnStats& o) {
+    commits += o.commits;
+    aborts += o.aborts;
+    scan_txn_commits += o.scan_txn_commits;
+    scan_txn_aborts += o.scan_txn_aborts;
+    read_write_ns += o.read_write_ns;
+    validation_ns += o.validation_ns;
+    abort_ns += o.abort_ns;
+    validated_records += o.validated_records;
+    validated_txns += o.validated_txns;
+    registrations += o.registrations;
+    scanned_records += o.scanned_records;
+    abort_dirty_read += o.abort_dirty_read;
+    abort_lock_fail += o.abort_lock_fail;
+    abort_read_validation += o.abort_read_validation;
+    abort_scan_conflict += o.abort_scan_conflict;
+    abort_ring_lost += o.abort_ring_lost;
+    abort_unresolved += o.abort_unresolved;
+    latency_all.Merge(o.latency_all);
+    latency_scan.Merge(o.latency_scan);
+  }
+
+  void Reset() {
+    *this = TxnStats{};
+  }
+
+  double AbortRate() const {
+    const uint64_t total = commits + aborts;
+    return total == 0 ? 0.0 : static_cast<double>(aborts) / static_cast<double>(total);
+  }
+
+  double ScanAbortRate() const {
+    const uint64_t total = scan_txn_commits + scan_txn_aborts;
+    return total == 0 ? 0.0
+                      : static_cast<double>(scan_txn_aborts) / static_cast<double>(total);
+  }
+};
+
+}  // namespace rocc

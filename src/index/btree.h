@@ -1,0 +1,126 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "index/index.h"
+
+namespace rocc {
+
+namespace btree_detail {
+
+constexpr int kInnerMax = 64;  ///< max keys per inner node
+constexpr int kLeafMax = 64;   ///< max entries per leaf
+
+/// Node header with an optimistic version latch (Leis et al., "The ART of
+/// Practical Synchronization"). Bit 0 is the write-lock bit; versions are
+/// even when unlocked and bumped by 2 on every unlock so optimistic readers
+/// detect concurrent modification and restart.
+struct Node {
+  std::atomic<uint64_t> version{0};
+  bool is_leaf = false;
+  uint16_t count = 0;
+
+  static constexpr uint64_t kLockedBit = 1;
+
+  /// Returns a stable (unlocked) version snapshot, spinning past writers.
+  uint64_t StableVersion() const {
+    uint64_t v = version.load(std::memory_order_acquire);
+    while (v & kLockedBit) {
+      v = version.load(std::memory_order_acquire);
+    }
+    return v;
+  }
+
+  bool Validate(uint64_t expected) const {
+    return version.load(std::memory_order_acquire) == expected;
+  }
+
+  bool TryUpgradeLock(uint64_t expected) {
+    return version.compare_exchange_strong(expected, expected | kLockedBit,
+                                           std::memory_order_acq_rel);
+  }
+
+  void WriteLock() {
+    while (true) {
+      uint64_t v = StableVersion();
+      if (TryUpgradeLock(v)) return;
+    }
+  }
+
+  /// Clears the lock bit and advances the version counter in one store:
+  /// locked version is (v | 1) with v even, so adding 1 yields v + 2.
+  void WriteUnlock() { version.fetch_add(1, std::memory_order_release); }
+};
+
+struct Inner : Node {
+  uint64_t keys[kInnerMax];
+  Node* children[kInnerMax + 1];
+
+  Inner() { is_leaf = false; }
+  /// Child index to descend into for `key` (first i with key < keys[i]).
+  int ChildIndex(uint64_t key) const;
+};
+
+struct Leaf : Node {
+  uint64_t keys[kLeafMax];
+  Row* vals[kLeafMax];
+  std::atomic<Leaf*> next{nullptr};
+
+  Leaf() { is_leaf = true; }
+  /// First slot with keys[slot] >= key (== count when all keys are smaller).
+  int LowerBound(uint64_t key) const;
+};
+
+}  // namespace btree_detail
+
+/// Concurrent B+Tree with optimistic lock coupling.
+///
+/// - Point reads and range scans are latch-free: they validate node versions
+///   and restart on interference.
+/// - Writers lock only the nodes they modify; full nodes on the root-to-leaf
+///   path are split eagerly while holding the parent lock, so an insert never
+///   propagates splits upward after the fact.
+/// - Deletion removes the key from its leaf without rebalancing (lazy
+///   deletion): under-full leaves remain valid and scans skip them naturally.
+///
+/// The tree stores `Row*` values and never inspects row contents, so the
+/// concurrency-control layer is free to treat rows as versioned records.
+class BTree final : public OrderedIndex {
+ public:
+  BTree();
+  ~BTree() override;
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  Status Insert(uint64_t key, Row* row) override;
+  Row* Get(uint64_t key) const override;
+  Status Remove(uint64_t key) override;
+  void ScanFrom(uint64_t start_key, const ScanVisitor& visit) const override;
+  void ScanRange(uint64_t start_key, uint64_t end_key,
+                 const ScanVisitor& visit) const override;
+  uint64_t Size() const override { return size_.load(std::memory_order_relaxed); }
+
+  /// Structural invariant check used by tests: in-node key ordering,
+  /// separator bounds, uniform leaf depth, and leaf-chain ordering.
+  bool CheckInvariants() const;
+
+  int Height() const;
+
+ private:
+  void ScanImpl(uint64_t start_key, uint64_t end_key, bool bounded,
+                const ScanVisitor& visit) const;
+  void SplitInner(btree_detail::Inner* parent, btree_detail::Inner* node);
+  void SplitLeaf(btree_detail::Inner* parent, btree_detail::Leaf* leaf);
+  void InsertIntoParentLocked(btree_detail::Inner* parent, uint64_t sep,
+                              btree_detail::Node* left, btree_detail::Node* right);
+  void FreeRecursive(btree_detail::Node* node);
+  bool CheckNode(const btree_detail::Node* node, uint64_t lo, bool has_hi, uint64_t hi,
+                 int depth, int leaf_depth) const;
+
+  std::atomic<btree_detail::Node*> root_;
+  std::atomic<uint64_t> size_{0};
+};
+
+}  // namespace rocc

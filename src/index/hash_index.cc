@@ -1,0 +1,82 @@
+#include "index/hash_index.h"
+
+#include <bit>
+#include <cstdlib>
+
+namespace rocc {
+
+HashIndex::HashIndex(uint64_t expected_entries) {
+  uint64_t cap = std::bit_ceil(expected_entries * 2 + 16);
+  capacity_ = cap;
+  mask_ = cap - 1;
+  slots_ = static_cast<Slot*>(std::calloc(cap, sizeof(Slot)));
+  for (uint64_t i = 0; i < cap; i++) {
+    slots_[i].key.store(kEmpty, std::memory_order_relaxed);
+    slots_[i].row.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+HashIndex::~HashIndex() { std::free(slots_); }
+
+uint64_t HashIndex::Hash(uint64_t key) const {
+  // Fibonacci hashing with an extra xor-shift mix.
+  uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 32;
+  return h & mask_;
+}
+
+Status HashIndex::Insert(uint64_t key, Row* row) {
+  uint64_t idx = Hash(key);
+  for (uint64_t probes = 0; probes < capacity_; probes++, idx = (idx + 1) & mask_) {
+    uint64_t cur = slots_[idx].key.load(std::memory_order_acquire);
+    if (cur == key) return Status::KeyExists();
+    if (cur == kEmpty || cur == kTombstone) {
+      if (slots_[idx].key.compare_exchange_strong(cur, key,
+                                                  std::memory_order_acq_rel)) {
+        slots_[idx].row.store(row, std::memory_order_release);
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Ok();
+      }
+      // Lost the race for this slot; re-examine it (it may now hold `key`).
+      if (slots_[idx].key.load(std::memory_order_acquire) == key) {
+        return Status::KeyExists();
+      }
+    }
+  }
+  return Status::ResourceExhausted("hash index full");
+}
+
+Row* HashIndex::Get(uint64_t key) const {
+  uint64_t idx = Hash(key);
+  for (uint64_t probes = 0; probes < capacity_; probes++, idx = (idx + 1) & mask_) {
+    const uint64_t cur = slots_[idx].key.load(std::memory_order_acquire);
+    if (cur == key) {
+      // The row pointer is published after the key; spin the brief window.
+      Row* r = slots_[idx].row.load(std::memory_order_acquire);
+      while (r == nullptr) r = slots_[idx].row.load(std::memory_order_acquire);
+      return r;
+    }
+    if (cur == kEmpty) return nullptr;
+  }
+  return nullptr;
+}
+
+Status HashIndex::Remove(uint64_t key) {
+  uint64_t idx = Hash(key);
+  for (uint64_t probes = 0; probes < capacity_; probes++, idx = (idx + 1) & mask_) {
+    uint64_t cur = slots_[idx].key.load(std::memory_order_acquire);
+    if (cur == key) {
+      if (slots_[idx].key.compare_exchange_strong(cur, kTombstone,
+                                                  std::memory_order_acq_rel)) {
+        slots_[idx].row.store(nullptr, std::memory_order_release);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return Status::Ok();
+      }
+      return Status::NotFound();
+    }
+    if (cur == kEmpty) return Status::NotFound();
+  }
+  return Status::NotFound();
+}
+
+}  // namespace rocc

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "storage/row.h"
+
+namespace rocc {
+
+/// Fixed-capacity concurrent hash index (open addressing, linear probing).
+///
+/// Used for pure point-access paths where key order is irrelevant. The
+/// capacity is fixed at creation (2x the expected row count, rounded up to a
+/// power of two) — the paper's workloads preload tables and insert rarely, so
+/// a non-resizing table with atomic claim-then-publish slots is both simple
+/// and fast. Removal uses tombstones.
+class HashIndex {
+ public:
+  explicit HashIndex(uint64_t expected_entries);
+  ~HashIndex();
+
+  HashIndex(const HashIndex&) = delete;
+  HashIndex& operator=(const HashIndex&) = delete;
+
+  Status Insert(uint64_t key, Row* row);
+  Row* Get(uint64_t key) const;
+  Status Remove(uint64_t key);
+  uint64_t Size() const { return size_.load(std::memory_order_relaxed); }
+  uint64_t Capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> key;
+    std::atomic<Row*> row;
+  };
+
+  static constexpr uint64_t kEmpty = ~0ULL;
+  static constexpr uint64_t kTombstone = ~0ULL - 1;
+
+  uint64_t Hash(uint64_t key) const;
+
+  uint64_t capacity_;
+  uint64_t mask_;
+  Slot* slots_;
+  std::atomic<uint64_t> size_{0};
+};
+
+}  // namespace rocc

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "storage/row.h"
+
+namespace rocc {
+
+/// Visitor for range scans. Return false to stop the scan early.
+using ScanVisitor = std::function<bool(uint64_t key, Row* row)>;
+
+/// Ordered secondary structure mapping uint64 keys to row pointers.
+///
+/// All workload access paths (point get, insert, delete, forward range scan)
+/// go through this interface, so concurrency-control protocols are agnostic
+/// to the concrete index.
+class OrderedIndex {
+ public:
+  virtual ~OrderedIndex() = default;
+
+  /// Insert key -> row. Fails with KeyExists on duplicates.
+  virtual Status Insert(uint64_t key, Row* row) = 0;
+
+  /// Exact-match lookup; nullptr when the key is not present.
+  virtual Row* Get(uint64_t key) const = 0;
+
+  /// Remove the key. Fails with NotFound if absent.
+  virtual Status Remove(uint64_t key) = 0;
+
+  /// Visit entries with key >= start_key in ascending order until the visitor
+  /// returns false or the index is exhausted.
+  virtual void ScanFrom(uint64_t start_key, const ScanVisitor& visit) const = 0;
+
+  /// Visit entries with start_key <= key < end_key in ascending order.
+  virtual void ScanRange(uint64_t start_key, uint64_t end_key,
+                         const ScanVisitor& visit) const = 0;
+
+  virtual uint64_t Size() const = 0;
+};
+
+}  // namespace rocc

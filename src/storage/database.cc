@@ -1,0 +1,26 @@
+#include "storage/database.h"
+
+#include "index/btree.h"
+
+namespace rocc {
+
+uint32_t Database::CreateTable(const std::string& name, Schema schema) {
+  const uint32_t id = static_cast<uint32_t>(tables_.size());
+  tables_.push_back(std::make_unique<Table>(id, name, std::move(schema)));
+  indexes_.push_back(std::make_unique<BTree>());
+  by_name_[name] = id;
+  return id;
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : tables_[it->second].get();
+}
+
+Row* Database::LoadRow(uint32_t table_id, uint64_t key, const void* payload) {
+  Row* row = tables_[table_id]->CreateRow(key, payload);
+  indexes_[table_id]->Insert(key, row);
+  return row;
+}
+
+}  // namespace rocc

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/index.h"
+#include "storage/table.h"
+
+namespace rocc {
+
+/// Container for tables and their primary ordered indexes.
+///
+/// Schema definition happens single-threaded before any transaction runs
+/// (the standard DBx1000-style setup), so catalog mutation needs no latching.
+class Database {
+ public:
+  Database() = default;
+
+  /// Create a table and its primary B+Tree index; returns the table id.
+  uint32_t CreateTable(const std::string& name, Schema schema);
+
+  Table* GetTable(uint32_t table_id) { return tables_[table_id].get(); }
+  const Table* GetTable(uint32_t table_id) const { return tables_[table_id].get(); }
+  Table* GetTable(const std::string& name);
+
+  OrderedIndex* GetIndex(uint32_t table_id) { return indexes_[table_id].get(); }
+  const OrderedIndex* GetIndex(uint32_t table_id) const {
+    return indexes_[table_id].get();
+  }
+
+  size_t NumTables() const { return tables_.size(); }
+
+  /// Bulk-load helper: create a visible row and index it.
+  Row* LoadRow(uint32_t table_id, uint64_t key, const void* payload);
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::vector<std::unique_ptr<OrderedIndex>> indexes_;
+  std::map<std::string, uint32_t> by_name_;
+};
+
+}  // namespace rocc

@@ -1,0 +1,21 @@
+#include "storage/schema.h"
+
+namespace rocc {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  uint32_t off = 0;
+  for (auto& c : columns_) {
+    c.offset = off;
+    off += c.size;
+  }
+  row_size_ = off;
+}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); i++) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace rocc

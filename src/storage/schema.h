@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rocc {
+
+/// A fixed-size column in a row layout.
+struct Column {
+  std::string name;
+  uint32_t size = 0;    ///< bytes
+  uint32_t offset = 0;  ///< byte offset within the row payload, filled by Schema
+};
+
+/// Fixed-size row layout.
+///
+/// All workloads in the paper (YCSB, modified TPC-C) use fixed-size tuples;
+/// the engine stores the payload inline after the row header so a record is
+/// one contiguous allocation.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  /// Look up a column index by name; returns -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  uint32_t ColumnOffset(size_t idx) const { return columns_[idx].offset; }
+  uint32_t ColumnSize(size_t idx) const { return columns_[idx].size; }
+  size_t NumColumns() const { return columns_.size(); }
+  uint32_t row_size() const { return row_size_; }
+
+  const std::vector<Column>& columns() const { return columns_; }
+
+ private:
+  std::vector<Column> columns_;
+  uint32_t row_size_ = 0;
+};
+
+}  // namespace rocc

@@ -1,0 +1,30 @@
+#include "storage/table.h"
+
+#include <cstring>
+
+namespace rocc {
+
+Table::Table(uint32_t id, std::string name, Schema schema)
+    : id_(id), name_(std::move(name)), schema_(std::move(schema)), arena_(1 << 22) {}
+
+Row* Table::CreateRow(uint64_t key, const void* payload) {
+  void* mem = arena_.AllocateConcurrent(Row::AllocSize(row_size()), 8);
+  Row* r = Row::Init(mem, id_, key, row_size(), /*visible=*/true);
+  if (payload != nullptr) {
+    std::memcpy(r->Data(), payload, row_size());
+  } else {
+    std::memset(r->Data(), 0, row_size());
+  }
+  row_count_.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+Row* Table::CreatePlaceholderRow(uint64_t key) {
+  void* mem = arena_.AllocateConcurrent(Row::AllocSize(row_size()), 8);
+  Row* r = Row::Init(mem, id_, key, row_size(), /*visible=*/false);
+  std::memset(r->Data(), 0, row_size());
+  row_count_.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+}  // namespace rocc

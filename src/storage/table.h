@@ -1,0 +1,46 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/arena.h"
+#include "storage/row.h"
+#include "storage/schema.h"
+
+namespace rocc {
+
+/// A heap of fixed-size rows with a schema.
+///
+/// The table owns row storage (via an arena); ordered/hash indexes reference
+/// rows by pointer. There is no clustering: access paths always go through an
+/// index, matching the paper's assumption that "all retrievals/updates are
+/// via index key".
+class Table {
+ public:
+  Table(uint32_t id, std::string name, Schema schema);
+
+  /// Allocate and initialise a visible row (bulk-load path, single version).
+  Row* CreateRow(uint64_t key, const void* payload);
+
+  /// Allocate an invisible, locked placeholder row for a transactional
+  /// insert. It becomes visible when the inserting transaction commits and
+  /// publishes its commit timestamp.
+  Row* CreatePlaceholderRow(uint64_t key);
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  uint32_t row_size() const { return schema_.row_size(); }
+  uint64_t row_count() const { return row_count_.load(std::memory_order_relaxed); }
+
+ private:
+  const uint32_t id_;
+  const std::string name_;
+  const Schema schema_;
+  Arena arena_;
+  std::atomic<uint64_t> row_count_{0};
+};
+
+}  // namespace rocc

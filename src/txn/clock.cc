@@ -1,0 +1,4 @@
+#include "txn/clock.h"
+
+// GlobalClock is header-only; this translation unit anchors the header in the
+// library so missing-include errors surface at library build time.

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/cacheline.h"
+
+namespace rocc {
+
+/// Global commit-timestamp generator.
+///
+/// Both GWV (HyPer-style) and ROCC serialize transactions by commit
+/// timestamps drawn from one global counter (paper §II-B). Versions loaded
+/// into the database at bulk-load time use timestamp 1, so the counter starts
+/// at 1 and the first transactional commit gets 2.
+class GlobalClock {
+ public:
+  /// Timestamp assigned to bulk-loaded row versions.
+  static constexpr uint64_t kInitialVersion = 1;
+
+  /// Draw the next commit timestamp (strictly increasing, > kInitialVersion).
+  uint64_t Next() { return counter_->fetch_add(1, std::memory_order_acq_rel) + 1; }
+
+  /// Read the latest issued timestamp without advancing (start timestamps).
+  uint64_t Current() const { return counter_->load(std::memory_order_acquire); }
+
+ private:
+  CachePadded<std::atomic<uint64_t>> counter_{{kInitialVersion}};
+};
+
+}  // namespace rocc

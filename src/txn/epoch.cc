@@ -1,0 +1,30 @@
+#include "txn/epoch.h"
+
+namespace rocc {
+
+EpochManager::EpochManager(uint32_t num_threads)
+    : num_threads_(num_threads), locals_(num_threads) {
+  for (auto& l : locals_) l->store(kIdle, std::memory_order_relaxed);
+}
+
+uint64_t EpochManager::MinActive() const {
+  uint64_t min_epoch = kIdle;
+  for (uint32_t i = 0; i < num_threads_; i++) {
+    const uint64_t e = locals_[i]->load(std::memory_order_acquire);
+    if (e < min_epoch) min_epoch = e;
+  }
+  return min_epoch == kIdle ? Current() : min_epoch;
+}
+
+void EpochManager::TryAdvance() {
+  const uint64_t g = global_.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < num_threads_; i++) {
+    const uint64_t e = locals_[i]->load(std::memory_order_acquire);
+    if (e != kIdle && e < g) return;  // a straggler is still in an older epoch
+  }
+  // Several threads may race here; at most one CAS succeeds per epoch value.
+  uint64_t expected = g;
+  global_.compare_exchange_strong(expected, g + 1, std::memory_order_acq_rel);
+}
+
+}  // namespace rocc

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/cacheline.h"
+
+namespace rocc {
+
+/// Epoch-based reclamation at transaction granularity.
+///
+/// Transaction descriptors stay reachable through range-list ring slots after
+/// their transaction finishes: a validator whose predicate window contains a
+/// registration may dereference the registering descriptor. The window
+/// argument (DESIGN.md §6) shows such a validator's transaction was active
+/// when the descriptor's transaction ended, so a descriptor retired at epoch
+/// `r` is safe to recycle once every thread is idle or running a transaction
+/// that entered at an epoch > `r`.
+///
+/// Threads call Enter at transaction begin and Exit at transaction end; Exit
+/// opportunistically advances the global epoch.
+class EpochManager {
+ public:
+  static constexpr uint64_t kIdle = ~0ULL;
+  static constexpr uint32_t kMaxThreads = 128;
+
+  explicit EpochManager(uint32_t num_threads);
+
+  void Enter(uint32_t thread_id) {
+    locals_[thread_id]->store(global_.load(std::memory_order_acquire),
+                              std::memory_order_release);
+  }
+
+  void Exit(uint32_t thread_id) {
+    locals_[thread_id]->store(kIdle, std::memory_order_release);
+    TryAdvance();
+  }
+
+  uint64_t Current() const { return global_.load(std::memory_order_acquire); }
+
+  /// Minimum epoch over threads currently inside a transaction; the current
+  /// global epoch when every thread is idle.
+  uint64_t MinActive() const;
+
+  /// Advance the global epoch if every active thread has caught up to it.
+  void TryAdvance();
+
+  uint32_t num_threads() const { return num_threads_; }
+
+ private:
+  const uint32_t num_threads_;
+  std::atomic<uint64_t> global_{1};
+  std::vector<CachePadded<std::atomic<uint64_t>>> locals_;
+};
+
+/// Per-thread deferred-free list; owner-thread only, no locking.
+///
+/// Objects retired at epoch r are handed back through `Reclaim` once
+/// EpochManager::MinActive() exceeds r.
+template <typename T>
+class RetireList {
+ public:
+  void Retire(T* obj, uint64_t epoch) { items_.push_back({obj, epoch}); }
+
+  /// Invoke `sink(T*)` for every object whose retire epoch is < min_active.
+  template <typename Sink>
+  void Reclaim(uint64_t min_active, Sink&& sink) {
+    while (!items_.empty() && items_.front().epoch < min_active) {
+      sink(items_.front().obj);
+      items_.pop_front();
+    }
+  }
+
+  size_t size() const { return items_.size(); }
+
+ private:
+  struct Item {
+    T* obj;
+    uint64_t epoch;
+  };
+  std::deque<Item> items_;
+};
+
+}  // namespace rocc

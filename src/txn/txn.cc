@@ -1,0 +1,45 @@
+#include "txn/txn.h"
+
+#include <cstring>
+
+namespace rocc {
+
+void TxnDescriptor::Reset(uint64_t id, uint32_t thread, uint64_t start) {
+  txn_id = id;
+  thread_id = thread;
+  start_ts = start;
+  state.store(TxnState::kActive, std::memory_order_release);
+  commit_ts.store(0, std::memory_order_release);
+  read_set.clear();
+  write_set.clear();
+  scan_records.clear();
+  scan_set.clear();
+  predicates.clear();
+  write_buf.clear();
+  registered_ranges.clear();
+}
+
+uint32_t TxnDescriptor::AppendImage(const void* data, uint32_t size) {
+  const uint32_t off = static_cast<uint32_t>(write_buf.size());
+  write_buf.resize(off + size);
+  std::memcpy(write_buf.data() + off, data, size);
+  return off;
+}
+
+int TxnDescriptor::FindWrite(uint32_t table_id, uint64_t key) const {
+  for (size_t i = 0; i < write_set.size(); i++) {
+    if (write_set[i].table_id == table_id && write_set[i].key == key) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int TxnDescriptor::FindWriteByRow(const Row* row) const {
+  for (size_t i = 0; i < write_set.size(); i++) {
+    if (write_set[i].row == row) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace rocc

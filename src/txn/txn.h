@@ -1,0 +1,121 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "storage/row.h"
+
+namespace rocc {
+
+/// Transaction life-cycle states. `kValidating` and `kCommitted` descriptors
+/// may be examined concurrently by validators of other transactions.
+enum class TxnState : uint8_t {
+  kInactive = 0,
+  kActive,      ///< read phase
+  kValidating,  ///< locks held, registered, commit ts may not be assigned yet
+  kCommitted,
+  kAborted,
+};
+
+/// One record-level read tracked for OCC readset validation.
+struct ReadEntry {
+  Row* row;
+  uint64_t observed_tid;  ///< full TID word observed at read time
+};
+
+/// One deferred write (update / insert / delete).
+struct WriteEntry {
+  enum class Kind : uint8_t { kUpdate, kInsert, kDelete };
+
+  Row* row;           ///< resolved row; for inserts, the placeholder (set at lock time)
+  uint64_t key;
+  uint32_t table_id;
+  Kind kind;
+  bool locked;        ///< this transaction holds the record lock
+  uint32_t data_offset;  ///< offset of the after-image in write_buf
+  uint32_t data_size;    ///< after-image length
+  uint32_t field_offset; ///< byte offset within the row payload to apply at
+};
+
+/// One record captured by an LRV scan (pointer + observed version).
+struct ScanRecord {
+  Row* row;
+  uint64_t observed_tid;
+};
+
+/// One key-range scan operation, tracked for LRV re-scan validation.
+struct ScanEntry {
+  uint32_t table_id;
+  uint64_t start_key;
+  uint64_t end_key;   ///< exclusive; last returned key + 1 (set after the scan)
+  uint64_t limit;     ///< max records the scan requested (0 = unbounded)
+  uint32_t first_record;  ///< index into scan_records
+  uint32_t num_records;
+};
+
+/// Range predicate exactly as in paper §III-B:
+/// {rangeID, rd_ts, start_key, end_key, cover}.
+///
+/// GWV reuses the same structure with range_id 0 against its single global
+/// list; MVRCC drops the key precision (cover forced true).
+struct RangePredicate {
+  uint32_t table_id;
+  uint32_t range_id;
+  uint64_t rd_ts;      ///< list version observed before scanning this range
+  uint64_t start_key;  ///< precise scanned scope, inclusive
+  uint64_t end_key;    ///< exclusive
+  bool cover;          ///< predicate fully covers the logical range
+};
+
+/// Transaction descriptor shared between the owning worker and concurrent
+/// validators.
+///
+/// Ownership discipline:
+///  - During the read phase only the owner mutates the sets.
+///  - Registration into a (range) list is a release operation; validators
+///    reading the slot acquire it, so `write_set` contents — frozen before
+///    registration — are safely visible.
+///  - `state` and `commit_ts` are the only fields mutated after registration
+///    and are atomics.
+///  - Descriptors are recycled through epoch-based reclamation so a validator
+///    never observes a reused descriptor (see EpochManager).
+class TxnDescriptor {
+ public:
+  uint64_t txn_id = 0;
+  uint32_t thread_id = 0;
+  uint64_t start_ts = 0;
+  uint64_t begin_nanos = 0;  ///< wall-clock at Begin, for phase accounting
+  bool is_scan_txn = false;  ///< workload marks bulk/scan transactions
+  std::atomic<TxnState> state{TxnState::kInactive};
+  std::atomic<uint64_t> commit_ts{0};  ///< 0 = not yet assigned
+
+  std::vector<ReadEntry> read_set;
+  std::vector<WriteEntry> write_set;
+  std::vector<ScanRecord> scan_records;
+  std::vector<ScanEntry> scan_set;
+  std::vector<RangePredicate> predicates;
+  std::vector<char> write_buf;  ///< after-images referenced by write_set
+
+  /// Ranges this transaction registered to (for once-per-range dedup);
+  /// packed as (table_id << 32 | range_id).
+  std::vector<uint64_t> registered_ranges;
+
+  /// Prepare the descriptor for a new transaction.
+  void Reset(uint64_t id, uint32_t thread, uint64_t start);
+
+  /// Append an after-image and return its offset in write_buf.
+  uint32_t AppendImage(const void* data, uint32_t size);
+
+  /// Find an existing write entry for (table, key); -1 when absent.
+  int FindWrite(uint32_t table_id, uint64_t key) const;
+
+  /// Find a write entry holding this row pointer; -1 when absent.
+  int FindWriteByRow(const Row* row) const;
+
+  const char* ImageAt(uint32_t offset) const { return write_buf.data() + offset; }
+
+  bool HasWrites() const { return !write_set.empty(); }
+};
+
+}  // namespace rocc

@@ -1,0 +1,136 @@
+#include "workload/tpcc/tpcc.h"
+
+#include <cstring>
+
+#include "txn/epoch.h"
+
+namespace rocc {
+
+using namespace tpcc;  // NOLINT: schema constants and row types
+
+TpccWorkload::TpccWorkload(TpccOptions options)
+    : options_(options), history_seq_(EpochManager::kMaxThreads) {}
+
+std::vector<RangeConfig> TpccWorkload::RangeConfigs(uint32_t ranges_hint,
+                                                    uint32_t ring_capacity) const {
+  std::vector<RangeConfig> configs;
+  const uint32_t num_wh = options_.num_warehouses;
+  const uint64_t num_customers =
+      static_cast<uint64_t>(num_wh) * kCustomersPerWarehouse;
+
+  // Customer table: the bulk transaction's scan target. The paper partitions
+  // it into ranges of 600 customers (2000 ranges at 40 warehouses).
+  RangeConfig customer;
+  customer.table_id = tables_.customer;
+  customer.key_min = 0;
+  customer.key_max = num_customers;
+  if (ranges_hint != 0) {
+    customer.num_ranges = ranges_hint;
+  } else {
+    customer.num_ranges = static_cast<uint32_t>(
+        num_customers / std::max<uint32_t>(options_.customers_per_range, 1));
+    if (customer.num_ranges == 0) customer.num_ranges = 1;
+  }
+  customer.ring_capacity = ring_capacity;
+  configs.push_back(customer);
+
+  // New-order queue: Delivery scans one district prefix for the oldest
+  // entry; one logical range per district keeps those scans local.
+  RangeConfig new_order;
+  new_order.table_id = tables_.new_order;
+  new_order.key_min = 0;
+  new_order.key_max = static_cast<uint64_t>(num_wh) * kDistrictsPerWarehouse << 24;
+  new_order.num_ranges = num_wh * kDistrictsPerWarehouse;
+  new_order.ring_capacity = ring_capacity;
+  configs.push_back(new_order);
+
+  // Order lines: OrderStatus/Delivery/StockLevel scan short per-order or
+  // per-district windows; a few ranges per district bound the validation.
+  RangeConfig order_line;
+  order_line.table_id = tables_.order_line;
+  order_line.key_min = 0;
+  order_line.key_max = (static_cast<uint64_t>(num_wh) * kDistrictsPerWarehouse)
+                       << 28;
+  order_line.num_ranges = num_wh * kDistrictsPerWarehouse * 4;
+  order_line.ring_capacity = ring_capacity;
+  configs.push_back(order_line);
+
+  return configs;
+}
+
+Status TpccWorkload::RunTxn(ConcurrencyControl* cc, uint32_t thread_id, Rng& rng) {
+  const uint32_t pick = static_cast<uint32_t>(rng.Uniform(100));
+  // Replay identical random choices across retries of the same transaction.
+  const uint64_t plan_seed = rng.Next();
+
+  uint32_t edge = options_.pct_payment;
+  auto run = [&](auto&& fn) {
+    return RunWithRetries(
+        [&] {
+          Rng attempt_rng(plan_seed);
+          return fn(attempt_rng);
+        },
+        rng, options_.max_retries);
+  };
+
+  if (pick < edge) {
+    return run([&](Rng& r) { return DoPayment(cc, thread_id, r); });
+  }
+  edge += options_.pct_new_order;
+  if (pick < edge) {
+    return run([&](Rng& r) { return DoNewOrder(cc, thread_id, r); });
+  }
+  edge += options_.pct_bulk;
+  if (pick < edge) {
+    return run([&](Rng& r) { return DoBulkReward(cc, thread_id, r); });
+  }
+  edge += options_.pct_order_status;
+  if (pick < edge) {
+    return run([&](Rng& r) { return DoOrderStatus(cc, thread_id, r); });
+  }
+  edge += options_.pct_delivery;
+  if (pick < edge) {
+    return run([&](Rng& r) { return DoDelivery(cc, thread_id, r); });
+  }
+  return run([&](Rng& r) { return DoStockLevel(cc, thread_id, r); });
+}
+
+bool TpccWorkload::CheckYtdInvariant() const {
+  for (uint32_t w = 0; w < options_.num_warehouses; w++) {
+    Row* wrow = db_->GetIndex(tables_.warehouse)->Get(WarehouseKey(w));
+    if (wrow == nullptr) return false;
+    const auto* wh = reinterpret_cast<const WarehouseRow*>(wrow->Data());
+    double district_sum = 0;
+    for (uint32_t d = 0; d < kDistrictsPerWarehouse; d++) {
+      Row* drow = db_->GetIndex(tables_.district)->Get(DistrictKey(w, d));
+      if (drow == nullptr) return false;
+      district_sum += reinterpret_cast<const DistrictRow*>(drow->Data())->d_ytd;
+    }
+    // Doubles accumulate rounding; tolerate a relative epsilon.
+    const double diff = wh->w_ytd - district_sum;
+    if (diff > 1e-3 || diff < -1e-3) return false;
+  }
+  return true;
+}
+
+bool TpccWorkload::CheckOrderInvariant() const {
+  for (uint32_t w = 0; w < options_.num_warehouses; w++) {
+    for (uint32_t d = 0; d < kDistrictsPerWarehouse; d++) {
+      Row* drow = db_->GetIndex(tables_.district)->Get(DistrictKey(w, d));
+      if (drow == nullptr) return false;
+      const uint32_t next =
+          reinterpret_cast<const DistrictRow*>(drow->Data())->d_next_o_id;
+      // Every order id below next exists exactly once; none at or above it.
+      if (db_->GetIndex(tables_.order)->Get(OrderKey(w, d, next)) != nullptr) {
+        return false;
+      }
+      if (next > 1 &&
+          db_->GetIndex(tables_.order)->Get(OrderKey(w, d, next - 1)) == nullptr) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rocc

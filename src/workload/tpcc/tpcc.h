@@ -1,0 +1,87 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "workload/tpcc/tpcc_schema.h"
+#include "workload/workload.h"
+
+namespace rocc {
+
+/// Parameters for the modified TPC-C of §V-B.
+struct TpccOptions {
+  uint32_t num_warehouses = 4;
+  uint32_t initial_orders_per_district = 100;
+
+  /// Transaction mix in percent; the paper's hybrid mix is
+  /// 40 Payment / 40 NewOrder / 10 bulk / 4 OrderStatus / 4 Delivery /
+  /// 2 StockLevel.
+  uint32_t pct_payment = 40;
+  uint32_t pct_new_order = 40;
+  uint32_t pct_bulk = 10;
+  uint32_t pct_order_status = 4;
+  uint32_t pct_delivery = 4;
+  // remainder: StockLevel
+
+  /// Customers covered by the bulk reward scan (100..3000 in Fig. 6).
+  uint32_t bulk_scan_length = 3000;
+  double bulk_reward = 100.0;
+
+  /// Probability (percent) that Payment pays through a remote warehouse —
+  /// these are the cross-warehouse conflicts with local bulk scans (§V-B).
+  uint32_t payment_remote_pct = 15;
+  /// Probability (percent) that a NewOrder line is supplied remotely.
+  uint32_t new_order_remote_pct = 1;
+
+  /// Customer-table logical-range size for ROCC (paper: 600 customers).
+  uint32_t customers_per_range = 600;
+  uint32_t max_retries = 1000;
+};
+
+/// Modified TPC-C: the five standard transactions plus the paper's bulk
+/// "top-shopper reward" transaction, which scans a customer key range in the
+/// local warehouse for the customer with the highest cumulative payment and
+/// credits a reward to that customer, debiting the district and warehouse
+/// year-to-date totals.
+///
+/// Invariant maintained for testing: for every warehouse,
+///   w_ytd == sum of its districts' d_ytd
+/// (Payment adds the amount to both; the bulk reward subtracts from both).
+class TpccWorkload : public Workload {
+ public:
+  explicit TpccWorkload(TpccOptions options);
+
+  const char* name() const override { return "TPCC-hybrid"; }
+  void Load(Database* db) override;
+  Status RunTxn(ConcurrencyControl* cc, uint32_t thread_id, Rng& rng) override;
+  std::vector<RangeConfig> RangeConfigs(uint32_t ranges_hint,
+                                        uint32_t ring_capacity) const override;
+
+  const tpcc::TableIds& tables() const { return tables_; }
+  const TpccOptions& options() const { return options_; }
+  Database* db() const { return db_; }
+
+  // Individual transactions, exposed for targeted tests. Each runs one
+  // attempt: Begin .. Commit/Abort.
+  Status DoNewOrder(ConcurrencyControl* cc, uint32_t thread_id, Rng& rng);
+  Status DoPayment(ConcurrencyControl* cc, uint32_t thread_id, Rng& rng);
+  Status DoOrderStatus(ConcurrencyControl* cc, uint32_t thread_id, Rng& rng);
+  Status DoDelivery(ConcurrencyControl* cc, uint32_t thread_id, Rng& rng);
+  Status DoStockLevel(ConcurrencyControl* cc, uint32_t thread_id, Rng& rng);
+  Status DoBulkReward(ConcurrencyControl* cc, uint32_t thread_id, Rng& rng);
+
+  /// Verify w_ytd == sum(d_ytd) for every warehouse (quiescent state only).
+  bool CheckYtdInvariant() const;
+  /// Verify d_next_o_id is consistent with the order table (quiescent only).
+  bool CheckOrderInvariant() const;
+
+ private:
+  TpccOptions options_;
+  tpcc::TableIds tables_;
+  Database* db_ = nullptr;
+  std::vector<CachePadded<std::atomic<uint64_t>>> history_seq_;
+};
+
+}  // namespace rocc

@@ -1,0 +1,118 @@
+#include <cstdio>
+#include <cstring>
+
+#include "workload/tpcc/tpcc.h"
+
+namespace rocc {
+
+using namespace tpcc;  // NOLINT: schema constants and row types
+
+void TpccWorkload::Load(Database* db) {
+  db_ = db;
+  tables_.warehouse = db->CreateTable("warehouse", BlobSchema<WarehouseRow>("w"));
+  tables_.district = db->CreateTable("district", BlobSchema<DistrictRow>("d"));
+  tables_.customer = db->CreateTable("customer", BlobSchema<CustomerRow>("c"));
+  tables_.history = db->CreateTable("history", BlobSchema<HistoryRow>("h"));
+  tables_.new_order = db->CreateTable("new_order", BlobSchema<NewOrderRow>("no"));
+  tables_.order = db->CreateTable("oorder", BlobSchema<OrderRow>("o"));
+  tables_.order_line = db->CreateTable("order_line", BlobSchema<OrderLineRow>("ol"));
+  tables_.item = db->CreateTable("item", BlobSchema<ItemRow>("i"));
+  tables_.stock = db->CreateTable("stock", BlobSchema<StockRow>("s"));
+
+  Rng rng(0x7c07c0ffee);
+
+  // Items.
+  for (uint32_t i = 0; i < kItems; i++) {
+    ItemRow item{};
+    item.i_price = 1.0 + static_cast<double>(rng.Uniform(9999)) / 100.0;
+    item.i_im_id = static_cast<uint32_t>(rng.UniformRange(1, 10000));
+    std::snprintf(item.i_name, sizeof(item.i_name), "item-%u", i);
+    db->LoadRow(tables_.item, ItemKey(i), &item);
+  }
+
+  const uint32_t num_wh = options_.num_warehouses;
+  const uint32_t init_orders = options_.initial_orders_per_district;
+
+  for (uint32_t w = 0; w < num_wh; w++) {
+    WarehouseRow wh{};
+    wh.w_tax = static_cast<double>(rng.Uniform(2001)) / 10000.0;
+    wh.w_ytd = 300000.0;
+    std::snprintf(wh.w_name, sizeof(wh.w_name), "wh-%u", w);
+    std::memcpy(wh.w_state, "CA\0", 4);
+    std::memcpy(wh.w_zip, "123456789", 10);
+    db->LoadRow(tables_.warehouse, WarehouseKey(w), &wh);
+
+    // Stock for every item.
+    for (uint32_t i = 0; i < kItems; i++) {
+      StockRow st{};
+      st.s_quantity = static_cast<uint32_t>(rng.UniformRange(10, 100));
+      st.s_ytd = 0;
+      st.s_order_cnt = 0;
+      st.s_remote_cnt = 0;
+      db->LoadRow(tables_.stock, StockKey(w, i), &st);
+    }
+
+    for (uint32_t d = 0; d < kDistrictsPerWarehouse; d++) {
+      DistrictRow dist{};
+      dist.d_tax = static_cast<double>(rng.Uniform(2001)) / 10000.0;
+      dist.d_ytd = 30000.0;
+      dist.d_next_o_id = init_orders + 1;  // order ids are 1-based
+      std::snprintf(dist.d_name, sizeof(dist.d_name), "d-%u-%u", w, d);
+      db->LoadRow(tables_.district, DistrictKey(w, d), &dist);
+
+      for (uint32_t c = 0; c < kCustomersPerDistrict; c++) {
+        CustomerRow cust{};
+        cust.c_balance = -10.0;
+        cust.c_ytd_payment = 10.0;
+        cust.c_payment_ts = 0;
+        cust.c_payment_cnt = 1;
+        cust.c_delivery_cnt = 0;
+        cust.c_last_o_id = 0;
+        cust.c_discount = static_cast<float>(rng.Uniform(5001)) / 10000.0f;
+        cust.c_credit_lim = 50000.0;
+        std::snprintf(cust.c_last, sizeof(cust.c_last), "CUST%07u", c);
+        std::memcpy(cust.c_credit, rng.Uniform(10) == 0 ? "BC\0" : "GC\0", 4);
+        db->LoadRow(tables_.customer, CustomerKey(w, d, c), &cust);
+      }
+
+      // Initial orders: customers are assigned round-robin; the most recent
+      // third is still undelivered (has NewOrder queue entries).
+      for (uint32_t o = 1; o <= init_orders; o++) {
+        const uint32_t c = (o * 1021u) % kCustomersPerDistrict;  // pseudo-shuffle
+        const bool undelivered = o > init_orders - init_orders / 3;
+        OrderRow order{};
+        order.o_c_id = c;
+        order.o_carrier_id =
+            undelivered ? 0 : static_cast<uint32_t>(rng.UniformRange(1, 10));
+        order.o_ol_cnt = static_cast<uint32_t>(
+            rng.UniformRange(kMinOrderLines, kMaxOrderLines));
+        order.o_entry_d = o;
+        db->LoadRow(tables_.order, OrderKey(w, d, o), &order);
+
+        for (uint32_t ol = 1; ol <= order.o_ol_cnt; ol++) {
+          OrderLineRow line{};
+          line.ol_i_id = static_cast<uint32_t>(rng.Uniform(kItems));
+          line.ol_supply_w_id = w;
+          line.ol_quantity = 5;
+          line.ol_amount =
+              undelivered ? static_cast<double>(rng.Uniform(999999)) / 100.0 : 0.0;
+          line.ol_delivery_d = undelivered ? 0 : order.o_entry_d;
+          db->LoadRow(tables_.order_line, OrderLineKey(w, d, o, ol), &line);
+        }
+
+        if (undelivered) {
+          NewOrderRow no{};
+          no.no_o_id = o;
+          db->LoadRow(tables_.new_order, OrderKey(w, d, o), &no);
+        }
+
+        // Track the customer's latest order for OrderStatus.
+        Row* crow = db->GetIndex(tables_.customer)->Get(CustomerKey(w, d, c));
+        auto* cust = reinterpret_cast<CustomerRow*>(crow->Data());
+        cust->c_last_o_id = o;
+      }
+    }
+  }
+}
+
+}  // namespace rocc

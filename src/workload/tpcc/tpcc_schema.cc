@@ -1,0 +1,4 @@
+#include "workload/tpcc/tpcc_schema.h"
+
+// Schema definitions are header-only; this translation unit anchors them in
+// the library build.

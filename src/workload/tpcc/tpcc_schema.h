@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstdint>
+
+#include "storage/schema.h"
+
+namespace rocc {
+namespace tpcc {
+
+// ---------------------------------------------------------------------------
+// Scale constants (TPC-C standard ratios).
+// ---------------------------------------------------------------------------
+constexpr uint32_t kDistrictsPerWarehouse = 10;
+constexpr uint32_t kCustomersPerDistrict = 3000;
+constexpr uint32_t kCustomersPerWarehouse =
+    kDistrictsPerWarehouse * kCustomersPerDistrict;
+constexpr uint32_t kItems = 100000;
+constexpr uint32_t kMaxOrderLines = 15;
+constexpr uint32_t kMinOrderLines = 5;
+
+// ---------------------------------------------------------------------------
+// Row payloads. Fixed-size PODs stored as the single blob column of their
+// table; all cross-row references go through the uint64 key encodings below.
+// ---------------------------------------------------------------------------
+
+struct WarehouseRow {
+  double w_tax;
+  double w_ytd;
+  char w_name[16];
+  char w_state[4];
+  char w_zip[12];
+};
+
+struct DistrictRow {
+  double d_tax;
+  double d_ytd;
+  uint32_t d_next_o_id;  ///< next available order number
+  char d_name[20];
+};
+
+struct CustomerRow {
+  double c_balance;
+  double c_ytd_payment;   ///< cumulative payments (the bulk txn's ranking key)
+  uint64_t c_payment_ts;  ///< wall-clock of the latest payment
+  uint32_t c_payment_cnt;
+  uint32_t c_delivery_cnt;
+  uint32_t c_last_o_id;   ///< most recent order (0 = none), for OrderStatus
+  float c_discount;
+  double c_credit_lim;
+  char c_last[16];
+  char c_credit[4];
+};
+
+struct HistoryRow {
+  uint64_t h_c_key;   ///< customer key the payment was applied to
+  uint64_t h_date;
+  double h_amount;
+};
+
+struct NewOrderRow {
+  uint32_t no_o_id;  ///< presence of the row is the queue entry
+};
+
+struct OrderRow {
+  uint32_t o_c_id;
+  uint32_t o_carrier_id;  ///< 0 until delivered
+  uint32_t o_ol_cnt;
+  uint64_t o_entry_d;
+};
+
+struct OrderLineRow {
+  uint32_t ol_i_id;
+  uint32_t ol_supply_w_id;
+  uint32_t ol_quantity;
+  double ol_amount;
+  uint64_t ol_delivery_d;  ///< 0 until delivered
+};
+
+struct ItemRow {
+  double i_price;
+  uint32_t i_im_id;
+  char i_name[24];
+};
+
+struct StockRow {
+  uint32_t s_quantity;
+  double s_ytd;
+  uint32_t s_order_cnt;
+  uint32_t s_remote_cnt;
+};
+
+// ---------------------------------------------------------------------------
+// Key encodings. All ids are 0-based internally. Customers of one warehouse
+// are CONTIGUOUS (districts back to back), which is what lets the bulk
+// reward transaction scan a key range of up to 3000 customers and lets ROCC
+// partition the customer table into equal logical ranges (paper §V-B).
+// ---------------------------------------------------------------------------
+
+inline uint64_t WarehouseKey(uint32_t w) { return w; }
+
+inline uint64_t DistrictKey(uint32_t w, uint32_t d) {
+  return static_cast<uint64_t>(w) * kDistrictsPerWarehouse + d;
+}
+
+inline uint64_t CustomerKey(uint32_t w, uint32_t d, uint32_t c) {
+  return DistrictKey(w, d) * kCustomersPerDistrict + c;
+}
+
+/// District id a customer key belongs to.
+inline uint64_t DistrictOfCustomerKey(uint64_t c_key) {
+  return c_key / kCustomersPerDistrict;
+}
+
+/// Orders and new-orders share an encoding: district prefix, order suffix.
+inline uint64_t OrderKey(uint32_t w, uint32_t d, uint32_t o_id) {
+  return (DistrictKey(w, d) << 24) | o_id;
+}
+
+inline uint64_t OrderLineKey(uint32_t w, uint32_t d, uint32_t o_id, uint32_t ol) {
+  return (OrderKey(w, d, o_id) << 4) | ol;
+}
+
+inline uint64_t ItemKey(uint32_t i) { return i; }
+
+inline uint64_t StockKey(uint32_t w, uint32_t i) {
+  return static_cast<uint64_t>(w) * kItems + i;
+}
+
+/// Unique history keys: thread id in the high bits, a per-thread sequence
+/// below, so concurrent Payment transactions never collide.
+inline uint64_t HistoryKey(uint32_t thread_id, uint64_t seq) {
+  return (static_cast<uint64_t>(thread_id) << 40) | seq;
+}
+
+/// Single-blob schema for a POD row type.
+template <typename RowT>
+Schema BlobSchema(const char* column_name) {
+  return Schema({{column_name, static_cast<uint32_t>(sizeof(RowT)), 0}});
+}
+
+/// Table ids in creation order; filled in by TpccWorkload::Load.
+struct TableIds {
+  uint32_t warehouse = 0;
+  uint32_t district = 0;
+  uint32_t customer = 0;
+  uint32_t history = 0;
+  uint32_t new_order = 0;
+  uint32_t order = 0;
+  uint32_t order_line = 0;
+  uint32_t item = 0;
+  uint32_t stock = 0;
+};
+
+}  // namespace tpcc
+}  // namespace rocc

@@ -1,0 +1,347 @@
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/timer.h"
+#include "workload/tpcc/tpcc.h"
+
+namespace rocc {
+
+using namespace tpcc;  // NOLINT: schema constants and row types
+
+namespace {
+
+/// Abort the attempt on any non-OK operation status.
+#define TPCC_TRY(expr)                \
+  do {                                \
+    Status _s = (expr);               \
+    if (!_s.ok()) {                   \
+      cc->Abort(t);                   \
+      return Status::Aborted();       \
+    }                                 \
+  } while (0)
+
+/// Collects up to `max` (key, row) pairs from a scan.
+template <typename RowT>
+class CollectConsumer : public ScanConsumer {
+ public:
+  struct Item {
+    uint64_t key;
+    RowT row;
+  };
+
+  explicit CollectConsumer(size_t max = 0) : max_(max) {}
+
+  bool OnRecord(uint64_t key, const char* payload) override {
+    Item item;
+    item.key = key;
+    std::memcpy(&item.row, payload, sizeof(RowT));
+    items_.push_back(item);
+    return max_ == 0 || items_.size() < max_;
+  }
+
+  const std::vector<Item>& items() const { return items_; }
+
+ private:
+  size_t max_;
+  std::vector<Item> items_;
+};
+
+/// Finds the customer with the highest cumulative payment whose latest
+/// payment is at or after `since` — the paper's top-shopper query.
+class TopShopperConsumer : public ScanConsumer {
+ public:
+  explicit TopShopperConsumer(uint64_t since) : since_(since) {}
+
+  bool OnRecord(uint64_t key, const char* payload) override {
+    CustomerRow c;
+    std::memcpy(&c, payload, sizeof(c));
+    scanned_++;
+    if (c.c_payment_ts >= since_ && c.c_ytd_payment > best_payment_) {
+      best_payment_ = c.c_ytd_payment;
+      best_key_ = key;
+      found_ = true;
+    }
+    return true;
+  }
+
+  bool found() const { return found_; }
+  uint64_t best_key() const { return best_key_; }
+  uint64_t scanned() const { return scanned_; }
+
+ private:
+  uint64_t since_;
+  bool found_ = false;
+  uint64_t best_key_ = 0;
+  double best_payment_ = -1.0;
+  uint64_t scanned_ = 0;
+};
+
+}  // namespace
+
+Status TpccWorkload::DoNewOrder(ConcurrencyControl* cc, uint32_t thread_id,
+                                Rng& rng) {
+  const uint32_t num_wh = options_.num_warehouses;
+  const uint32_t w = static_cast<uint32_t>(rng.Uniform(num_wh));
+  const uint32_t d = static_cast<uint32_t>(rng.Uniform(kDistrictsPerWarehouse));
+  const uint32_t c = static_cast<uint32_t>(rng.Uniform(kCustomersPerDistrict));
+  const uint32_t ol_cnt =
+      static_cast<uint32_t>(rng.UniformRange(kMinOrderLines, kMaxOrderLines));
+
+  TxnDescriptor* t = cc->Begin(thread_id);
+
+  WarehouseRow wh;
+  TPCC_TRY(cc->Read(t, tables_.warehouse, WarehouseKey(w), &wh));
+
+  DistrictRow dist;
+  TPCC_TRY(cc->Read(t, tables_.district, DistrictKey(w, d), &dist));
+  const uint32_t o_id = dist.d_next_o_id;
+  dist.d_next_o_id = o_id + 1;
+  TPCC_TRY(cc->Update(t, tables_.district, DistrictKey(w, d), &dist, sizeof(dist), 0));
+
+  CustomerRow cust;
+  TPCC_TRY(cc->Read(t, tables_.customer, CustomerKey(w, d, c), &cust));
+
+  OrderRow order{};
+  order.o_c_id = c;
+  order.o_carrier_id = 0;
+  order.o_ol_cnt = ol_cnt;
+  order.o_entry_d = NowNanos();
+  TPCC_TRY(cc->Insert(t, tables_.order, OrderKey(w, d, o_id), &order));
+
+  NewOrderRow no{};
+  no.no_o_id = o_id;
+  TPCC_TRY(cc->Insert(t, tables_.new_order, OrderKey(w, d, o_id), &no));
+
+  for (uint32_t ol = 1; ol <= ol_cnt; ol++) {
+    const uint32_t item_id = static_cast<uint32_t>(rng.Uniform(kItems));
+    uint32_t supply_w = w;
+    if (num_wh > 1 && rng.Uniform(100) < options_.new_order_remote_pct) {
+      supply_w = static_cast<uint32_t>(rng.Uniform(num_wh - 1));
+      if (supply_w >= w) supply_w++;
+    }
+    const uint32_t qty = static_cast<uint32_t>(rng.UniformRange(1, 10));
+
+    ItemRow item;
+    TPCC_TRY(cc->Read(t, tables_.item, ItemKey(item_id), &item));
+
+    StockRow stock;
+    TPCC_TRY(cc->Read(t, tables_.stock, StockKey(supply_w, item_id), &stock));
+    stock.s_quantity = stock.s_quantity >= qty + 10 ? stock.s_quantity - qty
+                                                    : stock.s_quantity + 91 - qty;
+    stock.s_ytd += qty;
+    stock.s_order_cnt++;
+    if (supply_w != w) stock.s_remote_cnt++;
+    TPCC_TRY(cc->Update(t, tables_.stock, StockKey(supply_w, item_id), &stock,
+                        sizeof(stock), 0));
+
+    OrderLineRow line{};
+    line.ol_i_id = item_id;
+    line.ol_supply_w_id = supply_w;
+    line.ol_quantity = qty;
+    line.ol_amount = qty * item.i_price * (1.0 + wh.w_tax + dist.d_tax) *
+                     (1.0 - cust.c_discount);
+    line.ol_delivery_d = 0;
+    TPCC_TRY(cc->Insert(t, tables_.order_line, OrderLineKey(w, d, o_id, ol), &line));
+  }
+
+  cust.c_last_o_id = o_id;
+  TPCC_TRY(cc->Update(t, tables_.customer, CustomerKey(w, d, c), &cust,
+                      sizeof(cust), 0));
+
+  return cc->Commit(t);
+}
+
+Status TpccWorkload::DoPayment(ConcurrencyControl* cc, uint32_t thread_id,
+                               Rng& rng) {
+  const uint32_t num_wh = options_.num_warehouses;
+  const uint32_t w = static_cast<uint32_t>(rng.Uniform(num_wh));
+  const uint32_t d = static_cast<uint32_t>(rng.Uniform(kDistrictsPerWarehouse));
+  uint32_t c_w = w;
+  uint32_t c_d = d;
+  if (num_wh > 1 && rng.Uniform(100) < options_.payment_remote_pct) {
+    c_w = static_cast<uint32_t>(rng.Uniform(num_wh - 1));
+    if (c_w >= w) c_w++;
+    c_d = static_cast<uint32_t>(rng.Uniform(kDistrictsPerWarehouse));
+  }
+  const uint32_t c = static_cast<uint32_t>(rng.Uniform(kCustomersPerDistrict));
+  const double amount = 1.0 + static_cast<double>(rng.Uniform(499900)) / 100.0;
+
+  TxnDescriptor* t = cc->Begin(thread_id);
+
+  WarehouseRow wh;
+  TPCC_TRY(cc->Read(t, tables_.warehouse, WarehouseKey(w), &wh));
+  wh.w_ytd += amount;
+  TPCC_TRY(cc->Update(t, tables_.warehouse, WarehouseKey(w), &wh, sizeof(wh), 0));
+
+  DistrictRow dist;
+  TPCC_TRY(cc->Read(t, tables_.district, DistrictKey(w, d), &dist));
+  dist.d_ytd += amount;
+  TPCC_TRY(cc->Update(t, tables_.district, DistrictKey(w, d), &dist, sizeof(dist), 0));
+
+  const uint64_t c_key = CustomerKey(c_w, c_d, c);
+  CustomerRow cust;
+  TPCC_TRY(cc->Read(t, tables_.customer, c_key, &cust));
+  cust.c_balance -= amount;
+  cust.c_ytd_payment += amount;
+  cust.c_payment_cnt++;
+  cust.c_payment_ts = NowNanos();
+  TPCC_TRY(cc->Update(t, tables_.customer, c_key, &cust, sizeof(cust), 0));
+
+  HistoryRow hist{};
+  hist.h_c_key = c_key;
+  hist.h_date = cust.c_payment_ts;
+  hist.h_amount = amount;
+  const uint64_t h_seq =
+      history_seq_[thread_id]->fetch_add(1, std::memory_order_relaxed);
+  TPCC_TRY(cc->Insert(t, tables_.history, HistoryKey(thread_id, h_seq), &hist));
+
+  return cc->Commit(t);
+}
+
+Status TpccWorkload::DoOrderStatus(ConcurrencyControl* cc, uint32_t thread_id,
+                                   Rng& rng) {
+  const uint32_t w = static_cast<uint32_t>(rng.Uniform(options_.num_warehouses));
+  const uint32_t d = static_cast<uint32_t>(rng.Uniform(kDistrictsPerWarehouse));
+  const uint32_t c = static_cast<uint32_t>(rng.Uniform(kCustomersPerDistrict));
+
+  TxnDescriptor* t = cc->Begin(thread_id);
+
+  CustomerRow cust;
+  TPCC_TRY(cc->Read(t, tables_.customer, CustomerKey(w, d, c), &cust));
+  if (cust.c_last_o_id == 0) return cc->Commit(t);  // never ordered
+
+  OrderRow order;
+  Status st = cc->Read(t, tables_.order, OrderKey(w, d, cust.c_last_o_id), &order);
+  if (st.not_found()) return cc->Commit(t);  // raced with nothing: tolerate
+  if (!st.ok()) {
+    cc->Abort(t);
+    return Status::Aborted();
+  }
+
+  CollectConsumer<OrderLineRow> lines(kMaxOrderLines);
+  TPCC_TRY(cc->Scan(t, tables_.order_line, OrderLineKey(w, d, cust.c_last_o_id, 0),
+                    OrderLineKey(w, d, cust.c_last_o_id + 1, 0), 0, &lines));
+  return cc->Commit(t);
+}
+
+Status TpccWorkload::DoDelivery(ConcurrencyControl* cc, uint32_t thread_id,
+                                Rng& rng) {
+  const uint32_t w = static_cast<uint32_t>(rng.Uniform(options_.num_warehouses));
+  const uint32_t carrier = static_cast<uint32_t>(rng.UniformRange(1, 10));
+
+  TxnDescriptor* t = cc->Begin(thread_id);
+
+  for (uint32_t d = 0; d < kDistrictsPerWarehouse; d++) {
+    // Oldest undelivered order = smallest new_order key in the district.
+    CollectConsumer<NewOrderRow> oldest(1);
+    TPCC_TRY(cc->Scan(t, tables_.new_order, OrderKey(w, d, 0),
+                      (DistrictKey(w, d) + 1) << 24, 1, &oldest));
+    if (oldest.items().empty()) continue;
+    const uint32_t o_id = oldest.items()[0].row.no_o_id;
+
+    TPCC_TRY(cc->Remove(t, tables_.new_order, OrderKey(w, d, o_id)));
+
+    OrderRow order;
+    TPCC_TRY(cc->Read(t, tables_.order, OrderKey(w, d, o_id), &order));
+    order.o_carrier_id = carrier;
+    TPCC_TRY(cc->Update(t, tables_.order, OrderKey(w, d, o_id), &order,
+                        sizeof(order), 0));
+
+    CollectConsumer<OrderLineRow> lines(kMaxOrderLines);
+    TPCC_TRY(cc->Scan(t, tables_.order_line, OrderLineKey(w, d, o_id, 0),
+                      OrderLineKey(w, d, o_id + 1, 0), 0, &lines));
+    double total = 0;
+    const uint64_t now = NowNanos();
+    for (const auto& item : lines.items()) {
+      OrderLineRow line = item.row;
+      total += line.ol_amount;
+      line.ol_delivery_d = now;
+      TPCC_TRY(cc->Update(t, tables_.order_line, item.key, &line, sizeof(line), 0));
+    }
+
+    const uint64_t c_key = CustomerKey(w, d, order.o_c_id);
+    CustomerRow cust;
+    TPCC_TRY(cc->Read(t, tables_.customer, c_key, &cust));
+    cust.c_balance += total;
+    cust.c_delivery_cnt++;
+    TPCC_TRY(cc->Update(t, tables_.customer, c_key, &cust, sizeof(cust), 0));
+  }
+
+  return cc->Commit(t);
+}
+
+Status TpccWorkload::DoStockLevel(ConcurrencyControl* cc, uint32_t thread_id,
+                                  Rng& rng) {
+  const uint32_t w = static_cast<uint32_t>(rng.Uniform(options_.num_warehouses));
+  const uint32_t d = static_cast<uint32_t>(rng.Uniform(kDistrictsPerWarehouse));
+  const uint32_t threshold = static_cast<uint32_t>(rng.UniformRange(10, 20));
+
+  TxnDescriptor* t = cc->Begin(thread_id);
+
+  DistrictRow dist;
+  TPCC_TRY(cc->Read(t, tables_.district, DistrictKey(w, d), &dist));
+  const uint32_t next = dist.d_next_o_id;
+  const uint32_t lo = next > 20 ? next - 20 : 1;
+
+  CollectConsumer<OrderLineRow> lines(20 * kMaxOrderLines);
+  TPCC_TRY(cc->Scan(t, tables_.order_line, OrderLineKey(w, d, lo, 0),
+                    OrderLineKey(w, d, next, 0), 0, &lines));
+
+  std::vector<uint32_t> item_ids;
+  item_ids.reserve(lines.items().size());
+  for (const auto& item : lines.items()) item_ids.push_back(item.row.ol_i_id);
+  std::sort(item_ids.begin(), item_ids.end());
+  item_ids.erase(std::unique(item_ids.begin(), item_ids.end()), item_ids.end());
+
+  uint32_t low_stock = 0;
+  for (uint32_t item_id : item_ids) {
+    StockRow stock;
+    TPCC_TRY(cc->Read(t, tables_.stock, StockKey(w, item_id), &stock));
+    if (stock.s_quantity < threshold) low_stock++;
+  }
+  (void)low_stock;
+  return cc->Commit(t);
+}
+
+Status TpccWorkload::DoBulkReward(ConcurrencyControl* cc, uint32_t thread_id,
+                                  Rng& rng) {
+  const uint32_t num_wh = options_.num_warehouses;
+  // Bulk transactions scan only the thread's local warehouse (§V-B).
+  const uint32_t w = thread_id % num_wh;
+  const uint32_t scan_len =
+      std::min<uint32_t>(options_.bulk_scan_length, kCustomersPerWarehouse);
+  const uint64_t base = CustomerKey(w, 0, 0);
+  const uint64_t offset = rng.Uniform(kCustomersPerWarehouse - scan_len + 1);
+  const uint64_t start = base + offset;
+
+  TxnDescriptor* t = cc->Begin(thread_id);
+  t->is_scan_txn = true;
+
+  TopShopperConsumer top(/*since=*/0);
+  TPCC_TRY(cc->Scan(t, tables_.customer, start, 0, scan_len, &top));
+  if (!top.found()) return cc->Commit(t);
+
+  // Reward the winner; debit district and warehouse YTD so the
+  // w_ytd == sum(d_ytd) invariant is preserved.
+  const uint64_t winner = top.best_key();
+  CustomerRow cust;
+  TPCC_TRY(cc->Read(t, tables_.customer, winner, &cust));
+  cust.c_balance += options_.bulk_reward;
+  TPCC_TRY(cc->Update(t, tables_.customer, winner, &cust, sizeof(cust), 0));
+
+  const uint64_t d_key = DistrictOfCustomerKey(winner);
+  DistrictRow dist;
+  TPCC_TRY(cc->Read(t, tables_.district, d_key, &dist));
+  dist.d_ytd -= options_.bulk_reward;
+  TPCC_TRY(cc->Update(t, tables_.district, d_key, &dist, sizeof(dist), 0));
+
+  WarehouseRow wh;
+  TPCC_TRY(cc->Read(t, tables_.warehouse, WarehouseKey(w), &wh));
+  wh.w_ytd -= options_.bulk_reward;
+  TPCC_TRY(cc->Update(t, tables_.warehouse, WarehouseKey(w), &wh, sizeof(wh), 0));
+
+  return cc->Commit(t);
+}
+
+}  // namespace rocc

@@ -1,0 +1,4 @@
+#include "workload/workload.h"
+
+// Workload is an interface; this translation unit anchors the vtable-less
+// header in the library build.

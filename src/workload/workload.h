@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cc/cc.h"
+#include "common/fiber.h"
+#include "common/rng.h"
+#include "core/rocc.h"
+#include "storage/database.h"
+
+namespace rocc {
+
+/// A benchmark workload: owns table schemas, initial data, and transaction
+/// logic. Implementations are thread-safe after Load: RunTxn may be called
+/// concurrently from worker threads with distinct thread ids.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Create tables and bulk-load initial data. Called once, single-threaded.
+  virtual void Load(Database* db) = 0;
+
+  /// Execute one logical transaction, retrying internally on aborts (every
+  /// attempt is counted by the protocol's TxnStats). Returns the final
+  /// status — Aborted only when the retry budget was exhausted.
+  virtual Status RunTxn(ConcurrencyControl* cc, uint32_t thread_id, Rng& rng) = 0;
+
+  /// Logical-range layout for ROCC/MVRCC on this workload's tables.
+  /// `ranges_hint` scales the partition count of the primary scanned table;
+  /// 0 picks the workload's default.
+  virtual std::vector<RangeConfig> RangeConfigs(uint32_t ranges_hint,
+                                                uint32_t ring_capacity) const = 0;
+};
+
+/// Shared retry loop with bounded exponential backoff.
+///
+/// `attempt_fn` runs one attempt and returns its commit status; aborted
+/// attempts are retried up to `max_retries` times.
+template <typename AttemptFn>
+Status RunWithRetries(AttemptFn&& attempt_fn, Rng& rng, uint32_t max_retries = 1000) {
+  for (uint32_t attempt = 0;; attempt++) {
+    Status st = attempt_fn();
+    if (!st.aborted() || attempt >= max_retries) return st;
+    // Short randomized backoff to break livelock between symmetric retriers.
+    const uint64_t spins = rng.Uniform(64ULL << (attempt > 6 ? 6 : attempt));
+    for (uint64_t i = 0; i < spins; i++) CpuRelax();
+    // The conflicting transaction may be descheduled mid-commit (locks
+    // held); yield so it can finish instead of burning this slice on retries
+    // that are doomed to hit the same lock. Inside a FiberScheduler this is
+    // a ~30ns fiber switch.
+    if (attempt >= 1) CooperativeYield();
+  }
+}
+
+}  // namespace rocc

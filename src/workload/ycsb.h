@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/zipfian.h"
+#include "workload/workload.h"
+
+namespace rocc {
+
+/// Parameters for the hybrid YCSB workload of §V-B.
+struct YcsbOptions {
+  uint64_t num_rows = 1'000'000;
+  uint32_t payload_size = 64;  ///< bytes per row (the paper uses DBx1000's default)
+  double theta = 0.7;          ///< Zipfian skew; 0 = uniform ("no-skew")
+
+  uint32_t ops_per_txn = 5;          ///< operations in a simple transaction
+  double read_fraction = 0.0;        ///< read share of simple-txn ops (paper: updates)
+  double scan_txn_fraction = 0.1;    ///< share of bulk processing transactions
+  uint32_t scan_txn_updates = 4;     ///< update ops in a bulk transaction
+  uint64_t scan_length = 100;        ///< keys covered by the bulk scan
+
+  uint32_t num_ranges = 0;     ///< logical ranges (0 = scale the paper's 16384)
+  uint32_t max_retries = 1000;
+};
+
+/// Hybrid YCSB: a mix of simple point transactions and bulk processing
+/// transactions with one fixed-length key-range scan, generated exactly as
+/// described in §V-B (update keys and scan start keys drawn from the same
+/// Zipfian distribution).
+class YcsbWorkload : public Workload {
+ public:
+  explicit YcsbWorkload(YcsbOptions options);
+
+  const char* name() const override { return "YCSB-hybrid"; }
+  void Load(Database* db) override;
+  Status RunTxn(ConcurrencyControl* cc, uint32_t thread_id, Rng& rng) override;
+  std::vector<RangeConfig> RangeConfigs(uint32_t ranges_hint,
+                                        uint32_t ring_capacity) const override;
+
+  uint32_t table_id() const { return table_id_; }
+  const YcsbOptions& options() const { return options_; }
+
+  /// Bind to an already-loaded usertable instead of calling Load — used by
+  /// benchmarks that sweep generator parameters over one resident table.
+  void SetLoadedTable(uint32_t table_id) { table_id_ = table_id; }
+
+  /// The paper partitions 10M keys into 16384 ranges (610 keys each); scale
+  /// the default partition count so the range size stays the same when the
+  /// table is smaller.
+  uint32_t DefaultNumRanges() const;
+
+ private:
+  struct Plan {
+    bool is_scan = false;
+    uint64_t scan_start = 0;
+    uint32_t num_ops = 0;
+    struct Op {
+      bool is_write;
+      uint64_t key;
+    } ops[16];
+  };
+
+  Plan GeneratePlan(Rng& rng) const;
+  Status TryOnce(ConcurrencyControl* cc, uint32_t thread_id, const Plan& plan,
+                 std::vector<char>& buf, Rng& rng);
+
+  YcsbOptions options_;
+  ZipfianGenerator zipf_;
+  uint32_t table_id_ = 0;
+  std::vector<std::vector<char>> thread_bufs_;
+};
+
+}  // namespace rocc

@@ -1,0 +1,385 @@
+// Unit tests for src/common: Status, Rng, Zipfian, Histogram, Config, Arena,
+// latches and timers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/config.h"
+#include "common/histogram.h"
+#include "common/latch.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/sysinfo.h"
+#include "common/timer.h"
+#include "common/zipfian.h"
+
+namespace rocc {
+namespace {
+
+// --------------------------------------------------------------------------
+// Status
+// --------------------------------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_FALSE(s.aborted());
+  EXPECT_EQ(s.code(), Code::kOk);
+}
+
+TEST(Status, AbortedCarriesMessage) {
+  Status s = Status::Aborted("conflict on key 7");
+  EXPECT_TRUE(s.aborted());
+  EXPECT_EQ(s.message(), "conflict on key 7");
+  EXPECT_NE(s.ToString().find("conflict"), std::string::npos);
+}
+
+TEST(Status, FactoryCodes) {
+  EXPECT_TRUE(Status::NotFound().not_found());
+  EXPECT_EQ(Status::KeyExists().code(), Code::kKeyExists);
+  EXPECT_EQ(Status::InvalidArgument("x").code(), Code::kInvalidArgument);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(), Code::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), Code::kInternal);
+}
+
+TEST(Status, ReturnNotOkMacroPropagates) {
+  auto inner = []() -> Status { return Status::Aborted("inner"); };
+  auto outer = [&]() -> Status {
+    ROCC_RETURN_NOT_OK(inner());
+    return Status::Ok();
+  };
+  EXPECT_TRUE(outer().aborted());
+}
+
+// --------------------------------------------------------------------------
+// Rng
+// --------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; i++) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const uint64_t v = rng.UniformRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 100000; i++) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);  // mean of U[0,1)
+}
+
+TEST(Rng, UniformRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> buckets(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; i++) buckets[rng.Uniform(10)]++;
+  for (int b : buckets) EXPECT_NEAR(b, kDraws / 10, kDraws / 100);
+}
+
+// --------------------------------------------------------------------------
+// Zipfian
+// --------------------------------------------------------------------------
+
+TEST(Zipfian, UniformWhenThetaZero) {
+  ZipfianGenerator gen(1000, 0.0);
+  Rng rng(3);
+  std::vector<int> buckets(10, 0);
+  for (int i = 0; i < 100000; i++) buckets[gen.Next(rng) / 100]++;
+  for (int b : buckets) EXPECT_NEAR(b, 10000, 1000);
+}
+
+TEST(Zipfian, DrawsWithinRange) {
+  for (double theta : {0.0, 0.7, 0.88, 1.04}) {
+    ZipfianGenerator gen(5000, theta);
+    Rng rng(17);
+    for (int i = 0; i < 20000; i++) ASSERT_LT(gen.Next(rng), 5000u) << theta;
+  }
+}
+
+// The head probability of a Zipfian distribution grows with theta — the
+// property the paper's skew levels (0.7 / 0.88 / 1.04) rely on.
+TEST(Zipfian, SkewOrderingAcrossThetas) {
+  const uint64_t n = 100000;
+  auto head_mass = [&](double theta) {
+    ZipfianGenerator gen(n, theta);
+    Rng rng(23);
+    int head = 0;
+    const int draws = 200000;
+    for (int i = 0; i < draws; i++) head += (gen.Next(rng) < n / 100);
+    return static_cast<double>(head) / draws;
+  };
+  const double low = head_mass(0.7);
+  const double mid = head_mass(0.88);
+  const double high = head_mass(1.04);
+  EXPECT_LT(low, mid);
+  EXPECT_LT(mid, high);
+  EXPECT_GT(high, 0.5);  // theta > 1: most mass on the top 1%
+}
+
+TEST(Zipfian, MostPopularKeyIsZeroUnscrambled) {
+  ZipfianGenerator gen(10000, 0.99);
+  Rng rng(29);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; i++) counts[gen.Next(rng)]++;
+  uint64_t best = 0;
+  int best_count = -1;
+  for (auto& [k, c] : counts) {
+    if (c > best_count) {
+      best_count = c;
+      best = k;
+    }
+  }
+  EXPECT_EQ(best, 0u);
+}
+
+TEST(Zipfian, ScrambleSpreadsHotKeys) {
+  ZipfianGenerator gen(10000, 0.99, /*scramble=*/true);
+  Rng rng(31);
+  int low_half = 0;
+  for (int i = 0; i < 20000; i++) low_half += (gen.Next(rng) < 5000);
+  // Unscrambled would put nearly all mass below 5000; scrambled is ~50/50.
+  EXPECT_NEAR(low_half, 10000, 1500);
+}
+
+// --------------------------------------------------------------------------
+// Histogram
+// --------------------------------------------------------------------------
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; v++) h.Record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(h.Mean(), 500.5, 0.01);
+}
+
+TEST(Histogram, PercentilesBracketTruth) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; v++) h.Record(v);
+  // Log buckets have ~19% relative error per bucket.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 5000, 1300);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(99)), 9900, 2500);
+  EXPECT_LE(h.Percentile(100), h.max());
+  EXPECT_GE(h.Percentile(0), h.min());
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  Histogram a, b, c;
+  Rng rng(37);
+  for (int i = 0; i < 5000; i++) {
+    const uint64_t v = rng.Uniform(1 << 20) + 1;
+    (i % 2 == 0 ? a : b).Record(v);
+    c.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), c.count());
+  EXPECT_EQ(a.sum(), c.sum());
+  EXPECT_EQ(a.min(), c.min());
+  EXPECT_EQ(a.max(), c.max());
+  EXPECT_EQ(a.Percentile(50), c.Percentile(50));
+  EXPECT_EQ(a.Percentile(99), c.Percentile(99));
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0u);
+  EXPECT_EQ(h.min(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Config
+// --------------------------------------------------------------------------
+
+TEST(Config, ParsesFlagStyles) {
+  const char* argv[] = {"prog", "--threads", "8", "--theta=0.88", "--quick",
+                        "--name", "rocc"};
+  Config cfg(7, const_cast<char**>(argv));
+  EXPECT_EQ(cfg.GetInt("threads", 0), 8);
+  EXPECT_DOUBLE_EQ(cfg.GetDouble("theta", 0), 0.88);
+  EXPECT_TRUE(cfg.GetBool("quick", false));
+  EXPECT_EQ(cfg.GetString("name", ""), "rocc");
+  EXPECT_EQ(cfg.GetInt("missing", 42), 42);
+  EXPECT_FALSE(cfg.Has("missing"));
+}
+
+TEST(Config, ParsesLists) {
+  const char* argv[] = {"prog", "--threads", "1,2,4,8", "--thetas=0,0.7"};
+  Config cfg(4, const_cast<char**>(argv));
+  EXPECT_EQ(cfg.GetIntList("threads", {}), (std::vector<int64_t>{1, 2, 4, 8}));
+  EXPECT_EQ(cfg.GetDoubleList("thetas", {}), (std::vector<double>{0, 0.7}));
+  EXPECT_EQ(cfg.GetIntList("absent", {3}), (std::vector<int64_t>{3}));
+}
+
+TEST(Config, SetOverrides) {
+  Config cfg;
+  cfg.Set("x", "5");
+  EXPECT_EQ(cfg.GetInt("x", 0), 5);
+}
+
+// --------------------------------------------------------------------------
+// Arena
+// --------------------------------------------------------------------------
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(128);
+  std::vector<char*> ptrs;
+  for (int i = 0; i < 1000; i++) {
+    char* p = static_cast<char*>(arena.Allocate(24, 8));
+    ASSERT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+    std::memset(p, i & 0xff, 24);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 1000; i++) {
+    for (int j = 0; j < 24; j++) ASSERT_EQ(ptrs[i][j], static_cast<char>(i & 0xff));
+  }
+  EXPECT_GE(arena.allocated_bytes(), 24000u);
+}
+
+TEST(Arena, LargeAllocationSpansBlocks) {
+  Arena arena(64);
+  void* p = arena.Allocate(1 << 16, 64);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xab, 1 << 16);
+}
+
+TEST(Arena, ConcurrentAllocationsDoNotOverlap) {
+  Arena arena(4096);
+  constexpr int kThreads = 4;
+  constexpr int kAllocs = 2000;
+  std::vector<std::vector<char*>> all(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kAllocs; i++) {
+        char* p = static_cast<char*>(arena.AllocateConcurrent(16, 8));
+        std::memset(p, t, 16);
+        all[t].push_back(p);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; t++) {
+    for (char* p : all[t]) {
+      for (int j = 0; j < 16; j++) ASSERT_EQ(p[j], static_cast<char>(t));
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Latches, barrier, timers, sysinfo
+// --------------------------------------------------------------------------
+
+TEST(SpinLatch, MutualExclusion) {
+  SpinLatch latch;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; i++) {
+        SpinLatchGuard g(latch);
+        counter++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(SpinLatch, TryLockFailsWhenHeld) {
+  SpinLatch latch;
+  ASSERT_TRUE(latch.TryLock());
+  EXPECT_FALSE(latch.TryLock());
+  latch.Unlock();
+  EXPECT_TRUE(latch.TryLock());
+  latch.Unlock();
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counts[3] = {{0}, {0}, {0}};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&] {
+      for (int p = 0; p < 3; p++) {
+        phase_counts[p].fetch_add(1);
+        barrier.Wait();
+        // After the barrier every thread must have bumped this phase.
+        EXPECT_EQ(phase_counts[p].load(), kThreads);
+        barrier.Wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+TEST(Timer, ScopedTimerAccumulates) {
+  uint64_t sink = 0;
+  {
+    ScopedTimer t(&sink);
+    volatile int x = 0;
+    for (int i = 0; i < 10000; i++) x = x + i;
+  }
+  EXPECT_GT(sink, 0u);
+  const uint64_t first = sink;
+  {
+    ScopedTimer t(&sink);
+    volatile int x = 0;
+    for (int i = 0; i < 10000; i++) x = x + i;
+  }
+  EXPECT_GT(sink, first);
+}
+
+TEST(Timer, StopwatchMonotone) {
+  Stopwatch w;
+  const uint64_t a = w.ElapsedNanos();
+  const uint64_t b = w.ElapsedNanos();
+  EXPECT_LE(a, b);
+}
+
+TEST(SysInfo, ProbesSomething) {
+  const SysInfo info = SysInfo::Probe();
+  EXPECT_GE(info.logical_cores, 1u);
+  EXPECT_GT(info.total_memory_bytes, 0u);
+  EXPECT_FALSE(info.ToString().empty());
+}
+
+}  // namespace
+}  // namespace rocc

@@ -1,0 +1,335 @@
+// Tests for the many-core interleaving simulator: FiberScheduler context
+// switching, FiberBarrier, the CoopYieldCc decorator, and fiber-mode
+// experiment runs (including serializability under fiber interleaving).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fiber.h"
+#include "harness/coop_cc.h"
+#include "harness/runner.h"
+#include "workload/ycsb.h"
+
+namespace rocc {
+namespace {
+
+// --------------------------------------------------------------------------
+// FiberScheduler
+// --------------------------------------------------------------------------
+
+TEST(Fiber, RunsAllFibersToCompletion) {
+  FiberScheduler sched;
+  std::vector<int> done;
+  for (int i = 0; i < 5; i++) {
+    sched.Spawn([&done, i] { done.push_back(i); });
+  }
+  sched.Run();
+  EXPECT_EQ(done, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Fiber, YieldInterleavesRoundRobin) {
+  FiberScheduler sched;
+  std::vector<int> trace;
+  for (int i = 0; i < 3; i++) {
+    sched.Spawn([&trace, i] {
+      for (int round = 0; round < 3; round++) {
+        trace.push_back(i);
+        FiberScheduler::YieldFiber();
+      }
+    });
+  }
+  sched.Run();
+  // Perfect round-robin: 0 1 2 repeated three times.
+  ASSERT_EQ(trace.size(), 9u);
+  for (size_t pos = 0; pos < trace.size(); pos++) {
+    EXPECT_EQ(trace[pos], static_cast<int>(pos % 3));
+  }
+}
+
+TEST(Fiber, InFiberReflectsContext) {
+  EXPECT_FALSE(FiberScheduler::InFiber());
+  FiberScheduler sched;
+  bool inside = false;
+  sched.Spawn([&] { inside = FiberScheduler::InFiber(); });
+  sched.Run();
+  EXPECT_TRUE(inside);
+  EXPECT_FALSE(FiberScheduler::InFiber());
+}
+
+TEST(Fiber, CurrentFiberIdentifiesRunner) {
+  FiberScheduler sched;
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 4; i++) {
+    sched.Spawn([&] { ids.push_back(FiberScheduler::CurrentFiber()); });
+  }
+  sched.Run();
+  EXPECT_EQ(ids, (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(Fiber, UnevenFiberLengths) {
+  FiberScheduler sched;
+  int total = 0;
+  for (int i = 0; i < 4; i++) {
+    sched.Spawn([&total, i] {
+      for (int n = 0; n < (i + 1) * 10; n++) {
+        total++;
+        FiberScheduler::YieldFiber();
+      }
+    });
+  }
+  sched.Run();
+  EXPECT_EQ(total, 10 + 20 + 30 + 40);
+}
+
+TEST(Fiber, DeepStackUsage) {
+  // Fibers must survive deep call stacks with aligned SSE spills (the bug
+  // class that motivated the 16-byte initial-frame alignment).
+  FiberScheduler sched;
+  double result = 0;
+  sched.Spawn([&] {
+    // A recursive lambda forcing real stack frames and FP math.
+    struct Rec {
+      static double Go(int depth, double x) {
+        if (depth == 0) return x;
+        volatile double local[8] = {x, x + 1, x + 2, x + 3, x + 4, x + 5, x + 6, x + 7};
+        FiberScheduler::YieldFiber();
+        return Go(depth - 1, local[static_cast<int>(x) % 8] * 1.0000001);
+      }
+    };
+    result = Rec::Go(200, 1.0);
+  });
+  // A second fiber interleaves with the recursion at every level.
+  sched.Spawn([] {
+    for (int i = 0; i < 100; i++) FiberScheduler::YieldFiber();
+  });
+  sched.Run();
+  EXPECT_GT(result, 1.0);
+}
+
+TEST(Fiber, CooperativeYieldOutsideFiberIsSafe) {
+  CooperativeYield();  // plain thread: must not crash
+  SUCCEED();
+}
+
+// --------------------------------------------------------------------------
+// FiberBarrier
+// --------------------------------------------------------------------------
+
+TEST(Fiber, BarrierReleasesTogether) {
+  FiberScheduler sched;
+  FiberBarrier barrier(3);
+  std::vector<int> trace;
+  for (int i = 0; i < 3; i++) {
+    sched.Spawn([&, i] {
+      trace.push_back(i);       // before the barrier
+      barrier.Wait();
+      trace.push_back(10 + i);  // after the barrier
+    });
+  }
+  sched.Run();
+  // All "before" entries precede all "after" entries.
+  ASSERT_EQ(trace.size(), 6u);
+  for (int pos = 0; pos < 3; pos++) EXPECT_LT(trace[pos], 10);
+  for (int pos = 3; pos < 6; pos++) EXPECT_GE(trace[pos], 10);
+  EXPECT_GT(barrier.completion_nanos(), 0u);
+}
+
+TEST(Fiber, BarrierLastArriverFlagged) {
+  FiberScheduler sched;
+  FiberBarrier barrier(2);
+  int last_count = 0;
+  for (int i = 0; i < 2; i++) {
+    sched.Spawn([&] {
+      if (barrier.Wait()) last_count++;
+    });
+  }
+  sched.Run();
+  EXPECT_EQ(last_count, 1);
+}
+
+// --------------------------------------------------------------------------
+// CoopYieldCc decorator
+// --------------------------------------------------------------------------
+
+TEST(CoopYield, DelegatesAndPreservesSemantics) {
+  Database db;
+  const uint32_t table = db.CreateTable("t", Schema({{"v", 8, 0}}));
+  for (uint64_t k = 0; k < 100; k++) db.LoadRow(table, k, &k);
+
+  RoccOptions opts;
+  RangeConfig rc;
+  rc.table_id = table;
+  rc.key_max = 100;
+  rc.num_ranges = 4;
+  opts.tables = {rc};
+  auto inner = std::make_unique<Rocc>(&db, 2, std::move(opts));
+  Rocc* raw = inner.get();
+  CoopYieldCc coop(std::move(inner));
+
+  EXPECT_STREQ(coop.Name(), "ROCC");
+  EXPECT_EQ(coop.inner(), raw);
+
+  TxnDescriptor* t = coop.Begin(0);
+  uint64_t v = 0;
+  ASSERT_TRUE(coop.Read(t, table, 5, &v).ok());
+  EXPECT_EQ(v, 5u);
+  v = 999;
+  ASSERT_TRUE(coop.Update(t, table, 5, &v, sizeof(v), 0).ok());
+  ASSERT_TRUE(coop.Commit(t).ok());
+
+  TxnDescriptor* r = coop.Begin(0);
+  ASSERT_TRUE(coop.Read(r, table, 5, &v).ok());
+  EXPECT_EQ(v, 999u);
+  coop.Abort(r);
+}
+
+TEST(CoopYield, ScanYieldsInsideFiber) {
+  Database db;
+  const uint32_t table = db.CreateTable("t", Schema({{"v", 8, 0}}));
+  for (uint64_t k = 0; k < 500; k++) db.LoadRow(table, k, &k);
+  RoccOptions opts;
+  RangeConfig rc;
+  rc.table_id = table;
+  rc.key_max = 500;
+  rc.num_ranges = 4;
+  opts.tables = {rc};
+  CoopYieldCc coop(std::make_unique<Rocc>(&db, 2, std::move(opts)),
+                   /*ops_per_yield=*/1, /*records_per_yield=*/10);
+
+  // Two fibers: one scans 300 records (yielding every 10), the other counts
+  // how many slices it gets while the scan is in flight.
+  FiberScheduler sched;
+  int other_slices = 0;
+  bool scan_done = false;
+  sched.Spawn([&] {
+    TxnDescriptor* t = coop.Begin(0);
+    class Count : public ScanConsumer {
+     public:
+      bool OnRecord(uint64_t, const char*) override { return true; }
+    } consumer;
+    ASSERT_TRUE(coop.Scan(t, table, 0, 0, 300, &consumer).ok());
+    ASSERT_TRUE(coop.Commit(t).ok());
+    scan_done = true;
+  });
+  sched.Spawn([&] {
+    while (!scan_done) {
+      other_slices++;
+      FiberScheduler::YieldFiber();
+    }
+  });
+  sched.Run();
+  // 300 records / 10 per yield = ~30 interleaving opportunities.
+  EXPECT_GE(other_slices, 25);
+}
+
+// --------------------------------------------------------------------------
+// Fiber-mode experiments
+// --------------------------------------------------------------------------
+
+class FiberModeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FiberModeTest, ExperimentProducesSaneStats) {
+  Database db;
+  YcsbOptions opts;
+  opts.num_rows = 20'000;
+  opts.scan_length = 50;
+  YcsbWorkload wl(opts);
+  wl.Load(&db);
+  auto cc = CreateProtocol(GetParam(), &db, wl, 8);
+  RunOptions run;
+  run.num_threads = 8;
+  run.txns_per_thread = 150;
+  run.warmup_txns_per_thread = 20;
+  run.mode = ExecMode::kFibers;
+  const RunResult r = RunExperiment(cc.get(), &wl, run);
+  EXPECT_GE(r.stats.commits, r.total_txns);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.stats.scan_txn_commits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(OccFamily, FiberModeTest,
+                         ::testing::Values("rocc", "lrv", "gwv", "mvrcc"),
+                         [](const auto& pinfo) { return pinfo.param; });
+
+// Serializability under fiber interleaving: the full-range sum invariant
+// must hold for every committed scan even though transfers interleave at
+// operation granularity.
+TEST(FiberModeTest2, RangeSumInvariantUnderFiberInterleaving) {
+  Database db;
+  const uint32_t table = db.CreateTable("accounts", Schema({{"v", 8, 0}}));
+  constexpr uint64_t kAccounts = 256;
+  constexpr uint64_t kInitial = 1000;
+  for (uint64_t k = 0; k < kAccounts; k++) db.LoadRow(table, k, &kInitial);
+
+  RoccOptions opts;
+  RangeConfig rc;
+  rc.table_id = table;
+  rc.key_max = kAccounts;
+  rc.num_ranges = 8;
+  opts.tables = {rc};
+  Rocc inner(&db, 8, std::move(opts));
+  CoopYieldCc coop(&inner, 1, 8);
+
+  class SumConsumer : public ScanConsumer {
+   public:
+    uint64_t sum = 0;
+    bool OnRecord(uint64_t, const char* payload) override {
+      uint64_t v;
+      std::memcpy(&v, payload, sizeof(v));
+      sum += v;
+      return true;
+    }
+  };
+
+  FiberScheduler sched;
+  int committed_scans = 0;
+  bool violation = false;
+  for (uint32_t tid = 0; tid < 8; tid++) {
+    sched.Spawn([&, tid] {
+      Rng rng(tid + 7);
+      for (int i = 0; i < 200; i++) {
+        if (tid == 0) {
+          TxnDescriptor* t = coop.Begin(tid);
+          SumConsumer sum;
+          if (!coop.Scan(t, table, 0, kAccounts, 0, &sum).ok()) {
+            coop.Abort(t);
+            continue;
+          }
+          if (coop.Commit(t).ok()) {
+            committed_scans++;
+            if (sum.sum != kAccounts * kInitial) violation = true;
+          }
+        } else {
+          const uint64_t a = rng.Uniform(kAccounts);
+          uint64_t b = rng.Uniform(kAccounts - 1);
+          if (b >= a) b++;
+          TxnDescriptor* t = coop.Begin(tid);
+          uint64_t va = 0, vb = 0;
+          Status st = coop.Read(t, table, a, &va);
+          if (st.ok()) st = coop.Read(t, table, b, &vb);
+          if (st.ok() && va >= 5) {
+            va -= 5;
+            vb += 5;
+            st = coop.Update(t, table, a, &va, sizeof(va), 0);
+            if (st.ok()) st = coop.Update(t, table, b, &vb, sizeof(vb), 0);
+          }
+          if (!st.ok()) {
+            coop.Abort(t);
+            continue;
+          }
+          coop.Commit(t);
+        }
+      }
+    });
+  }
+  sched.Run();
+  EXPECT_FALSE(violation);
+  EXPECT_GT(committed_scans, 0);
+}
+
+}  // namespace
+}  // namespace rocc

@@ -1,0 +1,30 @@
+// Build smoke test: the library links and a trivial end-to-end transaction
+// commits under every protocol.
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+#include "workload/ycsb.h"
+
+namespace rocc {
+namespace {
+
+TEST(Smoke, CommitOneTxnPerProtocol) {
+  for (const char* proto : {"rocc", "lrv", "gwv", "mvrcc", "2pl"}) {
+    Database db;
+    YcsbOptions opts;
+    opts.num_rows = 1000;
+    opts.scan_txn_fraction = 0.5;
+    opts.scan_length = 20;
+    YcsbWorkload workload(opts);
+    workload.Load(&db);
+    auto cc = CreateProtocol(proto, &db, workload, 1);
+    Rng rng(42);
+    for (int i = 0; i < 50; i++) {
+      EXPECT_TRUE(workload.RunTxn(cc.get(), 0, rng).ok()) << proto;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rocc

@@ -1,0 +1,281 @@
+// Storage layer tests: Schema layout, TID-word protocol, Row consistent
+// reads under concurrent writers, Table/Database loading, HashIndex.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/hash_index.h"
+#include "storage/database.h"
+#include "storage/row.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace rocc {
+namespace {
+
+// --------------------------------------------------------------------------
+// Schema
+// --------------------------------------------------------------------------
+
+TEST(Schema, OffsetsAndRowSize) {
+  Schema s({{"a", 8, 0}, {"b", 4, 0}, {"c", 16, 0}});
+  EXPECT_EQ(s.row_size(), 28u);
+  EXPECT_EQ(s.NumColumns(), 3u);
+  EXPECT_EQ(s.ColumnOffset(0), 0u);
+  EXPECT_EQ(s.ColumnOffset(1), 8u);
+  EXPECT_EQ(s.ColumnOffset(2), 12u);
+  EXPECT_EQ(s.ColumnSize(2), 16u);
+}
+
+TEST(Schema, ColumnLookupByName) {
+  Schema s({{"x", 8, 0}, {"y", 8, 0}});
+  EXPECT_EQ(s.ColumnIndex("x"), 0);
+  EXPECT_EQ(s.ColumnIndex("y"), 1);
+  EXPECT_EQ(s.ColumnIndex("z"), -1);
+}
+
+// --------------------------------------------------------------------------
+// TID word
+// --------------------------------------------------------------------------
+
+TEST(TidWord, BitLayout) {
+  EXPECT_FALSE(TidWord::IsLocked(5));
+  EXPECT_TRUE(TidWord::IsLocked(TidWord::MakeLocked(5)));
+  EXPECT_EQ(TidWord::Version(TidWord::MakeLocked(5)), 5u);
+  EXPECT_TRUE(TidWord::IsAbsent(TidWord::kAbsentBit | 9));
+  EXPECT_EQ(TidWord::Version(TidWord::kAbsentBit | 9), 9u);
+}
+
+class RowTest : public ::testing::Test {
+ protected:
+  Row* MakeRow(uint64_t key, bool visible = true) {
+    void* mem = std::malloc(Row::AllocSize(kPayload));
+    allocs_.push_back(mem);
+    Row* r = Row::Init(mem, 1, key, kPayload, visible);
+    if (visible) std::memset(r->Data(), 0, kPayload);
+    return r;
+  }
+  ~RowTest() override {
+    for (void* p : allocs_) std::free(p);
+  }
+  static constexpr uint32_t kPayload = 32;
+  std::vector<void*> allocs_;
+};
+
+TEST_F(RowTest, InitVisible) {
+  Row* r = MakeRow(7);
+  EXPECT_EQ(r->key, 7u);
+  EXPECT_EQ(r->payload_size, kPayload);
+  EXPECT_FALSE(r->IsAbsent());
+  uint64_t v = 0;
+  EXPECT_TRUE(r->ReadVersion(&v));
+  EXPECT_EQ(TidWord::Version(v), 1u);
+}
+
+TEST_F(RowTest, InitPlaceholderIsLockedAndAbsent) {
+  Row* r = MakeRow(7, /*visible=*/false);
+  EXPECT_TRUE(r->IsAbsent());
+  uint64_t v = 0;
+  EXPECT_FALSE(r->ReadVersion(&v));  // locked
+  EXPECT_FALSE(r->TryLock());        // already locked
+  r->UnlockWithVersion(42);          // commit the insert
+  EXPECT_FALSE(r->IsAbsent());
+  EXPECT_TRUE(r->ReadVersion(&v));
+  EXPECT_EQ(v, 42u);
+}
+
+TEST_F(RowTest, LockUnlockCycle) {
+  Row* r = MakeRow(1);
+  EXPECT_TRUE(r->TryLock());
+  EXPECT_FALSE(r->TryLock());
+  r->Unlock();  // abort path: version unchanged
+  uint64_t v = 0;
+  EXPECT_TRUE(r->ReadVersion(&v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(r->TryLock());
+  r->UnlockWithVersion(99);
+  EXPECT_TRUE(r->ReadVersion(&v));
+  EXPECT_EQ(v, 99u);
+}
+
+TEST_F(RowTest, UnlockAsDeletedSetsTombstone) {
+  Row* r = MakeRow(1);
+  ASSERT_TRUE(r->TryLock());
+  r->UnlockAsDeleted(55);
+  EXPECT_TRUE(r->IsAbsent());
+  uint64_t v = 0;
+  EXPECT_TRUE(r->ReadVersion(&v));
+  EXPECT_EQ(TidWord::Version(v), 55u);
+}
+
+TEST_F(RowTest, ReadConsistentSeesCommittedValue) {
+  Row* r = MakeRow(1);
+  std::memset(r->Data(), 0x5a, kPayload);
+  char buf[kPayload];
+  uint64_t v = 0;
+  ASSERT_TRUE(r->ReadConsistent(buf, &v));
+  for (char c : buf) ASSERT_EQ(c, 0x5a);
+}
+
+// A writer repeatedly locks, mutates the whole payload to a uniform value,
+// and publishes; readers must never observe a torn mix of two values.
+TEST_F(RowTest, ReadConsistentNeverTornUnderConcurrentWrites) {
+  Row* r = MakeRow(1);
+  std::memset(r->Data(), 0, kPayload);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+
+  std::thread writer([&] {
+    uint64_t version = 2;
+    for (int i = 1; i <= 200000; i++) {
+      while (!r->TryLock()) {
+      }
+      std::memset(r->Data(), i & 0x7f, kPayload);
+      r->UnlockWithVersion(version++);
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    char buf[kPayload];
+    uint64_t v;
+    while (!stop.load()) {
+      if (!r->ReadConsistent(buf, &v)) continue;
+      for (uint32_t j = 1; j < kPayload; j++) {
+        if (buf[j] != buf[0]) {
+          torn.store(true);
+          return;
+        }
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(torn.load());
+}
+
+TEST_F(RowTest, LockWithSpinEventuallyAcquires) {
+  Row* r = MakeRow(1);
+  ASSERT_TRUE(r->TryLock());
+  std::thread unlocker([&] { r->Unlock(); });
+  unlocker.join();
+  EXPECT_TRUE(r->LockWithSpin(1 << 20));
+  r->Unlock();
+}
+
+// --------------------------------------------------------------------------
+// Table / Database
+// --------------------------------------------------------------------------
+
+TEST(Table, CreateRowsAndPayload) {
+  Table table(3, "t", Schema({{"v", 16, 0}}));
+  char payload[16];
+  std::memset(payload, 0x11, sizeof(payload));
+  Row* r = table.CreateRow(5, payload);
+  EXPECT_EQ(r->table_id, 3u);
+  EXPECT_EQ(r->key, 5u);
+  EXPECT_EQ(r->payload_size, 16u);
+  EXPECT_EQ(std::memcmp(r->Data(), payload, 16), 0);
+  EXPECT_EQ(table.row_count(), 1u);
+
+  Row* p = table.CreatePlaceholderRow(6);
+  EXPECT_TRUE(TidWord::IsLocked(p->tid.load()));
+  EXPECT_TRUE(TidWord::IsAbsent(p->tid.load()));
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, NullPayloadZeroFills) {
+  Table table(0, "t", Schema({{"v", 8, 0}}));
+  Row* r = table.CreateRow(1, nullptr);
+  for (int i = 0; i < 8; i++) EXPECT_EQ(r->Data()[i], 0);
+}
+
+TEST(Database, CreateTablesAndLoad) {
+  Database db;
+  const uint32_t t1 = db.CreateTable("alpha", Schema({{"v", 8, 0}}));
+  const uint32_t t2 = db.CreateTable("beta", Schema({{"v", 24, 0}}));
+  EXPECT_EQ(t1, 0u);
+  EXPECT_EQ(t2, 1u);
+  EXPECT_EQ(db.NumTables(), 2u);
+  EXPECT_EQ(db.GetTable("alpha")->id(), t1);
+  EXPECT_EQ(db.GetTable("beta")->id(), t2);
+  EXPECT_EQ(db.GetTable("gamma"), nullptr);
+
+  uint64_t value = 77;
+  Row* r = db.LoadRow(t1, 9, &value);
+  EXPECT_EQ(db.GetIndex(t1)->Get(9), r);
+  EXPECT_EQ(db.GetIndex(t2)->Get(9), nullptr);
+  uint64_t readback = 0;
+  std::memcpy(&readback, r->Data(), 8);
+  EXPECT_EQ(readback, 77u);
+}
+
+// --------------------------------------------------------------------------
+// HashIndex
+// --------------------------------------------------------------------------
+
+Row* HRow(uint64_t key) { return reinterpret_cast<Row*>((key << 3) | 2); }
+
+TEST(HashIndex, InsertGetRemove) {
+  HashIndex idx(1000);
+  for (uint64_t k = 0; k < 1000; k++) ASSERT_TRUE(idx.Insert(k, HRow(k)).ok());
+  EXPECT_EQ(idx.Size(), 1000u);
+  for (uint64_t k = 0; k < 1000; k++) ASSERT_EQ(idx.Get(k), HRow(k));
+  EXPECT_EQ(idx.Get(5000), nullptr);
+  EXPECT_EQ(idx.Insert(3, HRow(3)).code(), Code::kKeyExists);
+  ASSERT_TRUE(idx.Remove(3).ok());
+  EXPECT_EQ(idx.Get(3), nullptr);
+  EXPECT_TRUE(idx.Remove(3).not_found());
+  // Tombstone slots are reusable.
+  ASSERT_TRUE(idx.Insert(3, HRow(3)).ok());
+  EXPECT_EQ(idx.Get(3), HRow(3));
+}
+
+TEST(HashIndex, ProbingPastCollisions) {
+  HashIndex idx(16);
+  // Force many keys through a small table (capacity is 2x+16 rounded up).
+  for (uint64_t k = 0; k < 16; k++) ASSERT_TRUE(idx.Insert(k * 64, HRow(k)).ok());
+  for (uint64_t k = 0; k < 16; k++) ASSERT_EQ(idx.Get(k * 64), HRow(k));
+}
+
+TEST(HashIndex, ConcurrentDistinctInserts) {
+  HashIndex idx(100000);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < 20000; i++) {
+        const uint64_t k = i * kThreads + t;
+        ASSERT_TRUE(idx.Insert(k, HRow(k)).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(idx.Size(), 80000u);
+  for (uint64_t k = 0; k < 80000; k++) ASSERT_EQ(idx.Get(k), HRow(k));
+}
+
+TEST(HashIndex, ConcurrentRacingInsertsSingleWinner) {
+  HashIndex idx(10000);
+  constexpr int kThreads = 4;
+  std::atomic<int> wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&] {
+      for (uint64_t k = 0; k < 5000; k++) {
+        if (idx.Insert(k, HRow(k)).ok()) wins.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), 5000);
+  EXPECT_EQ(idx.Size(), 5000u);
+}
+
+}  // namespace
+}  // namespace rocc

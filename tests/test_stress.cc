@@ -1,0 +1,261 @@
+// Randomized differential testing.
+//
+// 1. Single-threaded oracle: the same seeded operation stream applied
+//    through each protocol must produce exactly the state that a plain
+//    std::map reference model produces, and every scan result must match
+//    the model's view at that moment.
+// 2. Cross-protocol hash: the final table contents must be identical across
+//    all protocols for the same stream (single-threaded, so no schedule
+//    divergence).
+// 3. Cover-ablation equivalence: ROCC with and without the cover fast path
+//    must accept/reject exactly the same single-threaded histories.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/hyper_gwv.h"
+#include "cc/mvrcc.h"
+#include "cc/silo_lrv.h"
+#include "cc/two_phase_locking.h"
+#include "cc/txn_handle.h"
+#include "common/rng.h"
+#include "core/rocc.h"
+
+namespace rocc {
+namespace {
+
+constexpr uint64_t kKeySpace = 2000;
+constexpr uint64_t kInitialKeys = 800;
+
+std::unique_ptr<ConcurrencyControl> MakeProtocol(const std::string& name,
+                                                 Database* db, uint32_t table,
+                                                 bool cover_fast_path = true) {
+  if (name == "rocc" || name == "mvrcc") {
+    RoccOptions opts;
+    RangeConfig rc;
+    rc.table_id = table;
+    rc.key_max = kKeySpace;
+    rc.num_ranges = 16;
+    rc.ring_capacity = 512;
+    opts.tables = {rc};
+    opts.cover_fast_path = cover_fast_path;
+    if (name == "mvrcc") return std::make_unique<Mvrcc>(db, 2, std::move(opts));
+    return std::make_unique<Rocc>(db, 2, std::move(opts));
+  }
+  if (name == "lrv") return std::make_unique<SiloLrv>(db, 2);
+  if (name == "gwv") return std::make_unique<HyperGwv>(db, 2);
+  return std::make_unique<TplNoWait>(db, 2);
+}
+
+/// Collects (key, value) pairs from a scan for comparison with the model.
+class CollectScan : public ScanConsumer {
+ public:
+  bool OnRecord(uint64_t key, const char* payload) override {
+    uint64_t v;
+    std::memcpy(&v, payload, sizeof(v));
+    rows.emplace_back(key, v);
+    return true;
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> rows;
+};
+
+/// Applies `num_txns` seeded random transactions through the protocol while
+/// mirroring them in a std::map; checks reads and scans against the model.
+/// Returns the model for final-state comparison.
+std::map<uint64_t, uint64_t> RunDifferential(ConcurrencyControl* cc,
+                                             uint32_t table, uint64_t seed,
+                                             int num_txns, bool* ok) {
+  std::map<uint64_t, uint64_t> model;
+  {
+    // The table was loaded with kInitialKeys even keys = value 2*key.
+    for (uint64_t k = 0; k < kInitialKeys; k++) model[k * 2] = k * 4;
+  }
+  Rng rng(seed);
+  *ok = true;
+
+  for (int i = 0; i < num_txns && *ok; i++) {
+    TxnHandle txn(cc, 0);
+    std::map<uint64_t, uint64_t> staged = model;  // model of txn-local state
+    std::vector<uint64_t> deleted_in_txn;
+    const int ops = 1 + static_cast<int>(rng.Uniform(6));
+    bool aborted = false;
+    for (int op = 0; op < ops && !aborted; op++) {
+      const uint64_t key = rng.Uniform(kKeySpace);
+      switch (rng.Uniform(5)) {
+        case 0: {  // read
+          uint64_t v = 0;
+          const Status st = txn.Read(table, key, &v);
+          const auto it = staged.find(key);
+          if (it == staged.end()) {
+            if (!st.not_found()) *ok = false;
+          } else if (!st.ok() || v != it->second) {
+            *ok = false;
+          }
+          break;
+        }
+        case 1: {  // update (blind)
+          const uint64_t v = rng.Next() >> 8;
+          const Status st = txn.Update(table, key, &v, sizeof(v), 0);
+          if (staged.count(key) == 0) {
+            if (!st.not_found()) *ok = false;
+          } else if (st.ok()) {
+            staged[key] = v;
+          } else {
+            *ok = false;
+          }
+          break;
+        }
+        case 2: {  // insert
+          const uint64_t v = rng.Next() >> 8;
+          const Status st = txn.Insert(table, key, &v);
+          const bool self_deleted =
+              std::find(deleted_in_txn.begin(), deleted_in_txn.end(), key) !=
+              deleted_in_txn.end();
+          if (staged.count(key) != 0) {
+            if (st.ok()) *ok = false;  // duplicate must be rejected
+          } else if (self_deleted) {
+            // Documented limitation: delete-then-reinsert of one key within
+            // a single transaction is rejected. The model stays unchanged.
+            if (st.ok()) staged[key] = v;  // (2PL path may abort instead)
+            if (st.aborted()) aborted = true;
+          } else if (st.ok()) {
+            staged[key] = v;
+          } else if (st.aborted()) {
+            aborted = true;  // 2PL reports duplicates as aborts
+          } else {
+            *ok = false;
+          }
+          break;
+        }
+        case 3: {  // delete
+          const Status st = txn.Remove(table, key);
+          if (staged.count(key) == 0) {
+            if (!st.not_found()) *ok = false;
+          } else if (st.ok()) {
+            staged.erase(key);
+            deleted_in_txn.push_back(key);
+          } else {
+            *ok = false;
+          }
+          break;
+        }
+        default: {  // bounded scan, compared against the staged model
+          const uint64_t start = rng.Uniform(kKeySpace);
+          const uint64_t len = 1 + rng.Uniform(64);
+          CollectScan scan;
+          const Status st = txn.Scan(table, start, start + len, 0, &scan);
+          if (!st.ok()) {
+            *ok = false;
+            break;
+          }
+          std::vector<std::pair<uint64_t, uint64_t>> expect;
+          for (auto it = staged.lower_bound(start);
+               it != staged.end() && it->first < start + len; ++it) {
+            expect.emplace_back(it->first, it->second);
+          }
+          if (scan.rows != expect) *ok = false;
+          break;
+        }
+      }
+    }
+    if (aborted) continue;  // model unchanged (txn auto-aborts via handle)
+    // Commit with a coin flip; aborts must leave the model untouched.
+    if (rng.Uniform(8) == 0) {
+      txn.Abort();
+    } else {
+      if (!txn.Commit().ok()) {
+        *ok = false;  // single-threaded commits can never conflict
+      } else {
+        model = std::move(staged);
+      }
+    }
+  }
+  return model;
+}
+
+void LoadTable(Database* db, uint32_t* table) {
+  *table = db->CreateTable("t", Schema({{"v", 8, 0}}));
+  for (uint64_t k = 0; k < kInitialKeys; k++) {
+    const uint64_t v = k * 4;
+    db->LoadRow(*table, k * 2, &v);
+  }
+}
+
+/// Reads the final visible table state through the raw index.
+std::map<uint64_t, uint64_t> DumpTable(Database* db, uint32_t table) {
+  std::map<uint64_t, uint64_t> out;
+  db->GetIndex(table)->ScanFrom(0, [&](uint64_t key, Row* row) {
+    if (!row->IsAbsent()) {
+      uint64_t v;
+      std::memcpy(&v, row->Data(), sizeof(v));
+      out[key] = v;
+    }
+    return true;
+  });
+  return out;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DifferentialTest, MatchesReferenceModel) {
+  for (uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+    Database db;
+    uint32_t table = 0;
+    LoadTable(&db, &table);
+    auto cc = MakeProtocol(GetParam(), &db, table);
+    bool ok = true;
+    const auto model = RunDifferential(cc.get(), table, seed, 800, &ok);
+    EXPECT_TRUE(ok) << GetParam() << " seed " << seed;
+    EXPECT_EQ(DumpTable(&db, table), model) << GetParam() << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, DifferentialTest,
+                         ::testing::Values("rocc", "lrv", "gwv", "mvrcc", "2pl"),
+                         [](const auto& pinfo) { return pinfo.param; });
+
+TEST(DifferentialCross, AllProtocolsConvergeToSameState) {
+  std::map<uint64_t, uint64_t> reference;
+  bool first = true;
+  for (const std::string proto : {"rocc", "lrv", "gwv", "mvrcc", "2pl"}) {
+    Database db;
+    uint32_t table = 0;
+    LoadTable(&db, &table);
+    auto cc = MakeProtocol(proto, &db, table);
+    bool ok = true;
+    RunDifferential(cc.get(), table, /*seed=*/77, 600, &ok);
+    ASSERT_TRUE(ok) << proto;
+    const auto state = DumpTable(&db, table);
+    if (first) {
+      reference = state;
+      first = false;
+    } else {
+      EXPECT_EQ(state, reference) << proto;
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+TEST(DifferentialCross, CoverAblationIsSemanticallyIdentical) {
+  std::map<uint64_t, uint64_t> with_cover, without_cover;
+  for (bool cover : {true, false}) {
+    Database db;
+    uint32_t table = 0;
+    LoadTable(&db, &table);
+    auto cc = MakeProtocol("rocc", &db, table, cover);
+    bool ok = true;
+    RunDifferential(cc.get(), table, /*seed=*/99, 600, &ok);
+    ASSERT_TRUE(ok) << "cover=" << cover;
+    (cover ? with_cover : without_cover) = DumpTable(&db, table);
+  }
+  EXPECT_EQ(with_cover, without_cover);
+}
+
+}  // namespace
+}  // namespace rocc

@@ -1,0 +1,200 @@
+// TPC-C transaction-level semantic tests: effects of each transaction on
+// the schema, rollback cleanliness, and cross-transaction data flow
+// (NewOrder -> Delivery -> customer balance; Payment -> bulk reward target).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "cc/txn_handle.h"
+#include "harness/runner.h"
+#include "workload/tpcc/tpcc.h"
+
+namespace rocc {
+namespace {
+
+using namespace tpcc;  // NOLINT
+
+class TpccSemantics : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpccOptions opts;
+    opts.num_warehouses = 1;
+    opts.initial_orders_per_district = 10;
+    opts.bulk_scan_length = 200;
+    wl_ = std::make_unique<TpccWorkload>(opts);
+    wl_->Load(&db_);
+    cc_ = CreateProtocol("rocc", &db_, *wl_, 2);
+  }
+
+  template <typename RowT>
+  RowT ReadCommitted(uint32_t table, uint64_t key) {
+    TxnHandle txn(cc_.get(), 1);
+    RowT row{};
+    EXPECT_TRUE(txn.ReadRow(table, key, &row).ok()) << "key " << key;
+    EXPECT_TRUE(txn.Commit().ok());
+    return row;
+  }
+
+  Database db_;
+  std::unique_ptr<TpccWorkload> wl_;
+  std::unique_ptr<ConcurrencyControl> cc_;
+};
+
+TEST_F(TpccSemantics, NewOrderAdvancesDistrictCounterAndLinksCustomer) {
+  const auto& t = wl_->tables();
+  const auto before = ReadCommitted<DistrictRow>(t.district, DistrictKey(0, 0));
+
+  // Drive NewOrder until one lands in district 0 (random district choice).
+  Rng rng(5);
+  uint32_t committed = 0;
+  for (int i = 0; i < 200 && committed < 30; i++) {
+    if (wl_->DoNewOrder(cc_.get(), 0, rng).ok()) committed++;
+  }
+  ASSERT_EQ(committed, 30u);
+
+  uint32_t total_new_orders = 0;
+  for (uint32_t d = 0; d < kDistrictsPerWarehouse; d++) {
+    const auto dist = ReadCommitted<DistrictRow>(t.district, DistrictKey(0, d));
+    total_new_orders += dist.d_next_o_id - before.d_next_o_id;
+    // Every allocated order id must exist with order lines and a customer
+    // whose c_last_o_id can reach it.
+    for (uint32_t o = before.d_next_o_id; o < dist.d_next_o_id; o++) {
+      const auto order = ReadCommitted<OrderRow>(t.order, OrderKey(0, d, o));
+      EXPECT_GE(order.o_ol_cnt, kMinOrderLines);
+      EXPECT_LE(order.o_ol_cnt, kMaxOrderLines);
+      const auto line = ReadCommitted<OrderLineRow>(
+          t.order_line, OrderLineKey(0, d, o, 1));
+      EXPECT_LT(line.ol_i_id, kItems);
+      EXPECT_EQ(line.ol_delivery_d, 0u);  // not yet delivered
+    }
+  }
+  EXPECT_EQ(total_new_orders, 30u);
+}
+
+TEST_F(TpccSemantics, PaymentFlowsIntoBulkRewardRanking) {
+  const auto& t = wl_->tables();
+  // Concentrate payments on one customer so it becomes the top shopper.
+  const uint64_t star = CustomerKey(0, 3, 77);
+  for (int i = 0; i < 5; i++) {
+    TxnHandle txn(cc_.get(), 0);
+    auto cust = CustomerRow{};
+    ASSERT_TRUE(txn.ReadRow(t.customer, star, &cust).ok());
+    cust.c_ytd_payment += 1'000'000.0;
+    cust.c_payment_ts = 12345;
+    ASSERT_TRUE(txn.UpdateRow(t.customer, star, cust).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  const double balance_before = ReadCommitted<CustomerRow>(t.customer, star).c_balance;
+
+  // Bulk rewards scan random 200-customer windows; run until one covers the
+  // star customer and commits.
+  Rng rng(9);
+  bool rewarded = false;
+  for (int i = 0; i < 400 && !rewarded; i++) {
+    ASSERT_TRUE(wl_->DoBulkReward(cc_.get(), 0, rng).ok());
+    const double now = ReadCommitted<CustomerRow>(t.customer, star).c_balance;
+    rewarded = now > balance_before;
+  }
+  EXPECT_TRUE(rewarded) << "top shopper never rewarded";
+  EXPECT_TRUE(wl_->CheckYtdInvariant());
+}
+
+TEST_F(TpccSemantics, DeliveryMarksLinesAndPaysCustomer) {
+  const auto& t = wl_->tables();
+  // Find the oldest undelivered order of district 0 via the raw index.
+  uint64_t oldest_key = 0;
+  db_.GetIndex(t.new_order)->ScanRange(OrderKey(0, 0, 0), OrderKey(0, 1, 0),
+                                       [&](uint64_t key, Row*) {
+                                         oldest_key = key;
+                                         return false;
+                                       });
+  ASSERT_NE(oldest_key, 0u);
+  const uint32_t o_id = static_cast<uint32_t>(oldest_key & 0xffffff);
+  const auto order = ReadCommitted<OrderRow>(t.order, OrderKey(0, 0, o_id));
+  const auto cust_before = ReadCommitted<CustomerRow>(
+      t.customer, CustomerKey(0, 0, order.o_c_id));
+
+  Rng rng(3);
+  ASSERT_TRUE(wl_->DoDelivery(cc_.get(), 0, rng).ok());
+
+  // The new-order queue entry is gone; the order is carried; lines stamped.
+  TxnHandle check(cc_.get(), 0);
+  NewOrderRow no{};
+  EXPECT_TRUE(check.ReadRow(t.new_order, OrderKey(0, 0, o_id), &no).not_found());
+  OrderRow delivered{};
+  ASSERT_TRUE(check.ReadRow(t.order, OrderKey(0, 0, o_id), &delivered).ok());
+  EXPECT_GT(delivered.o_carrier_id, 0u);
+  double total = 0;
+  for (uint32_t ol = 1; ol <= delivered.o_ol_cnt; ol++) {
+    OrderLineRow line{};
+    ASSERT_TRUE(
+        check.ReadRow(t.order_line, OrderLineKey(0, 0, o_id, ol), &line).ok());
+    EXPECT_GT(line.ol_delivery_d, 0u);
+    total += line.ol_amount;
+  }
+  CustomerRow cust_after{};
+  ASSERT_TRUE(check.ReadRow(t.customer, CustomerKey(0, 0, order.o_c_id),
+                            &cust_after).ok());
+  EXPECT_TRUE(check.Commit().ok());
+  EXPECT_NEAR(cust_after.c_balance, cust_before.c_balance + total, 1e-6);
+  EXPECT_EQ(cust_after.c_delivery_cnt, cust_before.c_delivery_cnt + 1);
+}
+
+TEST_F(TpccSemantics, AbortedNewOrderLeavesNoPartialState) {
+  const auto& t = wl_->tables();
+  const auto before = ReadCommitted<DistrictRow>(t.district, DistrictKey(0, 2));
+  const uint64_t orders_before = db_.GetIndex(t.order)->Size();
+  const uint64_t lines_before = db_.GetIndex(t.order_line)->Size();
+
+  // Hand-roll a NewOrder-shaped transaction and abort it mid-flight.
+  {
+    TxnHandle txn(cc_.get(), 0);
+    DistrictRow dist{};
+    ASSERT_TRUE(txn.ReadRow(t.district, DistrictKey(0, 2), &dist).ok());
+    const uint32_t o_id = dist.d_next_o_id;
+    dist.d_next_o_id++;
+    ASSERT_TRUE(txn.UpdateRow(t.district, DistrictKey(0, 2), dist).ok());
+    OrderRow order{};
+    order.o_c_id = 1;
+    order.o_ol_cnt = 5;
+    ASSERT_TRUE(txn.Insert(t.order, OrderKey(0, 2, o_id), &order).ok());
+    OrderLineRow line{};
+    ASSERT_TRUE(
+        txn.Insert(t.order_line, OrderLineKey(0, 2, o_id, 1), &line).ok());
+    // Scope exit aborts.
+  }
+
+  const auto after = ReadCommitted<DistrictRow>(t.district, DistrictKey(0, 2));
+  EXPECT_EQ(after.d_next_o_id, before.d_next_o_id);
+  EXPECT_EQ(db_.GetIndex(t.order)->Size(), orders_before);
+  EXPECT_EQ(db_.GetIndex(t.order_line)->Size(), lines_before);
+  EXPECT_TRUE(wl_->CheckOrderInvariant());
+}
+
+TEST_F(TpccSemantics, StockLevelIsReadOnly) {
+  const auto& t = wl_->tables();
+  const uint64_t stock_rows = db_.GetTable(t.stock)->row_count();
+  Rng rng(4);
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(wl_->DoStockLevel(cc_.get(), 0, rng).ok());
+  }
+  EXPECT_EQ(db_.GetTable(t.stock)->row_count(), stock_rows);
+  EXPECT_TRUE(wl_->CheckYtdInvariant());
+}
+
+TEST_F(TpccSemantics, HistoryGrowsOnlyWithPayments) {
+  const auto& t = wl_->tables();
+  EXPECT_EQ(db_.GetIndex(t.history)->Size(), 0u);
+  Rng rng(6);
+  uint32_t payments = 0;
+  for (int i = 0; i < 40; i++) {
+    if (wl_->DoPayment(cc_.get(), 0, rng).ok()) payments++;
+  }
+  EXPECT_EQ(db_.GetIndex(t.history)->Size(), payments);
+  EXPECT_TRUE(wl_->CheckYtdInvariant());
+}
+
+}  // namespace
+}  // namespace rocc

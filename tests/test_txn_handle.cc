@@ -1,0 +1,172 @@
+// TxnHandle RAII semantics: auto-abort on scope exit, move transfer, commit
+// and abort idempotence, and typed row helpers.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cc/txn_handle.h"
+#include "core/rocc.h"
+
+namespace rocc {
+namespace {
+
+struct AccountRow {
+  uint64_t balance;
+  uint64_t flags;
+};
+
+class TxnHandleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = db_.CreateTable("t", Schema({{"row", sizeof(AccountRow), 0}}));
+    for (uint64_t k = 0; k < 100; k++) {
+      AccountRow row{k * 10, 0};
+      db_.LoadRow(table_, k, &row);
+    }
+    RoccOptions opts;
+    RangeConfig rc;
+    rc.table_id = table_;
+    rc.key_max = 100;
+    rc.num_ranges = 4;
+    opts.tables = {rc};
+    cc_ = std::make_unique<Rocc>(&db_, 2, std::move(opts));
+  }
+
+  uint64_t CommittedBalance(uint64_t key) {
+    TxnHandle txn(cc_.get(), 1);
+    AccountRow row{};
+    EXPECT_TRUE(txn.ReadRow(table_, key, &row).ok());
+    EXPECT_TRUE(txn.Commit().ok());
+    return row.balance;
+  }
+
+  Database db_;
+  uint32_t table_ = 0;
+  std::unique_ptr<Rocc> cc_;
+};
+
+TEST_F(TxnHandleTest, CommitAppliesWrites) {
+  {
+    TxnHandle txn(cc_.get(), 0);
+    AccountRow row{};
+    ASSERT_TRUE(txn.ReadRow(table_, 5, &row).ok());
+    row.balance += 7;
+    ASSERT_TRUE(txn.UpdateRow(table_, 5, row).ok());
+    EXPECT_TRUE(txn.Commit().ok());
+    EXPECT_FALSE(txn.active());
+  }
+  EXPECT_EQ(CommittedBalance(5), 57u);
+}
+
+TEST_F(TxnHandleTest, ScopeExitAbortsPendingWrites) {
+  {
+    TxnHandle txn(cc_.get(), 0);
+    AccountRow row{999, 0};
+    ASSERT_TRUE(txn.UpdateRow(table_, 5, row).ok());
+    // No Commit: destructor must abort.
+  }
+  EXPECT_EQ(CommittedBalance(5), 50u);
+}
+
+TEST_F(TxnHandleTest, EarlyReturnPathAborts) {
+  auto attempt = [&]() -> Status {
+    TxnHandle txn(cc_.get(), 0);
+    AccountRow row{123, 0};
+    ROCC_RETURN_NOT_OK(txn.UpdateRow(table_, 5, row));
+    ROCC_RETURN_NOT_OK(txn.ReadRow(table_, 9999, &row));  // NotFound: early out
+    return txn.Commit();
+  };
+  EXPECT_TRUE(attempt().not_found());
+  EXPECT_EQ(CommittedBalance(5), 50u);
+}
+
+TEST_F(TxnHandleTest, MoveTransfersOwnership) {
+  TxnHandle a(cc_.get(), 0);
+  AccountRow row{1, 0};
+  ASSERT_TRUE(a.UpdateRow(table_, 6, row).ok());
+  TxnHandle b(std::move(a));
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): tested on purpose
+  EXPECT_TRUE(b.active());
+  EXPECT_TRUE(b.Commit().ok());
+  EXPECT_EQ(CommittedBalance(6), 1u);
+}
+
+TEST_F(TxnHandleTest, MoveAssignAbortsPrevious) {
+  TxnHandle a(cc_.get(), 0);
+  AccountRow row{111, 0};
+  ASSERT_TRUE(a.UpdateRow(table_, 7, row).ok());  // will be aborted
+
+  TxnHandle b(cc_.get(), 1);
+  AccountRow row2{222, 0};
+  ASSERT_TRUE(b.UpdateRow(table_, 8, row2).ok());
+  a = std::move(b);  // aborts a's original txn, adopts b's
+  EXPECT_TRUE(a.Commit().ok());
+  EXPECT_EQ(CommittedBalance(7), 70u);   // original a aborted
+  EXPECT_EQ(CommittedBalance(8), 222u);  // b's write committed via a
+}
+
+TEST_F(TxnHandleTest, ExplicitAbortIsInert) {
+  TxnHandle txn(cc_.get(), 0);
+  AccountRow row{5, 0};
+  ASSERT_TRUE(txn.UpdateRow(table_, 9, row).ok());
+  txn.Abort();
+  EXPECT_FALSE(txn.active());
+  txn.Abort();  // double abort is a no-op
+  EXPECT_EQ(CommittedBalance(9), 90u);
+}
+
+TEST_F(TxnHandleTest, ScanAndMarkScanTxn) {
+  class Count : public ScanConsumer {
+   public:
+    int n = 0;
+    bool OnRecord(uint64_t, const char*) override {
+      n++;
+      return true;
+    }
+  };
+  TxnHandle txn(cc_.get(), 0);
+  txn.MarkScanTxn();
+  Count consumer;
+  ASSERT_TRUE(txn.Scan(table_, 10, 30, 0, &consumer).ok());
+  EXPECT_EQ(consumer.n, 20);
+  EXPECT_TRUE(txn.Commit().ok());
+}
+
+TEST_F(TxnHandleTest, InsertRemoveRoundTrip) {
+  {
+    TxnHandle txn(cc_.get(), 0);
+    AccountRow row{42, 1};
+    ASSERT_TRUE(txn.Insert(table_, 500, &row).ok());
+    EXPECT_TRUE(txn.Commit().ok());
+  }
+  EXPECT_EQ(CommittedBalance(500), 42u);
+  {
+    TxnHandle txn(cc_.get(), 0);
+    ASSERT_TRUE(txn.Remove(table_, 500).ok());
+    EXPECT_TRUE(txn.Commit().ok());
+  }
+  TxnHandle check(cc_.get(), 0);
+  AccountRow row{};
+  EXPECT_TRUE(check.ReadRow(table_, 500, &row).not_found());
+  EXPECT_TRUE(check.Commit().ok());
+}
+
+TEST_F(TxnHandleTest, ConflictAbortSurfacesThroughCommit) {
+  TxnHandle reader(cc_.get(), 0);
+  AccountRow row{};
+  ASSERT_TRUE(reader.ReadRow(table_, 3, &row).ok());
+
+  {
+    TxnHandle writer(cc_.get(), 1);
+    row.balance = 1;
+    ASSERT_TRUE(writer.UpdateRow(table_, 3, row).ok());
+    ASSERT_TRUE(writer.Commit().ok());
+  }
+  row.balance += 1;
+  ASSERT_TRUE(reader.UpdateRow(table_, 3, row).ok());
+  EXPECT_TRUE(reader.Commit().aborted());
+}
+
+}  // namespace
+}  // namespace rocc

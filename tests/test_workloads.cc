@@ -1,0 +1,246 @@
+// Workload-level tests: YCSB generator/loader behaviour and the modified
+// TPC-C (loader population, every transaction type, consistency invariants
+// under single-threaded and concurrent execution).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "harness/runner.h"
+#include "workload/tpcc/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace rocc {
+namespace {
+
+using namespace tpcc;  // NOLINT
+
+// --------------------------------------------------------------------------
+// YCSB
+// --------------------------------------------------------------------------
+
+TEST(Ycsb, LoadPopulatesTable) {
+  Database db;
+  YcsbOptions opts;
+  opts.num_rows = 5000;
+  opts.payload_size = 32;
+  YcsbWorkload wl(opts);
+  wl.Load(&db);
+  EXPECT_EQ(db.GetTable(wl.table_id())->row_count(), 5000u);
+  EXPECT_EQ(db.GetIndex(wl.table_id())->Size(), 5000u);
+  EXPECT_EQ(db.GetTable(wl.table_id())->row_size(), 32u);
+  // First payload bytes carry the key.
+  Row* r = db.GetIndex(wl.table_id())->Get(1234);
+  ASSERT_NE(r, nullptr);
+  uint64_t v = 0;
+  std::memcpy(&v, r->Data(), sizeof(v));
+  EXPECT_EQ(v, 1234u);
+}
+
+TEST(Ycsb, DefaultRangeCountMatchesPaperRangeSize) {
+  YcsbOptions opts;
+  opts.num_rows = 10'000'000;
+  YcsbWorkload wl(opts);
+  // Paper: 10M rows -> 16384 ranges of ~610 keys.
+  EXPECT_NEAR(static_cast<double>(wl.DefaultNumRanges()), 16384.0, 100.0);
+  const auto configs = wl.RangeConfigs(0, 512);
+  ASSERT_EQ(configs.size(), 1u);
+  EXPECT_EQ(configs[0].key_max, 10'000'000u);
+  EXPECT_EQ(configs[0].ring_capacity, 512u);
+}
+
+TEST(Ycsb, RangeHintOverridesDefault) {
+  YcsbOptions opts;
+  opts.num_rows = 100000;
+  YcsbWorkload wl(opts);
+  const auto configs = wl.RangeConfigs(4096, 100);
+  EXPECT_EQ(configs[0].num_ranges, 4096u);
+}
+
+TEST(Ycsb, HybridMixRunsToCompletion) {
+  Database db;
+  YcsbOptions opts;
+  opts.num_rows = 20000;
+  opts.scan_txn_fraction = 0.1;
+  opts.scan_length = 100;
+  YcsbWorkload wl(opts);
+  wl.Load(&db);
+  auto cc = CreateProtocol("rocc", &db, wl, 2);
+  TxnStats stats;
+  cc->AttachThread(0, &stats);
+  Rng rng(7);
+  for (int i = 0; i < 500; i++) EXPECT_TRUE(wl.RunTxn(cc.get(), 0, rng).ok());
+  EXPECT_EQ(stats.commits, 500u);
+  // ~10% scan transactions; loose statistical bound.
+  EXPECT_GT(stats.scan_txn_commits, 20u);
+  EXPECT_LT(stats.scan_txn_commits, 100u);
+  EXPECT_GT(stats.scanned_records, stats.scan_txn_commits * 99);
+}
+
+TEST(Ycsb, WorkloadAVariantHasNoScans) {
+  Database db;
+  YcsbOptions opts;
+  opts.num_rows = 10000;
+  opts.scan_txn_fraction = 0.0;
+  opts.read_fraction = 0.5;
+  YcsbWorkload wl(opts);
+  wl.Load(&db);
+  auto cc = CreateProtocol("rocc", &db, wl, 2);
+  TxnStats stats;
+  cc->AttachThread(0, &stats);
+  Rng rng(8);
+  for (int i = 0; i < 300; i++) EXPECT_TRUE(wl.RunTxn(cc.get(), 0, rng).ok());
+  EXPECT_EQ(stats.scan_txn_commits, 0u);
+  EXPECT_EQ(stats.scanned_records, 0u);
+  EXPECT_GT(stats.validated_records, 0u);  // reads were validated
+}
+
+// --------------------------------------------------------------------------
+// TPC-C loader
+// --------------------------------------------------------------------------
+
+class TpccFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpccOptions opts;
+    opts.num_warehouses = 2;
+    opts.initial_orders_per_district = 30;
+    opts.bulk_scan_length = 500;
+    wl_ = std::make_unique<TpccWorkload>(opts);
+    wl_->Load(&db_);
+    cc_ = CreateProtocol("rocc", &db_, *wl_, 4);
+  }
+
+  Database db_;
+  std::unique_ptr<TpccWorkload> wl_;
+  std::unique_ptr<ConcurrencyControl> cc_;
+};
+
+TEST_F(TpccFixture, LoaderPopulation) {
+  const auto& t = wl_->tables();
+  EXPECT_EQ(db_.GetTable(t.warehouse)->row_count(), 2u);
+  EXPECT_EQ(db_.GetTable(t.district)->row_count(), 20u);
+  EXPECT_EQ(db_.GetTable(t.customer)->row_count(), 2u * kCustomersPerWarehouse);
+  EXPECT_EQ(db_.GetTable(t.item)->row_count(), kItems);
+  EXPECT_EQ(db_.GetTable(t.stock)->row_count(), 2u * kItems);
+  EXPECT_EQ(db_.GetTable(t.order)->row_count(), 20u * 30u);
+  // A third of initial orders are undelivered.
+  EXPECT_EQ(db_.GetIndex(t.new_order)->Size(), 20u * 10u);
+  EXPECT_GT(db_.GetTable(t.order_line)->row_count(), 20u * 30u * kMinOrderLines - 1);
+}
+
+TEST_F(TpccFixture, LoaderInvariantsHold) {
+  EXPECT_TRUE(wl_->CheckYtdInvariant());
+  EXPECT_TRUE(wl_->CheckOrderInvariant());
+}
+
+TEST_F(TpccFixture, KeyEncodingsRoundTrip) {
+  EXPECT_EQ(DistrictOfCustomerKey(CustomerKey(1, 7, 2999)), DistrictKey(1, 7));
+  EXPECT_LT(CustomerKey(0, 9, 2999), CustomerKey(1, 0, 0));
+  EXPECT_LT(OrderKey(0, 0, 1 << 20), OrderKey(0, 1, 0));
+  EXPECT_LT(OrderLineKey(0, 0, 5, 15), OrderLineKey(0, 0, 6, 0));
+  EXPECT_NE(HistoryKey(1, 5), HistoryKey(2, 5));
+}
+
+// --------------------------------------------------------------------------
+// TPC-C transactions (single-threaded determinism)
+// --------------------------------------------------------------------------
+
+TEST_F(TpccFixture, NewOrderCreatesOrderAndLines) {
+  const auto& t = wl_->tables();
+  const uint64_t orders_before = db_.GetTable(t.order)->row_count();
+  Rng rng(1);
+  ASSERT_TRUE(wl_->DoNewOrder(cc_.get(), 0, rng).ok());
+  EXPECT_EQ(db_.GetTable(t.order)->row_count(), orders_before + 1);
+  EXPECT_TRUE(wl_->CheckOrderInvariant());
+  EXPECT_TRUE(wl_->CheckYtdInvariant());  // NewOrder does not touch YTD
+}
+
+TEST_F(TpccFixture, PaymentPreservesYtdInvariant) {
+  Rng rng(2);
+  for (int i = 0; i < 50; i++) ASSERT_TRUE(wl_->DoPayment(cc_.get(), 0, rng).ok());
+  EXPECT_TRUE(wl_->CheckYtdInvariant());
+  EXPECT_EQ(db_.GetIndex(wl_->tables().history)->Size(), 50u);
+}
+
+TEST_F(TpccFixture, OrderStatusIsReadOnlyAndCommits) {
+  Rng rng(3);
+  for (int i = 0; i < 30; i++) {
+    ASSERT_TRUE(wl_->DoOrderStatus(cc_.get(), 0, rng).ok());
+  }
+  EXPECT_TRUE(wl_->CheckYtdInvariant());
+}
+
+TEST_F(TpccFixture, DeliveryDrainsNewOrders) {
+  const auto& t = wl_->tables();
+  const uint64_t before = db_.GetIndex(t.new_order)->Size();
+  Rng rng(4);
+  ASSERT_TRUE(wl_->DoDelivery(cc_.get(), 0, rng).ok());
+  // One order per district delivered (10 districts in the chosen warehouse).
+  EXPECT_EQ(db_.GetIndex(t.new_order)->Size(), before - kDistrictsPerWarehouse);
+  EXPECT_TRUE(wl_->CheckYtdInvariant());
+}
+
+TEST_F(TpccFixture, StockLevelCommits) {
+  Rng rng(5);
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(wl_->DoStockLevel(cc_.get(), 0, rng).ok());
+  }
+}
+
+TEST_F(TpccFixture, BulkRewardCreditsTopShopper) {
+  const auto& t = wl_->tables();
+  Rng rng(6);
+  // Make one customer the clear top shopper in warehouse 0 via payments.
+  for (int i = 0; i < 5; i++) ASSERT_TRUE(wl_->DoPayment(cc_.get(), 0, rng).ok());
+  ASSERT_TRUE(wl_->DoBulkReward(cc_.get(), /*thread_id=*/0, rng).ok());
+  EXPECT_TRUE(wl_->CheckYtdInvariant());
+  (void)t;
+}
+
+TEST_F(TpccFixture, MixedRunSingleThreadKeepsInvariants) {
+  Rng rng(7);
+  for (int i = 0; i < 300; i++) {
+    EXPECT_TRUE(wl_->RunTxn(cc_.get(), 0, rng).ok());
+  }
+  EXPECT_TRUE(wl_->CheckYtdInvariant());
+  EXPECT_TRUE(wl_->CheckOrderInvariant());
+}
+
+// --------------------------------------------------------------------------
+// TPC-C concurrent serializability (per protocol)
+// --------------------------------------------------------------------------
+
+class TpccConcurrentTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TpccConcurrentTest, InvariantsSurviveConcurrency) {
+  Database db;
+  TpccOptions opts;
+  opts.num_warehouses = 2;
+  opts.initial_orders_per_district = 20;
+  opts.bulk_scan_length = 400;
+  TpccWorkload wl(opts);
+  wl.Load(&db);
+  auto cc = CreateProtocol(GetParam(), &db, wl, 4);
+
+  std::vector<std::thread> threads;
+  for (uint32_t tid = 0; tid < 4; tid++) {
+    threads.emplace_back([&, tid] {
+      Rng rng(100 + tid);
+      for (int i = 0; i < 250; i++) wl.RunTxn(cc.get(), tid, rng);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(wl.CheckYtdInvariant()) << GetParam();
+  EXPECT_TRUE(wl.CheckOrderInvariant()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(OccFamily, TpccConcurrentTest,
+                         ::testing::Values("rocc", "lrv", "gwv", "mvrcc"),
+                         [](const auto& pinfo) { return pinfo.param; });
+
+}  // namespace
+}  // namespace rocc
