@@ -41,6 +41,6 @@ int main(int argc, char** argv) {
                     F(static_cast<double>(r.stats.validation_ns) / 1e6, 1)});
     }
   }
-  table.Print(env.csv);
+  Emit(env, table);
   return 0;
 }

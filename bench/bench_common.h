@@ -10,19 +10,30 @@
 //   --rows N          YCSB table size
 //   --txns N          measured transactions per thread
 //   --warmup N        warmup transactions per thread
-//   --csv             additionally print CSV blocks
+//   --csv [file]      additionally print CSV blocks; with a path, also
+//                     append them to that file
+//   --log-dir D       enable durability: group-commit WAL under D (one
+//                     subdirectory per measured run)
+//   --group-commit-us N   flusher batching interval (default 200)
+//   --no-durability   with --log-dir: append records but acknowledge
+//                     commits from memory (no fsync wait)
 //
 // Quick-scale defaults keep every range-size/scan-length RATIO of the paper
 // intact (e.g. 610-key logical ranges), so curve shapes are comparable even
 // though absolute throughput is not.
 
+#include <sys/stat.h>
+
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
 #include "common/config.h"
 #include "harness/report.h"
 #include "harness/runner.h"
+#include "log/log_manager.h"
 #include "workload/tpcc/tpcc.h"
 #include "workload/ycsb.h"
 
@@ -33,6 +44,10 @@ struct BenchEnv {
   Config cfg;
   bool paper = false;
   bool csv = false;
+  std::string csv_file;  // --csv <path>: CSV blocks are also appended here
+  std::string log_dir;   // --log-dir: durability on, WALs under this dir
+  uint32_t group_commit_us = 200;
+  bool no_durability = false;  // --no-durability: async log, no ack wait
   // Quick scale keeps the paper's 40 workers (cheap under the fiber runner)
   // but shrinks the table and transaction counts.
   uint32_t threads = 40;
@@ -66,8 +81,53 @@ inline BenchEnv ParseEnv(int argc, char** argv) {
   env.txns_per_thread =
       static_cast<uint64_t>(env.cfg.GetInt("txns", env.txns_per_thread));
   env.warmup = static_cast<uint64_t>(env.cfg.GetInt("warmup", env.warmup));
-  env.csv = env.cfg.GetBool("csv", false);
+  env.csv = env.cfg.Has("csv");
+  const std::string csv_value = env.cfg.GetString("csv", "");
+  if (!csv_value.empty() && csv_value != "true" && csv_value != "1" &&
+      csv_value != "yes") {
+    env.csv_file = csv_value;
+  }
+  env.log_dir = env.cfg.GetString("log-dir", "");
+  env.group_commit_us =
+      static_cast<uint32_t>(env.cfg.GetInt("group-commit-us", env.group_commit_us));
+  env.no_durability = env.cfg.GetBool("no-durability", false);
   return env;
+}
+
+/// Print the table; when `--csv <file>` was given, also append the CSV block
+/// to that file (appending keeps multiple tables from one binary together).
+inline void Emit(const BenchEnv& env, const ReportTable& table) {
+  table.Print(env.csv);
+  if (env.csv_file.empty()) return;
+  std::ofstream out(env.csv_file, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot open %s for CSV output\n",
+                 env.csv_file.c_str());
+    return;
+  }
+  out << table.ToCsv();
+}
+
+/// Open a durability log for one measured run when `--log-dir` is set; every
+/// run gets its own subdirectory so WALs of successive runs in one binary
+/// never interleave. Returns nullptr (durability off) otherwise.
+inline std::unique_ptr<LogManager> OpenRunLog(const BenchEnv& env,
+                                              uint32_t num_threads) {
+  if (env.log_dir.empty()) return nullptr;
+  static int run_counter = 0;
+  ::mkdir(env.log_dir.c_str(), 0755);  // parent; EEXIST is fine
+  LogOptions lopts;
+  lopts.log_dir = env.log_dir + "/run" + std::to_string(++run_counter);
+  lopts.group_commit_us = env.group_commit_us;
+  lopts.sync_ack = !env.no_durability;
+  auto log = std::make_unique<LogManager>(lopts, num_threads);
+  const Status st = log->Open();
+  if (!st.ok()) {
+    std::fprintf(stderr, "warning: durability disabled: %s\n",
+                 st.ToString().c_str());
+    return nullptr;
+  }
+  return log;
 }
 
 /// One YCSB measurement: loads (or reuses) the table and runs the protocol.
@@ -110,7 +170,11 @@ class YcsbBench {
     run.num_threads = threads_override == 0 ? env_.threads : threads_override;
     run.txns_per_thread = env_.txns_per_thread;
     run.warmup_txns_per_thread = env_.warmup;
-    return RunExperiment(cc.get(), workload_.get(), run);
+    std::unique_ptr<LogManager> log = OpenRunLog(env_, run.num_threads);
+    run.log = log.get();
+    RunResult r = RunExperiment(cc.get(), workload_.get(), run);
+    if (log != nullptr) log->Stop();
+    return r;
   }
 
   YcsbWorkload& workload() { return *workload_; }
@@ -138,7 +202,11 @@ inline RunResult RunTpcc(const BenchEnv& env, const TpccOptions& opts,
   run.num_threads = threads;
   run.txns_per_thread = env.txns_per_thread;
   run.warmup_txns_per_thread = env.warmup;
-  return RunExperiment(cc.get(), &workload, run);
+  std::unique_ptr<LogManager> log = OpenRunLog(env, threads);
+  run.log = log.get();
+  RunResult r = RunExperiment(cc.get(), &workload, run);
+  if (log != nullptr) log->Stop();
+  return r;
 }
 
 inline std::string F(double v, int p = 2) { return ReportTable::Fmt(v, p); }

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
                     F(total > 0 ? 100.0 * ab / total : 0, 1)});
     }
   }
-  table.Print(env.csv);
+  Emit(env, table);
   std::printf(
       "\nExpected shape (paper): GWV spends the dominant share of time in\n"
       "validation at scan length 100; LRV overtakes GWV in both read&write\n"

@@ -38,6 +38,6 @@ int main(int argc, char** argv) {
                     F(r.Throughput(), 1), F(r.stats.ScanAbortRate(), 4)});
     }
   }
-  table.Print(env.csv);
+  Emit(env, table);
   return 0;
 }

@@ -44,6 +44,6 @@ int main(int argc, char** argv) {
                     F(r.stats.ScanAbortRate(), 4)});
     }
   }
-  table.Print(env.csv);
+  Emit(env, table);
   return 0;
 }

@@ -41,6 +41,6 @@ int main(int argc, char** argv) {
                     F(r.ValidatedTxnsPerScan(), 2)});
     }
   }
-  table.Print(env.csv);
+  Emit(env, table);
   return 0;
 }

@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
                  F(r.ValidatedTxnsPerScan(), 2)});
     }
   }
-  ta.Print(env.csv);
+  Emit(env, ta);
 
   std::printf("\n(b) varying workload skew, scan length 100\n");
   ReportTable tb({"num_ranges", "skew_theta", "scan_tps", "scan_abort_rate"});
@@ -78,6 +78,6 @@ int main(int argc, char** argv) {
                  F(r.ScanThroughput(), 1), F(r.stats.ScanAbortRate(), 4)});
     }
   }
-  tb.Print(env.csv);
+  Emit(env, tb);
   return 0;
 }

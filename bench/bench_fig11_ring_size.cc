@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
                  F(r.ScanThroughput(), 1), F(r.stats.ScanAbortRate(), 4)});
     }
   }
-  ta.Print(env.csv);
+  Emit(env, ta);
 
   std::printf("\n(b) varying workload skew, default granularity\n");
   ReportTable tb({"ring_size", "skew_theta", "scan_tps", "scan_abort_rate"});
@@ -53,6 +53,6 @@ int main(int argc, char** argv) {
                  F(r.ScanThroughput(), 1), F(r.stats.ScanAbortRate(), 4)});
     }
   }
-  tb.Print(env.csv);
+  Emit(env, tb);
   return 0;
 }

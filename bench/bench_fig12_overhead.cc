@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
                F(off.Throughput() > 0 ? on.Throughput() / off.Throughput() : 0, 3),
                F(on.stats.registrations)});
   }
-  ta.Print(env.csv);
+  Emit(env, ta);
 
   std::printf("\n(b) varying workload skew, default granularity\n");
   ReportTable tb({"skew_theta", "tps_registration", "tps_no_registration",
@@ -53,6 +53,6 @@ int main(int argc, char** argv) {
     tb.AddRow({F(theta, 2), F(on.Throughput(), 1), F(off.Throughput(), 1),
                F(off.Throughput() > 0 ? on.Throughput() / off.Throughput() : 0, 3)});
   }
-  tb.Print(env.csv);
+  Emit(env, tb);
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "cc/occ_util.h"
 #include "common/fiber.h"
 #include "common/timer.h"
+#include "log/log_manager.h"
 
 namespace rocc {
 
@@ -382,7 +383,27 @@ void OccBase::UnlockWriteSet(TxnDescriptor* t) {
   }
 }
 
-void OccBase::ApplyWritesAndUnlock(TxnDescriptor* t, uint64_t commit_ts) {
+uint64_t OccBase::LogWrites(const TxnDescriptor* t, uint64_t commit_ts) {
+  if (log_ == nullptr || t->write_set.empty()) return 0;
+  return log_->LogCommit(t->thread_id, t, commit_ts);
+}
+
+void OccBase::AwaitDurable(uint64_t ticket, uint64_t begin_nanos, TxnStats& s) {
+  if (ticket == 0) return;
+  s.log_records++;
+  const uint64_t wait_start = NowNanos();
+  const bool durable = log_->WaitDurable(ticket);
+  const uint64_t now = NowNanos();
+  s.durable_wait_ns += now - wait_start;
+  if (durable) {
+    s.durable_acks++;
+    s.latency_durable.Record(now - begin_nanos);
+  } else {
+    s.durable_ack_failures++;
+  }
+}
+
+uint64_t OccBase::ApplyWritesAndUnlock(TxnDescriptor* t, uint64_t commit_ts) {
   // Apply after-images in chronological order (multiple partial updates of
   // one row compose left to right).
   for (const WriteEntry& we : t->write_set) {
@@ -390,6 +411,12 @@ void OccBase::ApplyWritesAndUnlock(TxnDescriptor* t, uint64_t commit_ts) {
     std::memcpy(we.row->Data() + we.field_offset, t->ImageAt(we.data_offset),
                 we.data_size);
   }
+  // Redo-log the writeset while every write lock is still held: a later
+  // transaction can only observe these writes after the locks drop below,
+  // so its own record lands in the WAL (and in a group-commit epoch) no
+  // earlier than this one — recovery's whole-epoch prefix stays
+  // dependency-closed (see LogManager's class comment).
+  const uint64_t log_ticket = LogWrites(t, commit_ts);
   for (WriteEntry& we : t->write_set) {
     if (!we.locked) continue;
     we.locked = false;
@@ -400,6 +427,7 @@ void OccBase::ApplyWritesAndUnlock(TxnDescriptor* t, uint64_t commit_ts) {
       we.row->UnlockWithVersion(commit_ts);
     }
   }
+  return log_ticket;
 }
 
 void OccBase::FinishTxn(TxnDescriptor* t, TxnState final_state) {
@@ -440,7 +468,8 @@ Status OccBase::Commit(TxnDescriptor* t) {
   const uint64_t validation_end = NowNanos();
 
   if (ok) {
-    if (t->HasWrites()) ApplyWritesAndUnlock(t, cts);
+    uint64_t log_ticket = 0;
+    if (t->HasWrites()) log_ticket = ApplyWritesAndUnlock(t, cts);
     FinishTxn(t, TxnState::kCommitted);
     const uint64_t end = NowNanos();
     s.validation_ns += validation_end - commit_start;
@@ -451,6 +480,10 @@ Status OccBase::Commit(TxnDescriptor* t) {
       s.scan_txn_commits++;
       s.latency_scan.Record(end - begin_nanos);
     }
+    // The group-commit wait happens after the in-memory commit is fully
+    // published (locks dropped, descriptor retired) so concurrent workers
+    // are never stalled behind this worker's fsync batch.
+    AwaitDurable(log_ticket, begin_nanos, s);
     return Status::Ok();
   }
 

@@ -14,6 +14,8 @@
 
 namespace rocc {
 
+class LogManager;
+
 /// Receiver for records produced by a range scan. Return false to stop the
 /// scan early. `payload` points into a transaction-local scratch buffer valid
 /// only for the duration of the call.
@@ -38,6 +40,12 @@ class ConcurrencyControl {
 
   /// Bind a worker thread's stats sink; call once per thread before Begin.
   virtual void AttachThread(uint32_t thread_id, TxnStats* stats) = 0;
+
+  /// Attach a durability log (nullptr = run without durability, the default).
+  /// Once attached, every committing transaction with writes appends a redo
+  /// record while its write locks are held and blocks on the group-commit
+  /// acknowledgement before Commit returns. Call before any worker begins.
+  virtual void AttachLog(LogManager* log) { (void)log; }
 
   virtual TxnDescriptor* Begin(uint32_t thread_id) = 0;
 
@@ -94,6 +102,7 @@ class OccBase : public ConcurrencyControl {
   ~OccBase() override;
 
   void AttachThread(uint32_t thread_id, TxnStats* stats) override;
+  void AttachLog(LogManager* log) override { log_ = log; }
   TxnDescriptor* Begin(uint32_t thread_id) override;
   Status Read(TxnDescriptor* t, uint32_t table_id, uint64_t key, void* out) override;
   Status Update(TxnDescriptor* t, uint32_t table_id, uint64_t key, const void* data,
@@ -157,8 +166,19 @@ class OccBase : public ConcurrencyControl {
   /// On failure unlocks everything it locked and returns false.
   bool LockWriteSet(TxnDescriptor* t);
 
-  /// Apply after-images, publish versions, release locks (commit path).
-  void ApplyWritesAndUnlock(TxnDescriptor* t, uint64_t commit_ts);
+  /// Apply after-images, redo-log the writeset (when a log is attached),
+  /// publish versions, release locks (commit path). Returns the log ticket
+  /// for AwaitDurable (0 = nothing logged).
+  uint64_t ApplyWritesAndUnlock(TxnDescriptor* t, uint64_t commit_ts);
+
+  /// Append `t`'s redo record; must run while its write locks are still held
+  /// so the WAL order respects write-read dependencies (see LogManager).
+  /// Returns the WaitDurable ticket, 0 when no log is attached.
+  uint64_t LogWrites(const TxnDescriptor* t, uint64_t commit_ts);
+
+  /// Block until `ticket`'s epoch is durable, charging the wait and the
+  /// begin -> durable latency to `s`. No-op when ticket is 0.
+  void AwaitDurable(uint64_t ticket, uint64_t begin_nanos, TxnStats& s);
 
   /// Release locks without applying (abort path); removes insert placeholders.
   void UnlockWriteSet(TxnDescriptor* t);
@@ -182,6 +202,7 @@ class OccBase : public ConcurrencyControl {
   Database* db_;
   GlobalClock clock_;
   EpochManager epoch_;
+  LogManager* log_ = nullptr;  // not owned; nullptr = durability off
   std::vector<std::unique_ptr<ThreadCtx>> ctxs_;
   uint32_t max_row_size_ = 0;
   uint32_t validation_pacing_ = 0;

@@ -177,6 +177,10 @@ Status TplNoWait::Commit(TxnDescriptor* t) {
     std::memcpy(we.row->Data() + we.field_offset, t->ImageAt(we.data_offset),
                 we.data_size);
   }
+  // Same discipline as OccBase: the redo record is appended before the
+  // shrink phase releases any lock, then the durability wait runs after the
+  // in-memory commit is published.
+  const uint64_t log_ticket = LogWrites(t, cts);
   ReleaseAll(t, cts, /*committed=*/true);
   FinishTxn(t, TxnState::kCommitted);
 
@@ -189,6 +193,7 @@ Status TplNoWait::Commit(TxnDescriptor* t) {
     s.scan_txn_commits++;
     s.latency_scan.Record(end - begin_nanos);
   }
+  AwaitDurable(log_ticket, begin_nanos, s);
   return Status::Ok();
 }
 

@@ -107,6 +107,7 @@ RunResult RunThreadExperiment(ConcurrencyControl* cc, Workload* workload,
 
 RunResult RunExperiment(ConcurrencyControl* cc, Workload* workload,
                         const RunOptions& options) {
+  if (options.log != nullptr) cc->AttachLog(options.log);
   bool fibers;
   switch (options.mode) {
     case ExecMode::kThreads:

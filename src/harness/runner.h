@@ -10,6 +10,8 @@
 
 namespace rocc {
 
+class LogManager;
+
 /// How worker "threads" are executed.
 enum class ExecMode {
   kAuto,     ///< fibers when num_threads exceeds hardware concurrency
@@ -27,6 +29,10 @@ struct RunOptions {
   /// Validation-work units between cooperative yields in fiber mode
   /// (ConcurrencyControl::SetValidationPacing); 0 disables pacing.
   uint32_t validation_pacing = 16;
+  /// When set, attached to the protocol before workers start: commits append
+  /// redo records and block on group-commit acknowledgement. Not owned; the
+  /// caller opens it first and stops it after the run.
+  LogManager* log = nullptr;
 };
 
 /// Aggregated outcome of one measured run.

@@ -35,6 +35,12 @@ struct TxnStats {
   uint64_t registrations = 0;      ///< range-list registrations performed
   uint64_t scanned_records = 0;    ///< records returned by scan operators
 
+  // Durability (populated only when a LogManager is attached).
+  uint64_t log_records = 0;           ///< redo records appended to the WAL
+  uint64_t durable_acks = 0;          ///< commits acknowledged as durable
+  uint64_t durable_ack_failures = 0;  ///< durability waits cut short (crash/stop)
+  uint64_t durable_wait_ns = 0;       ///< time blocked on group commit
+
   // Abort causes (one per aborted attempt, diagnostic).
   uint64_t abort_dirty_read = 0;       ///< read/scan hit a locked record
   uint64_t abort_lock_fail = 0;        ///< writeset lock not acquired
@@ -43,8 +49,9 @@ struct TxnStats {
   uint64_t abort_ring_lost = 0;        ///< ring wrapped or slot overwritten
   uint64_t abort_unresolved = 0;       ///< writer commit ts unresolved in time
 
-  Histogram latency_all;   ///< committed transaction latency
-  Histogram latency_scan;  ///< committed bulk/scan transaction latency
+  Histogram latency_all;      ///< committed transaction latency
+  Histogram latency_scan;     ///< committed bulk/scan transaction latency
+  Histogram latency_durable;  ///< begin -> durable-acknowledge latency
 
   void Merge(const TxnStats& o) {
     commits += o.commits;
@@ -58,6 +65,10 @@ struct TxnStats {
     validated_txns += o.validated_txns;
     registrations += o.registrations;
     scanned_records += o.scanned_records;
+    log_records += o.log_records;
+    durable_acks += o.durable_acks;
+    durable_ack_failures += o.durable_ack_failures;
+    durable_wait_ns += o.durable_wait_ns;
     abort_dirty_read += o.abort_dirty_read;
     abort_lock_fail += o.abort_lock_fail;
     abort_read_validation += o.abort_read_validation;
@@ -66,6 +77,7 @@ struct TxnStats {
     abort_unresolved += o.abort_unresolved;
     latency_all.Merge(o.latency_all);
     latency_scan.Merge(o.latency_scan);
+    latency_durable.Merge(o.latency_durable);
   }
 
   void Reset() {

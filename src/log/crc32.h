@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rocc {
+
+/// CRC-32C (Castagnoli) over a byte buffer, software table-driven.
+///
+/// Every WAL record and checkpoint record carries one so recovery can detect
+/// torn tail writes (a record cut mid-way by a crash) and bit rot. `seed`
+/// lets callers chain partial buffers; pass the previous return value.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace rocc

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace rocc {
+
+/// Deterministic crash-point injection for the durability subsystem.
+///
+/// Tests arm a crash at an absolute WAL byte offset; the group-commit
+/// flusher consults `Admit` before every physical write and, when the write
+/// would cross the armed offset, persists exactly the bytes below it and
+/// then "dies" (stops flushing, never advances the durable epoch). Because
+/// the WAL is a deterministic function of the committed records, a byte
+/// offset pins the crash to a precise spot — mid-record, between records,
+/// or mid-epoch-batch — and the same recovery guarantees can be asserted
+/// for each.
+///
+/// Thread-safe: armed by the test thread, consumed by the flusher thread.
+class FaultInjector {
+ public:
+  /// Crash once the WAL byte stream reaches `offset` (bytes [0, offset)
+  /// become durable, everything at or after is lost).
+  void CrashAtWalOffset(uint64_t offset) {
+    crash_offset_.store(offset, std::memory_order_release);
+  }
+
+  /// Flusher-side gate for a write of `len` bytes at WAL offset `offset`.
+  /// Returns how many of those bytes may be written; a short return means
+  /// "write that many, then crash". Marks the injector crashed when the
+  /// armed offset is hit.
+  size_t Admit(uint64_t offset, size_t len) {
+    const uint64_t crash = crash_offset_.load(std::memory_order_acquire);
+    if (offset + len <= crash) return len;
+    crashed_.store(true, std::memory_order_release);
+    return offset >= crash ? 0 : static_cast<size_t>(crash - offset);
+  }
+
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+  void Reset() {
+    crash_offset_.store(~0ULL, std::memory_order_release);
+    crashed_.store(false, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<uint64_t> crash_offset_{~0ULL};
+  std::atomic<bool> crashed_{false};
+};
+
+}  // namespace rocc

@@ -1,0 +1,502 @@
+#include "log/log_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "cc/occ_util.h"
+#include "common/fiber.h"
+#include "log/log_record.h"
+
+namespace rocc {
+
+namespace {
+
+// Checkpoint / manifest frame types (disjoint from wal::RecordType so a file
+// mix-up is caught as corruption rather than misparsed).
+constexpr uint8_t kCkptHeader = 10;  // u32 table_id, u32 row_size
+constexpr uint8_t kCkptRow = 11;     // u64 key, u64 version, row payload
+constexpr uint8_t kCkptFooter = 12;  // u64 row_count
+constexpr uint8_t kManifest = 13;    // u64 ckpt_id, u64 wal_offset, u32 num_tables
+
+bool WriteFully(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadFileFully(const std::string& path, std::vector<char>* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return false;
+  }
+  out->resize(static_cast<size_t>(st.st_size));
+  size_t off = 0;
+  while (off < out->size()) {
+    const ssize_t n = ::read(fd, out->data() + off, out->size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    off += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  out->resize(off);
+  return true;
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::Internal("open dir for fsync failed");
+  ::fsync(fd);
+  ::close(fd);
+  return Status::Ok();
+}
+
+std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
+std::string ManifestPath(const std::string& dir) { return dir + "/MANIFEST"; }
+std::string CkptDir(const std::string& dir, uint64_t id) {
+  return dir + "/ckpt-" + std::to_string(id);
+}
+std::string CkptTablePath(const std::string& ckpt_dir, uint32_t table_id) {
+  return ckpt_dir + "/table-" + std::to_string(table_id) + ".ckp";
+}
+
+/// Fetch-or-create a visible row for recovery (single-threaded, no latching).
+Row* UpsertRow(Database* db, uint32_t table_id, uint64_t key) {
+  Row* row = db->GetIndex(table_id)->Get(key);
+  if (row == nullptr) row = db->LoadRow(table_id, key, nullptr);
+  return row;
+}
+
+}  // namespace
+
+LogManager::LogManager(LogOptions options, uint32_t num_threads)
+    : options_(std::move(options)), workers_(num_threads) {
+  open_epoch_.store(options_.resume_epoch + 1, std::memory_order_relaxed);
+  durable_epoch_.store(options_.resume_epoch, std::memory_order_relaxed);
+}
+
+LogManager::~LogManager() { Stop(); }
+
+Status LogManager::Open() {
+  if (options_.log_dir.empty()) return Status::InvalidArgument("empty log_dir");
+  if (::mkdir(options_.log_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("mkdir log_dir failed");
+  }
+  fd_ = ::open(WalPath(options_.log_dir).c_str(), O_CREAT | O_WRONLY | O_APPEND,
+               0644);
+  if (fd_ < 0) return Status::Internal("open wal failed");
+  if (options_.truncate_wal_to != ~0ULL) {
+    if (::ftruncate(fd_, static_cast<off_t>(options_.truncate_wal_to)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return Status::Internal("truncate wal failed");
+    }
+  }
+  struct stat st;
+  ::fstat(fd_, &st);
+  durable_bytes_.store(static_cast<uint64_t>(st.st_size), std::memory_order_release);
+  stop_.store(false, std::memory_order_release);
+  flusher_ = std::thread(&LogManager::FlusherLoop, this);
+  return Status::Ok();
+}
+
+void LogManager::Stop() {
+  if (!flusher_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(ack_mu_);
+    stop_.store(true, std::memory_order_release);
+    flush_cv_.notify_all();
+  }
+  flusher_.join();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+uint64_t LogManager::LogCommit(uint32_t thread_id, const TxnDescriptor* t,
+                               uint64_t commit_ts) {
+  WorkerBuf& w = *workers_[thread_id];
+  SpinLatchGuard g(w.latch);
+  // The ticket MUST be read inside the buffer latch: the flusher cuts the
+  // epoch before taking the latch to drain, so every record tagged <= the
+  // cut is guaranteed to be in the drained batch.
+  const uint64_t ticket = open_epoch_.load(std::memory_order_acquire);
+  if (!crashed_.load(std::memory_order_relaxed)) {
+    wal::AppendCommitRecord(&w.buf, ticket, *t, commit_ts);
+    records_logged_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return ticket;
+}
+
+bool LogManager::WaitDurable(uint64_t ticket) {
+  if (!options_.sync_ack) return true;
+  while (true) {
+    if (durable_epoch_.load(std::memory_order_acquire) >= ticket) return true;
+    if (crashed_.load(std::memory_order_acquire) ||
+        stop_.load(std::memory_order_acquire)) {
+      return durable_epoch_.load(std::memory_order_acquire) >= ticket;
+    }
+    if (FiberScheduler::InFiber()) {
+      // Let the other worker fibers run out the group-commit interval.
+      CooperativeYield();
+    } else {
+      std::unique_lock<std::mutex> lk(ack_mu_);
+      ack_cv_.wait_for(lk, std::chrono::microseconds(
+                               std::max<uint32_t>(options_.group_commit_us, 50)),
+                       [&] {
+                         return durable_epoch_.load(std::memory_order_acquire) >=
+                                    ticket ||
+                                crashed_.load(std::memory_order_acquire) ||
+                                stop_.load(std::memory_order_acquire);
+                       });
+    }
+  }
+}
+
+void LogManager::FlusherLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(ack_mu_);
+      flush_cv_.wait_for(
+          lk, std::chrono::microseconds(std::max<uint32_t>(options_.group_commit_us, 1)),
+          [&] { return stop_.load(std::memory_order_acquire); });
+    }
+    const bool stopping = stop_.load(std::memory_order_acquire);
+    FlushOnce();
+    if (stopping || crashed_.load(std::memory_order_acquire)) break;
+  }
+  std::lock_guard<std::mutex> lk(ack_mu_);
+  ack_cv_.notify_all();
+}
+
+void LogManager::FlushOnce() {
+  // Cut the epoch first: any append from here on tags >= e + 1 and belongs
+  // to the next batch.
+  const uint64_t e = open_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  batch_.clear();
+  for (auto& padded : workers_) {
+    WorkerBuf& w = *padded;
+    SpinLatchGuard g(w.latch);
+    if (!w.buf.empty()) {
+      batch_.insert(batch_.end(), w.buf.begin(), w.buf.end());
+      w.buf.clear();
+    }
+  }
+  if (batch_.empty()) {
+    // Nothing new tagged <= e; the previous fsync already covers the epoch.
+    durable_epoch_.store(e, std::memory_order_release);
+    std::lock_guard<std::mutex> lk(ack_mu_);
+    ack_cv_.notify_all();
+    return;
+  }
+  wal::AppendEpochMark(&batch_, e);
+
+  size_t allowed = batch_.size();
+  if (options_.fault != nullptr) {
+    allowed = options_.fault->Admit(durable_bytes_.load(std::memory_order_relaxed),
+                                    batch_.size());
+  }
+  if (allowed > 0) {
+    WriteFully(fd_, batch_.data(), allowed);
+    ::fdatasync(fd_);
+    durable_bytes_.fetch_add(allowed, std::memory_order_acq_rel);
+  }
+  if (allowed < batch_.size()) {
+    Crash();
+    return;
+  }
+  durable_epoch_.store(e, std::memory_order_release);
+  std::lock_guard<std::mutex> lk(ack_mu_);
+  ack_cv_.notify_all();
+}
+
+void LogManager::Crash() {
+  crashed_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lk(ack_mu_);
+  ack_cv_.notify_all();
+}
+
+Status LogManager::Checkpoint(Database* db) {
+  if (fd_ < 0) return Status::InvalidArgument("log manager not open");
+  const uint64_t ckpt_id = next_checkpoint_id_++;
+  // Replay will start here. Safe because a record durable before this point
+  // was appended — and appends happen while the writer still holds its
+  // record locks — before any row below is read: the checkpoint read either
+  // sees the applied value or spins on the lock until it is applied.
+  const uint64_t wal_offset = durable_bytes();
+  const std::string dir = CkptDir(options_.log_dir, ckpt_id);
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("mkdir checkpoint dir failed");
+  }
+
+  std::vector<char> out;
+  std::vector<char> row_buf;
+  for (uint32_t table_id = 0; table_id < db->NumTables(); table_id++) {
+    const Table* table = db->GetTable(table_id);
+    const uint32_t row_size = table->row_size();
+    row_buf.resize(row_size);
+    out.clear();
+    {
+      const size_t f = wal::BeginFrame(&out);
+      wal::PutU8(&out, kCkptHeader);
+      wal::PutU32(&out, table_id);
+      wal::PutU32(&out, row_size);
+      wal::SealFrame(&out, f);
+    }
+
+    const int fd = ::open(CkptTablePath(dir, table_id).c_str(),
+                          O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0) return Status::Internal("open checkpoint table file failed");
+    uint64_t row_count = 0;
+    bool io_ok = true;
+    db->GetIndex(table_id)->ScanRange(0, ~0ULL, [&](uint64_t key, Row* row) {
+      // Fuzzy snapshot: OCC stable read; spin out writer locks (they are
+      // held only across the short apply/unlock window of a commit).
+      uint64_t tidw = 0;
+      while (true) {
+        const ReadResult r = ReadRecordNoWait(row, row_buf.data(), &tidw);
+        if (r == ReadResult::kOk) break;
+        if (r == ReadResult::kAbsent) return true;  // tombstone/placeholder
+        CpuRelax();
+      }
+      const size_t f = wal::BeginFrame(&out);
+      wal::PutU8(&out, kCkptRow);
+      wal::PutU64(&out, key);
+      wal::PutU64(&out, TidWord::Version(tidw));
+      wal::PutBytes(&out, row_buf.data(), row_size);
+      wal::SealFrame(&out, f);
+      row_count++;
+      if (out.size() >= (1u << 22)) {  // stream in ~4MB chunks
+        io_ok = io_ok && WriteFully(fd, out.data(), out.size());
+        out.clear();
+      }
+      return true;
+    });
+    {
+      const size_t f = wal::BeginFrame(&out);
+      wal::PutU8(&out, kCkptFooter);
+      wal::PutU64(&out, row_count);
+      wal::SealFrame(&out, f);
+    }
+    io_ok = io_ok && WriteFully(fd, out.data(), out.size());
+    ::fsync(fd);
+    ::close(fd);
+    if (!io_ok) return Status::Internal("checkpoint table write failed");
+  }
+
+  // Publish atomically: the manifest names the checkpoint only after every
+  // table file is complete and synced.
+  std::vector<char> manifest;
+  {
+    const size_t f = wal::BeginFrame(&manifest);
+    wal::PutU8(&manifest, kManifest);
+    wal::PutU64(&manifest, ckpt_id);
+    wal::PutU64(&manifest, wal_offset);
+    wal::PutU32(&manifest, static_cast<uint32_t>(db->NumTables()));
+    wal::SealFrame(&manifest, f);
+  }
+  const std::string tmp = ManifestPath(options_.log_dir) + ".tmp";
+  const int mfd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (mfd < 0) return Status::Internal("open manifest tmp failed");
+  const bool ok = WriteFully(mfd, manifest.data(), manifest.size());
+  ::fsync(mfd);
+  ::close(mfd);
+  if (!ok || ::rename(tmp.c_str(), ManifestPath(options_.log_dir).c_str()) != 0) {
+    return Status::Internal("publish manifest failed");
+  }
+  return SyncDir(options_.log_dir);
+}
+
+Status LogManager::Recover(const std::string& log_dir, Database* db,
+                           RecoveryStats* stats) {
+  *stats = RecoveryStats{};
+  uint64_t wal_offset = 0;
+
+  // 1. Manifest -> checkpoint image (if one was ever published).
+  std::vector<char> manifest;
+  if (ReadFileFully(ManifestPath(log_dir), &manifest) && !manifest.empty()) {
+    const char* body = nullptr;
+    uint32_t body_len = 0;
+    size_t off = 0;
+    if (!wal::NextFrame(manifest.data(), manifest.size(), &off, &body, &body_len)) {
+      return Status::Internal("corrupt manifest");
+    }
+    wal::ByteReader r(body, body_len);
+    uint8_t type = 0;
+    uint64_t ckpt_id = 0;
+    uint32_t num_tables = 0;
+    if (!r.U8(&type) || type != kManifest || !r.U64(&ckpt_id) ||
+        !r.U64(&wal_offset) || !r.U32(&num_tables)) {
+      return Status::Internal("corrupt manifest");
+    }
+    if (num_tables > db->NumTables()) {
+      return Status::InvalidArgument("manifest has more tables than schema");
+    }
+    const std::string dir = CkptDir(log_dir, ckpt_id);
+    for (uint32_t table_id = 0; table_id < num_tables; table_id++) {
+      std::vector<char> file;
+      if (!ReadFileFully(CkptTablePath(dir, table_id), &file)) {
+        return Status::Internal("missing checkpoint table file");
+      }
+      size_t foff = 0;
+      uint32_t row_size = 0;
+      uint64_t rows_seen = 0;
+      bool footer_ok = false;
+      while (wal::NextFrame(file.data(), file.size(), &foff, &body, &body_len)) {
+        wal::ByteReader fr(body, body_len);
+        uint8_t ftype = 0;
+        if (!fr.U8(&ftype)) return Status::Internal("corrupt checkpoint frame");
+        if (ftype == kCkptHeader) {
+          uint32_t tid = 0;
+          if (!fr.U32(&tid) || tid != table_id || !fr.U32(&row_size) ||
+              row_size != db->GetTable(table_id)->row_size()) {
+            return Status::Internal("checkpoint header mismatch");
+          }
+        } else if (ftype == kCkptRow) {
+          uint64_t key = 0, version = 0;
+          const char* payload = nullptr;
+          if (!fr.U64(&key) || !fr.U64(&version) ||
+              !fr.Bytes(&payload, row_size) || !fr.AtEnd()) {
+            return Status::Internal("corrupt checkpoint row");
+          }
+          Row* row = UpsertRow(db, table_id, key);
+          std::memcpy(row->Data(), payload, row_size);
+          row->tid.store(version, std::memory_order_release);
+          stats->checkpoint_rows++;
+          stats->max_commit_ts = std::max(stats->max_commit_ts, version);
+          rows_seen++;
+        } else if (ftype == kCkptFooter) {
+          uint64_t count = 0;
+          if (!fr.U64(&count) || count != rows_seen) {
+            return Status::Internal("checkpoint footer count mismatch");
+          }
+          footer_ok = true;
+        } else {
+          return Status::Internal("unknown checkpoint frame");
+        }
+      }
+      // The manifest is only published after complete table files, so an
+      // unterminated file here is real corruption, not a torn checkpoint.
+      if (!footer_ok) return Status::Internal("checkpoint file truncated");
+    }
+  }
+
+  // 2. Scan the WAL's valid prefix from the checkpoint's replay offset.
+  std::vector<char> walimg;
+  if (!ReadFileFully(WalPath(log_dir), &walimg)) {
+    return Status::Ok();  // no WAL at all: the checkpoint (if any) is the state
+  }
+  if (wal_offset > walimg.size()) {
+    return Status::Internal("manifest replay offset beyond wal");
+  }
+  struct PendingRecord {
+    size_t pos;  // parse order, tie-break for equal commit_ts (cannot happen)
+    wal::CommitRecord rec;
+  };
+  std::vector<PendingRecord> commits;
+  std::vector<std::pair<size_t, uint64_t>> marks;  // (pos, epoch)
+  wal::Parser parser(walimg.data() + wal_offset, walimg.size() - wal_offset);
+  wal::RecordType type;
+  wal::CommitRecord rec;
+  uint64_t mark_epoch = 0;
+  size_t index = 0;
+  stats->resume_wal_bytes = wal_offset;
+  while (parser.Next(&type, &rec, &mark_epoch)) {
+    if (type == wal::RecordType::kCommit) {
+      commits.push_back({index, std::move(rec)});
+      rec = wal::CommitRecord{};
+    } else {
+      marks.emplace_back(index, mark_epoch);
+      stats->durable_epoch = std::max(stats->durable_epoch, mark_epoch);
+      stats->resume_wal_bytes = wal_offset + parser.valid_bytes();
+    }
+    index++;
+  }
+  stats->valid_wal_bytes = wal_offset + parser.valid_bytes();
+  stats->torn_bytes = walimg.size() - stats->valid_wal_bytes;
+
+  // 3. Keep a commit record only when a LATER epoch mark covers its epoch:
+  // the flusher writes mark e after draining everything tagged <= e, so the
+  // kept set is a dependency-closed union of whole epochs. Suffix-max over
+  // mark epochs answers "is there a covering mark after position p".
+  std::vector<uint64_t> suffix_max(marks.size() + 1, 0);
+  for (size_t i = marks.size(); i-- > 0;) {
+    suffix_max[i] = std::max(suffix_max[i + 1], marks[i].second);
+  }
+  std::vector<PendingRecord> kept;
+  kept.reserve(commits.size());
+  for (PendingRecord& pr : commits) {
+    const auto it = std::upper_bound(
+        marks.begin(), marks.end(), pr.pos,
+        [](size_t pos, const std::pair<size_t, uint64_t>& m) { return pos < m.first; });
+    const size_t first_later = static_cast<size_t>(it - marks.begin());
+    if (suffix_max[first_later] >= pr.rec.epoch) {
+      kept.push_back(std::move(pr));
+    } else {
+      stats->skipped_records++;
+    }
+  }
+
+  // 4. Redo in commit-timestamp order, version-conditionally (idempotent over
+  // the fuzzy checkpoint and any pre-loaded initial image).
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const PendingRecord& a, const PendingRecord& b) {
+                     return a.rec.commit_ts < b.rec.commit_ts;
+                   });
+  for (const PendingRecord& pr : kept) {
+    const uint64_t cts = pr.rec.commit_ts;
+    for (const wal::WriteOp& op : pr.rec.writes) {
+      if (op.table_id >= db->NumTables()) {
+        return Status::Internal("log record references unknown table");
+      }
+      Row* row = db->GetIndex(op.table_id)->Get(op.key);
+      if (op.kind == wal::WriteKind::kDelete) {
+        if (row != nullptr && TidWord::Version(row->tid.load()) < cts) {
+          db->GetIndex(op.table_id)->Remove(op.key);
+        } else if (row != nullptr) {
+          stats->stale_writes++;
+        }
+        continue;
+      }
+      // Strictly-newer rows are stale; version == cts re-applies the same
+      // images (idempotent) so a record's later writes to a row it already
+      // touched — partial updates composing — are never dropped.
+      if (row != nullptr && TidWord::Version(row->tid.load()) > cts) {
+        stats->stale_writes++;
+        continue;
+      }
+      if (row == nullptr) row = UpsertRow(db, op.table_id, op.key);
+      if (op.field_offset + op.size > db->GetTable(op.table_id)->row_size()) {
+        return Status::Internal("log record write exceeds row");
+      }
+      if (op.size > 0) std::memcpy(row->Data() + op.field_offset, op.data, op.size);
+      row->tid.store(cts, std::memory_order_release);
+    }
+    stats->replayed_records++;
+    stats->max_commit_ts = std::max(stats->max_commit_ts, cts);
+  }
+  return Status::Ok();
+}
+
+}  // namespace rocc

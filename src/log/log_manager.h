@@ -1,0 +1,184 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/latch.h"
+#include "common/status.h"
+#include "log/fault_injection.h"
+#include "storage/database.h"
+#include "txn/txn.h"
+
+namespace rocc {
+
+/// Durability configuration.
+struct LogOptions {
+  std::string log_dir;
+
+  /// Group-commit batching interval: the flusher wakes every this many
+  /// microseconds, drains all worker buffers, writes + fsyncs the batch, and
+  /// releases the acknowledgements of the epoch it cut. Smaller = lower
+  /// durable-ack latency, more fsyncs; 0 = flush back-to-back.
+  uint32_t group_commit_us = 200;
+
+  /// When true (default) Commit blocks until its log record's epoch is
+  /// durable; when false records are written asynchronously and commits are
+  /// acknowledged from memory (no durability wait, weaker guarantee).
+  bool sync_ack = true;
+
+  /// Optional crash-point injection (tests); not owned.
+  FaultInjector* fault = nullptr;
+
+  /// When != ~0ULL, Open truncates an existing WAL to this many bytes before
+  /// appending — used to drop the torn tail and any unacknowledged records
+  /// when resuming a recovered directory (pass RecoveryStats::resume_wal_bytes).
+  uint64_t truncate_wal_to = ~0ULL;
+
+  /// First epoch of this incarnation minus one. When resuming a recovered
+  /// directory, pass RecoveryStats::durable_epoch so new epoch tags stay
+  /// above every mark already in the WAL.
+  uint64_t resume_epoch = 0;
+};
+
+/// Outcome of LogManager::Recover.
+struct RecoveryStats {
+  uint64_t checkpoint_rows = 0;    ///< rows loaded from the checkpoint image
+  uint64_t replayed_records = 0;   ///< commit records applied from the WAL
+  uint64_t skipped_records = 0;    ///< valid records beyond the last complete epoch
+  uint64_t stale_writes = 0;       ///< per-write skips (row already at a newer version)
+  uint64_t torn_bytes = 0;         ///< invalid tail bytes discarded
+  uint64_t valid_wal_bytes = 0;    ///< length of the well-formed WAL prefix
+  /// Byte just past the last epoch mark: the prefix actually replayed. Pass
+  /// this (not valid_wal_bytes) as LogOptions::truncate_wal_to when resuming
+  /// the directory, so never-acknowledged records beyond the last mark cannot
+  /// be resurrected by a later recovery once new marks land after them.
+  uint64_t resume_wal_bytes = 0;
+  uint64_t durable_epoch = 0;      ///< last complete epoch found in the WAL
+  uint64_t max_commit_ts = 0;      ///< highest commit timestamp restored
+};
+
+/// Epoch-based group-commit redo log + fuzzy checkpoints + crash recovery.
+///
+/// Write path (per committing worker, between write-apply and lock release —
+/// see OccBase::ApplyWritesAndUnlock):
+///   1. serialize the writeset into this worker's redo buffer under its
+///      buffer latch, reading the current open epoch as the record's tag;
+///   2. after releasing its locks and retiring the descriptor, the worker
+///      calls WaitDurable(tag) and only then acknowledges the commit.
+///
+/// Flusher (one background thread): every `group_commit_us` it cuts an epoch
+/// (atomically advances the open epoch from e to e+1), drains every worker
+/// buffer, appends an epoch mark for e, writes + fsyncs the batch, then
+/// publishes durable_epoch = e and wakes waiters. Because workers read their
+/// tag inside the buffer latch and the cut happens before the drain, every
+/// record tagged <= e is in the drained batch — the mark is truthful.
+///
+/// Correctness invariant (why acknowledged commits survive consistently):
+/// the record is appended while the transaction still holds its write locks,
+/// so any transaction that observes a write also appends after the writer
+/// did and therefore carries an epoch tag >= the writer's. Recovery replays
+/// exactly the records tagged <= the last epoch mark in the valid WAL
+/// prefix, which is thus a dependency-closed, whole-epoch prefix of the
+/// committed history — a serializable state.
+///
+/// Checkpoints bound replay: Checkpoint snapshots every table fuzzily (rows
+/// are copied with OCC stable reads while writers run) and records the
+/// durable WAL offset observed at its start. Any record durable before that
+/// offset was applied to memory before the checkpoint read any row (records
+/// are appended before locks are released), so replay can start there;
+/// fuzziness is absorbed by version-conditional redo (a write is skipped
+/// when the row already carries a >= version).
+class LogManager {
+ public:
+  LogManager(LogOptions options, uint32_t num_threads);
+  ~LogManager();
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  /// Create the log directory / WAL file and start the flusher thread.
+  Status Open();
+
+  /// Final flush of all buffers, then stop and join the flusher. Idempotent.
+  void Stop();
+
+  /// Serialize `t`'s writeset at `commit_ts` into worker `thread_id`'s redo
+  /// buffer. Must be called while the transaction still holds its write
+  /// locks (see class comment). Returns the epoch ticket for WaitDurable.
+  uint64_t LogCommit(uint32_t thread_id, const TxnDescriptor* t, uint64_t commit_ts);
+
+  /// Block until every record tagged <= `ticket` is durable. Fiber-aware:
+  /// inside a FiberScheduler it cooperatively yields so other workers run
+  /// while this one waits out the group-commit interval. Returns false when
+  /// the flusher crashed (fault injection) or was stopped first.
+  bool WaitDurable(uint64_t ticket);
+
+  /// Take a fuzzy checkpoint of every table in `db` and publish it in the
+  /// manifest. Callable from any thread while transactions run.
+  Status Checkpoint(Database* db);
+
+  /// Rebuild `db` (tables + indexes) from the directory's checkpoint and
+  /// WAL, replaying commit records in commit-timestamp order and discarding
+  /// the torn tail and any epoch that never completed. `db` must already
+  /// contain the schema (same table ids) and, when no checkpoint covers the
+  /// initial bulk-loaded image, that image itself; replay is idempotent over
+  /// both. Callers should advance their commit clock to
+  /// `stats->max_commit_ts` afterwards.
+  static Status Recover(const std::string& log_dir, Database* db,
+                        RecoveryStats* stats);
+
+  bool enabled() const { return fd_ >= 0; }
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  uint64_t durable_epoch() const {
+    return durable_epoch_.load(std::memory_order_acquire);
+  }
+  /// Bytes of WAL made durable so far.
+  uint64_t durable_bytes() const {
+    return durable_bytes_.load(std::memory_order_acquire);
+  }
+  uint64_t records_logged() const {
+    return records_logged_.load(std::memory_order_relaxed);
+  }
+  const LogOptions& options() const { return options_; }
+
+ private:
+  struct WorkerBuf {
+    SpinLatch latch;
+    std::vector<char> buf;
+  };
+
+  void FlusherLoop();
+  /// One group-commit cycle: cut the open epoch, drain, write, fsync, ack.
+  void FlushOnce();
+  void Crash();  // fault-injected death of the flusher
+
+  LogOptions options_;
+  int fd_ = -1;
+  std::vector<CachePadded<WorkerBuf>> workers_;
+
+  /// Epoch currently accepting appends; flusher cuts it with fetch_add.
+  std::atomic<uint64_t> open_epoch_{1};
+  /// Highest epoch whose records are all durable.
+  std::atomic<uint64_t> durable_epoch_{0};
+  std::atomic<uint64_t> durable_bytes_{0};
+  std::atomic<uint64_t> records_logged_{0};
+  std::atomic<bool> crashed_{false};
+  std::atomic<bool> stop_{false};
+
+  std::mutex ack_mu_;
+  std::condition_variable ack_cv_;    // signalled when durable_epoch_ advances
+  std::condition_variable flush_cv_;  // wakes the flusher early on Stop
+
+  std::vector<char> batch_;  // flusher-local assembly buffer
+  uint64_t next_checkpoint_id_ = 1;
+  std::thread flusher_;
+};
+
+}  // namespace rocc

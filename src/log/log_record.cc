@@ -1,0 +1,147 @@
+#include "log/log_record.h"
+
+#include "log/crc32.h"
+
+namespace rocc {
+namespace wal {
+
+void PutU8(std::vector<char>* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::vector<char>* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->insert(out->end(), b, b + 4);
+}
+
+void PutU64(std::vector<char>* out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->insert(out->end(), b, b + 8);
+}
+
+void PutBytes(std::vector<char>* out, const void* p, size_t n) {
+  const char* c = static_cast<const char*>(p);
+  out->insert(out->end(), c, c + n);
+}
+
+size_t BeginFrame(std::vector<char>* out) {
+  const size_t frame_start = out->size();
+  out->resize(out->size() + 8);  // crc + body_len placeholder
+  return frame_start;
+}
+
+void SealFrame(std::vector<char>* out, size_t frame_start) {
+  const size_t body_start = frame_start + 8;
+  const uint32_t body_len = static_cast<uint32_t>(out->size() - body_start);
+  const uint32_t crc = Crc32(out->data() + body_start, body_len);
+  std::memcpy(out->data() + frame_start, &crc, 4);
+  std::memcpy(out->data() + frame_start + 4, &body_len, 4);
+}
+
+bool NextFrame(const char* data, size_t len, size_t* off, const char** body,
+               uint32_t* body_len) {
+  if (*off + 8 > len) return false;  // no room for a frame header
+  uint32_t crc, n;
+  std::memcpy(&crc, data + *off, 4);
+  std::memcpy(&n, data + *off + 4, 4);
+  const size_t body_off = *off + 8;
+  if (n == 0 || n > len - body_off) return false;  // torn tail
+  if (Crc32(data + body_off, n) != crc) return false;  // torn or corrupt
+  *body = data + body_off;
+  *body_len = n;
+  *off = body_off + n;
+  return true;
+}
+
+namespace {
+
+WriteKind KindOf(WriteEntry::Kind k) {
+  switch (k) {
+    case WriteEntry::Kind::kInsert: return WriteKind::kInsert;
+    case WriteEntry::Kind::kDelete: return WriteKind::kDelete;
+    case WriteEntry::Kind::kUpdate: break;
+  }
+  return WriteKind::kUpdate;
+}
+
+}  // namespace
+
+void AppendCommitRecord(std::vector<char>* out, uint64_t epoch,
+                        const TxnDescriptor& t, uint64_t commit_ts) {
+  const size_t frame = BeginFrame(out);
+  PutU8(out, static_cast<uint8_t>(RecordType::kCommit));
+  PutU64(out, epoch);
+  PutU64(out, commit_ts);
+  PutU64(out, t.txn_id);
+  PutU32(out, static_cast<uint32_t>(t.write_set.size()));
+  for (const WriteEntry& we : t.write_set) {
+    PutU32(out, we.table_id);
+    PutU8(out, static_cast<uint8_t>(KindOf(we.kind)));
+    PutU64(out, we.key);
+    PutU32(out, we.field_offset);
+    if (we.kind == WriteEntry::Kind::kDelete) {
+      PutU32(out, 0);
+    } else {
+      PutU32(out, we.data_size);
+      PutBytes(out, t.ImageAt(we.data_offset), we.data_size);
+    }
+  }
+  SealFrame(out, frame);
+}
+
+void AppendEpochMark(std::vector<char>* out, uint64_t epoch) {
+  const size_t frame = BeginFrame(out);
+  PutU8(out, static_cast<uint8_t>(RecordType::kEpochMark));
+  PutU64(out, epoch);
+  SealFrame(out, frame);
+}
+
+bool Parser::Next(RecordType* type, CommitRecord* commit, uint64_t* epoch_mark) {
+  const char* body = nullptr;
+  uint32_t body_len = 0;
+  size_t off = off_;
+  if (!NextFrame(data_, len_, &off, &body, &body_len)) return false;
+
+  ByteReader r(body, body_len);
+  uint8_t raw_type = 0;
+  if (!r.U8(&raw_type)) return false;
+  switch (static_cast<RecordType>(raw_type)) {
+    case RecordType::kCommit: {
+      commit->writes.clear();
+      uint32_t num_writes = 0;
+      if (!r.U64(&commit->epoch) || !r.U64(&commit->commit_ts) ||
+          !r.U64(&commit->txn_id) || !r.U32(&num_writes)) {
+        return false;
+      }
+      commit->writes.reserve(num_writes);
+      for (uint32_t i = 0; i < num_writes; i++) {
+        WriteOp op;
+        uint8_t kind = 0;
+        if (!r.U32(&op.table_id) || !r.U8(&kind) || !r.U64(&op.key) ||
+            !r.U32(&op.field_offset) || !r.U32(&op.size)) {
+          return false;
+        }
+        op.kind = static_cast<WriteKind>(kind);
+        if (op.size > 0 && !r.Bytes(&op.data, op.size)) return false;
+        commit->writes.push_back(op);
+      }
+      if (!r.AtEnd()) return false;
+      *type = RecordType::kCommit;
+      break;
+    }
+    case RecordType::kEpochMark: {
+      if (!r.U64(epoch_mark) || !r.AtEnd()) return false;
+      *type = RecordType::kEpochMark;
+      break;
+    }
+    default:
+      return false;  // unknown type: treat as corruption, end of prefix
+  }
+  off_ = off;
+  return true;
+}
+
+}  // namespace wal
+}  // namespace rocc

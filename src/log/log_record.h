@@ -1,0 +1,149 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "txn/txn.h"
+
+namespace rocc {
+namespace wal {
+
+/// On-disk WAL framing.
+///
+/// The log is a byte stream of frames:
+///
+///   uint32 crc        CRC-32C of the body
+///   uint32 body_len   bytes of body following this field
+///   body              starts with a 1-byte RecordType
+///
+/// A crash can cut the stream anywhere; recovery accepts the longest prefix
+/// of frames whose length fits and whose CRC matches, and discards the rest
+/// (the torn tail). Frames never span flush batches in a way recovery needs
+/// to know about — the CRC alone decides validity.
+///
+/// Body layouts (all integers little-endian, packed):
+///
+///   kCommit:    u8 type, u64 epoch, u64 commit_ts, u64 txn_id, u32 num_writes,
+///               then per write: u32 table_id, u8 kind, u64 key,
+///                               u32 field_offset, u32 size, size bytes
+///   kEpochMark: u8 type, u64 epoch
+///
+/// `epoch` on a commit record is the group-commit epoch the record was
+/// appended under. An epoch mark `e` asserts that every commit record tagged
+/// with epoch <= e lies physically before the mark (the flusher writes the
+/// mark after draining all worker buffers cut at `e`), so recovery replays
+/// exactly the commit records tagged <= the last mark in the valid prefix:
+/// a dependency-closed, whole-epoch prefix of the committed history.
+enum class RecordType : uint8_t {
+  kCommit = 1,
+  kEpochMark = 2,
+};
+
+/// Write kinds mirror WriteEntry::Kind but are pinned for the disk format.
+enum class WriteKind : uint8_t {
+  kUpdate = 0,
+  kInsert = 1,
+  kDelete = 2,
+};
+
+/// One redo operation decoded from a commit record. `data` points into the
+/// parser's backing buffer and is valid while that buffer lives.
+struct WriteOp {
+  uint32_t table_id = 0;
+  WriteKind kind = WriteKind::kUpdate;
+  uint64_t key = 0;
+  uint32_t field_offset = 0;
+  uint32_t size = 0;
+  const char* data = nullptr;
+};
+
+/// One decoded commit record.
+struct CommitRecord {
+  uint64_t epoch = 0;
+  uint64_t commit_ts = 0;
+  uint64_t txn_id = 0;
+  std::vector<WriteOp> writes;
+};
+
+/// Append a framed commit record value-logging `t`'s writeset at `commit_ts`.
+/// Writes are logged in chronological writeset order so partial updates of
+/// one row compose identically on replay.
+void AppendCommitRecord(std::vector<char>* out, uint64_t epoch,
+                        const TxnDescriptor& t, uint64_t commit_ts);
+
+/// Append a framed epoch mark for `epoch`.
+void AppendEpochMark(std::vector<char>* out, uint64_t epoch);
+
+/// Sequential frame parser over an in-memory WAL image.
+class Parser {
+ public:
+  Parser(const char* data, size_t len) : data_(data), len_(len) {}
+
+  /// Decode the next frame. Returns false at clean end-of-stream or at the
+  /// first torn/corrupt frame; `valid_bytes()` then marks the prefix end.
+  /// On true, `*type` says which of `commit` / `epoch_mark` was filled.
+  bool Next(RecordType* type, CommitRecord* commit, uint64_t* epoch_mark);
+
+  /// Bytes of fully validated frames consumed so far.
+  size_t valid_bytes() const { return off_; }
+
+ private:
+  const char* data_;
+  size_t len_;
+  size_t off_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Low-level framing, shared by the WAL and the checkpoint/manifest files.
+// ---------------------------------------------------------------------------
+
+/// Reserve a frame header (crc + body_len) and return its offset for SealFrame.
+size_t BeginFrame(std::vector<char>* out);
+/// Back-patch length and CRC over everything appended since BeginFrame.
+void SealFrame(std::vector<char>* out, size_t frame_start);
+
+void PutU8(std::vector<char>* out, uint8_t v);
+void PutU32(std::vector<char>* out, uint32_t v);
+void PutU64(std::vector<char>* out, uint64_t v);
+void PutBytes(std::vector<char>* out, const void* p, size_t n);
+
+/// Validate and expose the frame at `*off`; advances `*off` past it on
+/// success. Returns false at clean end-of-data or on a torn/corrupt frame.
+bool NextFrame(const char* data, size_t len, size_t* off, const char** body,
+               uint32_t* body_len);
+
+/// Bounds-checked little-endian reader over one frame body.
+class ByteReader {
+ public:
+  ByteReader(const char* p, size_t n) : p_(p), n_(n) {}
+
+  bool U8(uint8_t* v) { return Copy(v, 1); }
+  bool U32(uint32_t* v) { return Copy(v, 4); }
+  bool U64(uint64_t* v) { return Copy(v, 8); }
+
+  bool Bytes(const char** v, size_t n) {
+    if (n > n_ - off_) return false;
+    *v = p_ + off_;
+    off_ += n;
+    return true;
+  }
+
+  bool AtEnd() const { return off_ == n_; }
+  size_t remaining() const { return n_ - off_; }
+
+ private:
+  bool Copy(void* v, size_t n) {
+    if (n > n_ - off_) return false;
+    std::memcpy(v, p_ + off_, n);
+    off_ += n;
+    return true;
+  }
+
+  const char* p_;
+  size_t n_;
+  size_t off_ = 0;
+};
+
+}  // namespace wal
+}  // namespace rocc

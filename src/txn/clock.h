@@ -24,6 +24,15 @@ class GlobalClock {
   /// Read the latest issued timestamp without advancing (start timestamps).
   uint64_t Current() const { return counter_->load(std::memory_order_acquire); }
 
+  /// Raise the counter to at least `ts`. Used after recovery so new commits
+  /// draw timestamps strictly above every restored row version.
+  void AdvanceTo(uint64_t ts) {
+    uint64_t cur = counter_->load(std::memory_order_acquire);
+    while (cur < ts &&
+           !counter_->compare_exchange_weak(cur, ts, std::memory_order_acq_rel)) {
+    }
+  }
+
  private:
   CachePadded<std::atomic<uint64_t>> counter_{{kInitialVersion}};
 };

@@ -1,0 +1,567 @@
+// Durability subsystem: WAL round trips, group-commit crash points, fuzzy
+// checkpoints, and full recovery (src/log/).
+//
+// The oracle is a bank: an `accounts` table of balances plus a `journal`
+// table where every transfer atomically inserts one row describing itself.
+// Because the WAL value-logs absolute balances, a recovered state is
+// consistent iff replaying the *recovered* journal against the initial
+// balances reproduces the *recovered* balances exactly — a dropped or
+// partially-applied transfer (atomicity violation) and a transfer recovered
+// without a transfer it depends on (dependency violation) both break the
+// equality. Crash points are injected at deterministic WAL byte offsets
+// (log/fault_injection.h): the flusher persists exactly the bytes below the
+// armed offset and dies, covering mid-record, mid-epoch-batch, and
+// post-checkpoint crashes.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cc/silo_lrv.h"
+#include "cc/two_phase_locking.h"
+#include "core/rocc.h"
+#include "log/fault_injection.h"
+#include "log/log_manager.h"
+#include "log/log_record.h"
+
+namespace rocc {
+namespace {
+
+constexpr uint64_t kNumAccounts = 64;
+constexpr int64_t kInitialBalance = 1000;
+constexpr uint32_t kThreads = 4;
+
+std::string FreshDir() {
+  std::string tmpl = ::testing::TempDir() + "rocc-recovery-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const char* dir = ::mkdtemp(buf.data());
+  EXPECT_NE(dir, nullptr);
+  return dir;
+}
+
+struct JournalRow {
+  uint64_t src = 0;
+  uint64_t dst = 0;
+  int64_t amount = 0;
+};
+static_assert(sizeof(JournalRow) == 24);
+
+/// Bank database + a driver that issues transfer transactions from one OS
+/// thread, rotating across logical worker ids so records spread over every
+/// per-worker redo buffer.
+struct Bank {
+  Database db;
+  uint32_t accounts = 0;
+  uint32_t journal = 0;
+  std::unique_ptr<OccBase> cc;
+  std::vector<TxnStats> stats;
+  uint64_t next_journal_key = 0;
+  uint64_t committed = 0;
+  uint64_t rng_state = 0x2545f4914f6cdd1dULL;
+
+  /// Create the schema and the deterministic bulk-load image — exactly what
+  /// LogManager::Recover's contract asks the caller to pre-create.
+  void InitSchema() {
+    accounts = db.CreateTable("accounts", Schema({{"bal", 8, 0}}));
+    journal = db.CreateTable(
+        "journal", Schema({{"src", 8, 0}, {"dst", 8, 8}, {"amt", 8, 16}}));
+    for (uint64_t a = 0; a < kNumAccounts; a++) {
+      db.LoadRow(accounts, a, &kInitialBalance);
+    }
+  }
+
+  void StartCc(const std::string& proto = "lrv") {
+    if (proto == "rocc") {
+      RoccOptions opts;
+      RangeConfig ra;
+      ra.table_id = accounts;
+      ra.key_min = 0;
+      ra.key_max = kNumAccounts;
+      ra.num_ranges = 4;
+      ra.ring_capacity = 256;
+      RangeConfig rj = ra;
+      rj.table_id = journal;
+      rj.key_max = 1u << 20;
+      opts.tables = {ra, rj};
+      cc = std::make_unique<Rocc>(&db, kThreads, std::move(opts));
+    } else if (proto == "2pl") {
+      cc = std::make_unique<TplNoWait>(&db, kThreads);
+    } else {
+      cc = std::make_unique<SiloLrv>(&db, kThreads);
+    }
+    stats.assign(kThreads, TxnStats{});
+    for (uint32_t i = 0; i < kThreads; i++) cc->AttachThread(i, &stats[i]);
+  }
+
+  uint64_t NextRand() {
+    rng_state ^= rng_state << 13;
+    rng_state ^= rng_state >> 7;
+    rng_state ^= rng_state << 17;
+    return rng_state;
+  }
+
+  bool Transfer(uint32_t tid, uint64_t src, uint64_t dst, int64_t amount) {
+    TxnDescriptor* t = cc->Begin(tid);
+    int64_t src_bal = 0, dst_bal = 0;
+    if (!cc->Read(t, accounts, src, &src_bal).ok() ||
+        !cc->Read(t, accounts, dst, &dst_bal).ok()) {
+      cc->Abort(t);
+      return false;
+    }
+    src_bal -= amount;
+    dst_bal += amount;
+    if (!cc->Update(t, accounts, src, &src_bal, 8, 0).ok() ||
+        !cc->Update(t, accounts, dst, &dst_bal, 8, 0).ok()) {
+      cc->Abort(t);
+      return false;
+    }
+    JournalRow j{src, dst, amount};
+    if (!cc->Insert(t, journal, next_journal_key, &j).ok()) {
+      cc->Abort(t);
+      return false;
+    }
+    if (!cc->Commit(t).ok()) return false;
+    next_journal_key++;
+    committed++;
+    return true;
+  }
+
+  /// Issue `n` random transfers; with a single driving thread every attempt
+  /// commits (no concurrent conflicts), which the tests assert.
+  void RunTransfers(uint64_t n) {
+    for (uint64_t i = 0; i < n; i++) {
+      const uint64_t src = NextRand() % kNumAccounts;
+      uint64_t dst = NextRand() % kNumAccounts;
+      if (dst == src) dst = (dst + 1) % kNumAccounts;
+      const int64_t amount = 1 + static_cast<int64_t>(NextRand() % 50);
+      ASSERT_TRUE(Transfer(static_cast<uint32_t>(i % kThreads), src, dst, amount));
+    }
+  }
+};
+
+struct BankState {
+  std::map<uint64_t, int64_t> balances;
+  std::map<uint64_t, JournalRow> journal;
+};
+
+BankState Snapshot(Database* db, uint32_t accounts, uint32_t journal) {
+  BankState s;
+  db->GetIndex(accounts)->ScanRange(0, ~0ULL, [&](uint64_t key, Row* row) {
+    if (!row->IsAbsent()) {
+      int64_t b = 0;
+      std::memcpy(&b, row->Data(), 8);
+      s.balances[key] = b;
+    }
+    return true;
+  });
+  db->GetIndex(journal)->ScanRange(0, ~0ULL, [&](uint64_t key, Row* row) {
+    if (!row->IsAbsent()) {
+      JournalRow j;
+      std::memcpy(&j, row->Data(), sizeof(j));
+      s.journal[key] = j;
+    }
+    return true;
+  });
+  return s;
+}
+
+/// The bank invariant: recovered balances == initial balances + the effect
+/// of exactly the recovered journal rows, and the journal is a dense prefix
+/// {0..k-1} of the committed transfer sequence (whole-epoch prefix recovery;
+/// the single-threaded driver commits in key order).
+void CheckOracle(const BankState& s, uint64_t committed) {
+  ASSERT_EQ(s.balances.size(), kNumAccounts);
+  ASSERT_LE(s.journal.size(), committed);
+  uint64_t expect_key = 0;
+  std::map<uint64_t, int64_t> model;
+  for (uint64_t a = 0; a < kNumAccounts; a++) model[a] = kInitialBalance;
+  for (const auto& [key, j] : s.journal) {
+    EXPECT_EQ(key, expect_key++) << "journal is not a dense prefix";
+    model[j.src] -= j.amount;
+    model[j.dst] += j.amount;
+  }
+  EXPECT_EQ(model, s.balances)
+      << "recovered balances diverge from replaying the recovered journal";
+}
+
+LogOptions MakeLogOptions(const std::string& dir, FaultInjector* fault = nullptr,
+                          bool sync_ack = true) {
+  LogOptions lo;
+  lo.log_dir = dir;
+  lo.group_commit_us = 50;
+  lo.sync_ack = sync_ack;
+  lo.fault = fault;
+  return lo;
+}
+
+// ---------------------------------------------------------------------------
+// WAL format round trip + torn-tail sweep (no engine involved).
+// ---------------------------------------------------------------------------
+
+TEST(WalFormat, RoundTripAndTornTail) {
+  TxnDescriptor t;
+  t.Reset(/*txn_id=*/42, /*thread_id=*/0, /*start_ts=*/1);
+  int64_t v1 = 111, v2 = -7;
+  char full[24] = {1, 2, 3};
+  WriteEntry upd{};
+  upd.table_id = 0;
+  upd.key = 5;
+  upd.kind = WriteEntry::Kind::kUpdate;
+  upd.data_offset = t.AppendImage(&v1, 8);
+  upd.data_size = 8;
+  upd.field_offset = 0;
+  t.write_set.push_back(upd);
+  WriteEntry ins{};
+  ins.table_id = 1;
+  ins.key = 9000;
+  ins.kind = WriteEntry::Kind::kInsert;
+  ins.data_offset = t.AppendImage(full, sizeof(full));
+  ins.data_size = sizeof(full);
+  t.write_set.push_back(ins);
+  WriteEntry del{};
+  del.table_id = 0;
+  del.key = 6;
+  del.kind = WriteEntry::Kind::kDelete;
+  t.write_set.push_back(del);
+  (void)v2;
+
+  std::vector<char> buf;
+  wal::AppendCommitRecord(&buf, /*epoch=*/3, t, /*commit_ts=*/77);
+  wal::AppendEpochMark(&buf, 3);
+
+  {
+    wal::Parser p(buf.data(), buf.size());
+    wal::RecordType type;
+    wal::CommitRecord rec;
+    uint64_t mark = 0;
+    ASSERT_TRUE(p.Next(&type, &rec, &mark));
+    ASSERT_EQ(type, wal::RecordType::kCommit);
+    EXPECT_EQ(rec.epoch, 3u);
+    EXPECT_EQ(rec.commit_ts, 77u);
+    EXPECT_EQ(rec.txn_id, 42u);
+    ASSERT_EQ(rec.writes.size(), 3u);
+    EXPECT_EQ(rec.writes[0].kind, wal::WriteKind::kUpdate);
+    int64_t got = 0;
+    std::memcpy(&got, rec.writes[0].data, 8);
+    EXPECT_EQ(got, 111);
+    EXPECT_EQ(rec.writes[1].kind, wal::WriteKind::kInsert);
+    EXPECT_EQ(rec.writes[1].size, 24u);
+    EXPECT_EQ(rec.writes[2].kind, wal::WriteKind::kDelete);
+    EXPECT_EQ(rec.writes[2].size, 0u);
+    ASSERT_TRUE(p.Next(&type, &rec, &mark));
+    ASSERT_EQ(type, wal::RecordType::kEpochMark);
+    EXPECT_EQ(mark, 3u);
+    EXPECT_FALSE(p.Next(&type, &rec, &mark));
+    EXPECT_EQ(p.valid_bytes(), buf.size());
+  }
+
+  // Every possible truncation point parses a (possibly empty) clean prefix.
+  for (size_t cut = 0; cut < buf.size(); cut++) {
+    wal::Parser p(buf.data(), cut);
+    wal::RecordType type;
+    wal::CommitRecord rec;
+    uint64_t mark = 0;
+    size_t frames = 0;
+    while (p.Next(&type, &rec, &mark)) frames++;
+    EXPECT_LE(p.valid_bytes(), cut);
+    EXPECT_LE(frames, 1u);  // only the first record can fit below a full cut
+  }
+
+  // A flipped byte inside a frame body is rejected by the CRC.
+  std::vector<char> corrupt = buf;
+  corrupt[12] ^= 0x40;
+  wal::Parser p(corrupt.data(), corrupt.size());
+  wal::RecordType type;
+  wal::CommitRecord rec;
+  uint64_t mark = 0;
+  EXPECT_FALSE(p.Next(&type, &rec, &mark));
+  EXPECT_EQ(p.valid_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Clean shutdown: everything committed is recovered, under every protocol.
+// ---------------------------------------------------------------------------
+
+class CleanShutdownTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CleanShutdownTest, RecoversEverything) {
+  const std::string dir = FreshDir();
+  Bank bank;
+  bank.InitSchema();
+  bank.StartCc(GetParam());
+  LogManager log(MakeLogOptions(dir), kThreads);
+  ASSERT_TRUE(log.Open().ok());
+  bank.cc->AttachLog(&log);
+
+  bank.RunTransfers(200);
+  log.Stop();
+  const BankState live = Snapshot(&bank.db, bank.accounts, bank.journal);
+
+  Bank fresh;
+  fresh.InitSchema();
+  RecoveryStats rs;
+  ASSERT_TRUE(LogManager::Recover(dir, &fresh.db, &rs).ok());
+  EXPECT_EQ(rs.replayed_records, 200u);
+  EXPECT_EQ(rs.torn_bytes, 0u);
+  EXPECT_EQ(rs.skipped_records, 0u);
+  EXPECT_EQ(rs.resume_wal_bytes, rs.valid_wal_bytes);
+
+  const BankState rec = Snapshot(&fresh.db, fresh.accounts, fresh.journal);
+  EXPECT_EQ(rec.balances, live.balances);
+  EXPECT_EQ(rec.journal.size(), live.journal.size());
+  CheckOracle(rec, bank.committed);
+  EXPECT_EQ(rec.journal.size(), bank.committed);
+
+  // Durable acks were real: every commit waited out its epoch.
+  TxnStats merged;
+  for (const TxnStats& s : bank.stats) merged.Merge(s);
+  EXPECT_EQ(merged.durable_acks, bank.committed);
+  EXPECT_EQ(merged.durable_ack_failures, 0u);
+  EXPECT_EQ(merged.log_records, bank.committed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, CleanShutdownTest,
+                         ::testing::Values("lrv", "rocc", "2pl"));
+
+// ---------------------------------------------------------------------------
+// Injected crash points: recovery lands on a consistent whole-epoch prefix.
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryCrash, CrashPointSweep) {
+  // Async acks so epochs batch several records: odd offsets then land
+  // mid-record (torn frame) and even past-record offsets land mid-epoch
+  // (records durable, their covering mark lost).
+  const uint64_t offsets[] = {0, 1, 137, 777, 2048, 5003, 12345};
+  uint64_t total_torn = 0, total_skipped = 0;
+  for (const uint64_t offset : offsets) {
+    SCOPED_TRACE("crash offset " + std::to_string(offset));
+    const std::string dir = FreshDir();
+    Bank bank;
+    bank.InitSchema();
+    bank.StartCc();
+    FaultInjector fault;
+    fault.CrashAtWalOffset(offset);
+    LogManager log(MakeLogOptions(dir, &fault, /*sync_ack=*/false), kThreads);
+    ASSERT_TRUE(log.Open().ok());
+    bank.cc->AttachLog(&log);
+
+    bank.RunTransfers(400);
+    log.Stop();
+    EXPECT_TRUE(fault.crashed());
+    EXPECT_TRUE(log.crashed());
+    EXPECT_LE(log.durable_bytes(), offset);
+
+    Bank fresh;
+    fresh.InitSchema();
+    RecoveryStats rs;
+    ASSERT_TRUE(LogManager::Recover(dir, &fresh.db, &rs).ok());
+    EXPECT_LE(rs.valid_wal_bytes, offset);
+    total_torn += rs.torn_bytes;
+    total_skipped += rs.skipped_records;
+
+    const BankState rec = Snapshot(&fresh.db, fresh.accounts, fresh.journal);
+    CheckOracle(rec, bank.committed);
+    EXPECT_LT(rec.journal.size(), bank.committed);  // the crash lost a suffix
+    if (offset <= 1) {
+      EXPECT_TRUE(rec.journal.empty());
+    }
+  }
+  // Deterministic record sizes make some offsets cut frames and others cut
+  // epochs; the sweep must exercise both discard paths.
+  EXPECT_GT(total_torn, 0u);
+  EXPECT_GT(total_skipped, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzy checkpoint bounds replay; crash after the checkpoint keeps its rows.
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryCrash, CrashAfterCheckpoint) {
+  const std::string dir = FreshDir();
+  Bank bank;
+  bank.InitSchema();
+  bank.StartCc();
+  FaultInjector fault;
+  LogManager log(MakeLogOptions(dir, &fault), kThreads);
+  ASSERT_TRUE(log.Open().ok());
+  bank.cc->AttachLog(&log);
+
+  bank.RunTransfers(150);
+  const uint64_t committed_at_ckpt = bank.committed;
+  ASSERT_TRUE(log.Checkpoint(&bank.db).ok());
+  const uint64_t ckpt_offset = log.durable_bytes();
+  fault.CrashAtWalOffset(ckpt_offset + 997);  // mid-record, after the ckpt
+  bank.RunTransfers(250);
+  log.Stop();
+  EXPECT_TRUE(log.crashed());
+
+  Bank fresh;
+  fresh.InitSchema();
+  RecoveryStats rs;
+  ASSERT_TRUE(LogManager::Recover(dir, &fresh.db, &rs).ok());
+  EXPECT_GT(rs.checkpoint_rows, 0u);
+  // Replay starts at the manifest offset: only post-checkpoint records run.
+  EXPECT_LT(rs.replayed_records, 250u);
+
+  const BankState rec = Snapshot(&fresh.db, fresh.accounts, fresh.journal);
+  CheckOracle(rec, bank.committed);
+  // Everything acknowledged before the checkpoint is durable below the armed
+  // offset, so the checkpoint + replayed suffix can never lose it.
+  EXPECT_GE(rec.journal.size(), committed_at_ckpt);
+}
+
+TEST(Recovery, CheckpointAloneRestoresState) {
+  const std::string dir = FreshDir();
+  Bank bank;
+  bank.InitSchema();
+  bank.StartCc();
+  LogManager log(MakeLogOptions(dir), kThreads);
+  ASSERT_TRUE(log.Open().ok());
+  bank.cc->AttachLog(&log);
+  bank.RunTransfers(120);
+  ASSERT_TRUE(log.Checkpoint(&bank.db).ok());
+  log.Stop();
+
+  // Recover into a schema with NO bulk-load image: the checkpoint covers it.
+  Bank fresh;
+  fresh.accounts = fresh.db.CreateTable("accounts", Schema({{"bal", 8, 0}}));
+  fresh.journal = fresh.db.CreateTable(
+      "journal", Schema({{"src", 8, 0}, {"dst", 8, 8}, {"amt", 8, 16}}));
+  RecoveryStats rs;
+  ASSERT_TRUE(LogManager::Recover(dir, &fresh.db, &rs).ok());
+  EXPECT_EQ(rs.checkpoint_rows, kNumAccounts + 120);
+  EXPECT_EQ(rs.replayed_records, 0u);
+
+  const BankState rec = Snapshot(&fresh.db, fresh.accounts, fresh.journal);
+  CheckOracle(rec, bank.committed);
+  EXPECT_EQ(rec.journal.size(), 120u);
+}
+
+// ---------------------------------------------------------------------------
+// Delete / re-insert lifecycles replay correctly.
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, DeleteAndReinsert) {
+  const std::string dir = FreshDir();
+  Bank bank;
+  bank.InitSchema();
+  bank.StartCc();
+  LogManager log(MakeLogOptions(dir), kThreads);
+  ASSERT_TRUE(log.Open().ok());
+  bank.cc->AttachLog(&log);
+
+  auto one_op = [&](auto&& fn) {
+    TxnDescriptor* t = bank.cc->Begin(0);
+    fn(t);
+    ASSERT_TRUE(bank.cc->Commit(t).ok());
+  };
+  const uint64_t kKey = 500;
+  JournalRow v1{1, 2, 10}, v2{3, 4, 20};
+  one_op([&](TxnDescriptor* t) {
+    ASSERT_TRUE(bank.cc->Insert(t, bank.journal, kKey, &v1).ok());
+  });
+  one_op([&](TxnDescriptor* t) {
+    ASSERT_TRUE(bank.cc->Remove(t, bank.journal, kKey).ok());
+  });
+  one_op([&](TxnDescriptor* t) {
+    ASSERT_TRUE(bank.cc->Insert(t, bank.journal, kKey, &v2).ok());
+  });
+  const uint64_t kGone = 600;
+  one_op([&](TxnDescriptor* t) {
+    ASSERT_TRUE(bank.cc->Insert(t, bank.journal, kGone, &v1).ok());
+  });
+  one_op([&](TxnDescriptor* t) {
+    ASSERT_TRUE(bank.cc->Remove(t, bank.journal, kGone).ok());
+  });
+  log.Stop();
+
+  Bank fresh;
+  fresh.InitSchema();
+  RecoveryStats rs;
+  ASSERT_TRUE(LogManager::Recover(dir, &fresh.db, &rs).ok());
+  EXPECT_EQ(rs.replayed_records, 5u);
+
+  Row* alive = fresh.db.GetIndex(fresh.journal)->Get(kKey);
+  ASSERT_NE(alive, nullptr);
+  ASSERT_FALSE(alive->IsAbsent());
+  JournalRow got;
+  std::memcpy(&got, alive->Data(), sizeof(got));
+  EXPECT_EQ(got.src, v2.src);
+  EXPECT_EQ(got.amount, v2.amount);
+  Row* gone = fresh.db.GetIndex(fresh.journal)->Get(kGone);
+  EXPECT_TRUE(gone == nullptr || gone->IsAbsent());
+}
+
+// ---------------------------------------------------------------------------
+// Crash -> recover -> resume logging in the same directory -> crash-free
+// shutdown -> recover again. Exercises truncate_wal_to / resume_epoch /
+// GlobalClock::AdvanceTo.
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, ResumeAfterRecovery) {
+  const std::string dir = FreshDir();
+  uint64_t phase1_committed = 0;
+  {
+    Bank bank;
+    bank.InitSchema();
+    bank.StartCc();
+    // Sync acks: every commit waits out its own epoch, so dozens of epoch
+    // marks precede the armed offset and the first recovery keeps a
+    // non-empty prefix.
+    FaultInjector fault;
+    fault.CrashAtWalOffset(6000);
+    LogManager log(MakeLogOptions(dir, &fault, /*sync_ack=*/true), kThreads);
+    ASSERT_TRUE(log.Open().ok());
+    bank.cc->AttachLog(&log);
+    bank.RunTransfers(200);
+    log.Stop();
+    ASSERT_TRUE(log.crashed());
+    phase1_committed = bank.committed;
+  }
+
+  // First recovery: the surviving prefix becomes the new live database.
+  Bank resumed;
+  resumed.InitSchema();
+  RecoveryStats rs1;
+  ASSERT_TRUE(LogManager::Recover(dir, &resumed.db, &rs1).ok());
+  const uint64_t k1 = rs1.replayed_records;
+  ASSERT_GT(k1, 0u);
+  ASSERT_LT(k1, phase1_committed);
+  CheckOracle(Snapshot(&resumed.db, resumed.accounts, resumed.journal), k1);
+
+  // Resume: truncate the unacknowledged tail, tag new epochs above every old
+  // mark, and draw commit timestamps above every recovered version.
+  resumed.StartCc();
+  resumed.cc->clock().AdvanceTo(rs1.max_commit_ts);
+  resumed.next_journal_key = k1;
+  LogOptions lo = MakeLogOptions(dir);
+  lo.truncate_wal_to = rs1.resume_wal_bytes;
+  lo.resume_epoch = rs1.durable_epoch;
+  LogManager log2(lo, kThreads);
+  ASSERT_TRUE(log2.Open().ok());
+  resumed.cc->AttachLog(&log2);
+  resumed.RunTransfers(100);
+  log2.Stop();
+
+  // Second recovery sees one continuous history: phase-1 prefix + phase 2.
+  Bank fresh;
+  fresh.InitSchema();
+  RecoveryStats rs2;
+  ASSERT_TRUE(LogManager::Recover(dir, &fresh.db, &rs2).ok());
+  EXPECT_EQ(rs2.replayed_records, k1 + 100);
+  EXPECT_EQ(rs2.torn_bytes, 0u);
+  const BankState rec = Snapshot(&fresh.db, fresh.accounts, fresh.journal);
+  CheckOracle(rec, k1 + 100);
+  EXPECT_EQ(rec.journal.size(), k1 + 100);
+  EXPECT_GT(rs2.durable_epoch, rs1.durable_epoch);
+}
+
+}  // namespace
+}  // namespace rocc

@@ -148,6 +148,90 @@ TEST(TxnRingConcurrency, ReadersGetTrueRegistrantOrNull) {
   EXPECT_FALSE(wrong.load());
 }
 
+TEST(TxnRing, TagCheckAcrossManyWrapGenerations) {
+  // Sequence tags disambiguate slot aliases: seq and seq + k*capacity land in
+  // the same slot, so Get must reject every generation but the live one. Walk
+  // eight full wraps and verify the visible window is exactly the last
+  // `capacity` registrations after every single Register.
+  constexpr uint32_t kCap = 8;
+  TxnRing ring(kCap);
+  std::vector<TxnDescriptor> descs(kCap * 8);
+  for (uint64_t i = 0; i < descs.size(); i++) {
+    ring.Register(&descs[i]);
+    const uint64_t version = ring.Version();
+    ASSERT_EQ(version, i + 1);
+    const uint64_t lo = version > kCap ? version - kCap + 1 : 1;
+    for (uint64_t seq = 1; seq <= version; seq++) {
+      if (seq >= lo) {
+        ASSERT_EQ(ring.Get(seq), &descs[seq - 1]) << "live seq " << seq;
+      } else {
+        ASSERT_EQ(ring.Get(seq), nullptr)
+            << "stale generation leaked through slot alias, seq " << seq;
+      }
+    }
+  }
+}
+
+TEST(TxnRingConcurrency, WrapPressureNeverServesWrongRegistrant) {
+  // Registration pressure on a tiny ring: every slot is overwritten thousands
+  // of times while readers probe the whole issued window. A Get may say
+  // nullptr (overwritten or mid-publish) but must never resolve a sequence
+  // to a different transaction's descriptor — that would let a validator
+  // read the wrong writeset. Writers keep per-thread seq logs; every reader
+  // observation is checked against the exact ownership map afterwards.
+  TxnRing ring(4);
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 50000;
+  std::vector<TxnDescriptor> descs(kWriters);
+  std::vector<std::vector<uint64_t>> seqs(kWriters);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> garbage{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; w++) {
+    writers.emplace_back([&, w] {
+      seqs[w].reserve(kPerWriter);
+      for (uint64_t i = 0; i < kPerWriter; i++) {
+        seqs[w].push_back(ring.Register(&descs[w]));
+      }
+    });
+  }
+  std::vector<std::pair<uint64_t, TxnDescriptor*>> observed;
+  std::thread reader([&] {
+    Rng rng(7);
+    observed.reserve(1 << 20);
+    while (!stop.load(std::memory_order_acquire)) {
+      const uint64_t hi = ring.Version();
+      if (hi == 0) continue;
+      // Probe live, recently-overwritten, and long-dead sequences alike.
+      const uint64_t seq = 1 + rng.Uniform(hi);
+      TxnDescriptor* got = ring.Get(seq);
+      if (got == nullptr) continue;
+      if (got < descs.data() || got >= descs.data() + kWriters) {
+        garbage.store(true);  // torn pointer: not any registrant at all
+        break;
+      }
+      if (observed.size() < (1u << 20)) observed.emplace_back(seq, got);
+    }
+  });
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  ASSERT_FALSE(garbage.load());
+
+  std::vector<int> owner(kWriters * kPerWriter + 1, -1);
+  for (int w = 0; w < kWriters; w++) {
+    for (const uint64_t seq : seqs[w]) {
+      ASSERT_EQ(owner[seq], -1) << "duplicate sequence " << seq;
+      owner[seq] = w;
+    }
+  }
+  for (const auto& [seq, got] : observed) {
+    ASSERT_EQ(got, &descs[owner[seq]])
+        << "seq " << seq << " resolved to another writer's descriptor";
+  }
+}
+
 // --------------------------------------------------------------------------
 // RangeManager
 // --------------------------------------------------------------------------
