@@ -93,6 +93,10 @@ LogManager::LogManager(LogOptions options, uint32_t num_threads)
     : options_(std::move(options)), workers_(num_threads) {
   open_epoch_.store(options_.resume_epoch + 1, std::memory_order_relaxed);
   durable_epoch_.store(options_.resume_epoch, std::memory_order_relaxed);
+  // A resumed WAL is truncated to its last mark, so nothing on disk is tagged
+  // above resume_epoch and that mark covers everything.
+  last_marked_epoch_ = options_.resume_epoch;
+  max_flushed_tag_ = options_.resume_epoch;
 }
 
 LogManager::~LogManager() { Stop(); }
@@ -113,7 +117,11 @@ Status LogManager::Open() {
     }
   }
   struct stat st;
-  ::fstat(fd_, &st);
+  if (::fstat(fd_, &st) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::Internal("fstat wal failed");
+  }
   durable_bytes_.store(static_cast<uint64_t>(st.st_size), std::memory_order_release);
   stop_.store(false, std::memory_order_release);
   flusher_ = std::thread(&LogManager::FlusherLoop, this);
@@ -144,6 +152,7 @@ uint64_t LogManager::LogCommit(uint32_t thread_id, const TxnDescriptor* t,
   const uint64_t ticket = open_epoch_.load(std::memory_order_acquire);
   if (!crashed_.load(std::memory_order_relaxed)) {
     wal::AppendCommitRecord(&w.buf, ticket, *t, commit_ts);
+    w.max_tag = ticket;  // monotonic: open_epoch_ only grows
     records_logged_.fetch_add(1, std::memory_order_relaxed);
   }
   return ticket;
@@ -195,21 +204,30 @@ void LogManager::FlushOnce() {
   // to the next batch.
   const uint64_t e = open_epoch_.fetch_add(1, std::memory_order_acq_rel);
   batch_.clear();
+  uint64_t batch_max_tag = 0;
   for (auto& padded : workers_) {
     WorkerBuf& w = *padded;
     SpinLatchGuard g(w.latch);
     if (!w.buf.empty()) {
       batch_.insert(batch_.end(), w.buf.begin(), w.buf.end());
+      batch_max_tag = std::max(batch_max_tag, w.max_tag);
       w.buf.clear();
     }
   }
-  if (batch_.empty()) {
-    // Nothing new tagged <= e; the previous fsync already covers the epoch.
+  if (batch_.empty() && max_flushed_tag_ <= last_marked_epoch_) {
+    // Nothing on disk above the last mark: it already covers epoch e, and
+    // recovery keeps every record tagged <= e.
     durable_epoch_.store(e, std::memory_order_release);
     std::lock_guard<std::mutex> lk(ack_mu_);
     ack_cv_.notify_all();
     return;
   }
+  // All buffers are drained, so every record tagged <= e is now in the batch
+  // or already on disk; mark e truthfully covers them — including stragglers
+  // (records tagged above an older cut that were drained into that older
+  // batch). On the batch-empty path this writes a mark-only frame: without
+  // it, acknowledging e would ack a straggler no mark ever covers, and
+  // recovery would discard that acknowledged commit.
   wal::AppendEpochMark(&batch_, e);
 
   size_t allowed = batch_.size();
@@ -226,6 +244,8 @@ void LogManager::FlushOnce() {
     Crash();
     return;
   }
+  last_marked_epoch_ = e;
+  max_flushed_tag_ = std::max(batch_max_tag, e);
   durable_epoch_.store(e, std::memory_order_release);
   std::lock_guard<std::mutex> lk(ack_mu_);
   ack_cv_.notify_all();
@@ -239,6 +259,9 @@ void LogManager::Crash() {
 
 Status LogManager::Checkpoint(Database* db) {
   if (fd_ < 0) return Status::InvalidArgument("log manager not open");
+  // Serialize checkpointers: they share the id counter and the manifest tmp
+  // file, and overlapping publishes could regress the manifest's wal_offset.
+  std::lock_guard<std::mutex> ckpt_lk(ckpt_mu_);
   const uint64_t ckpt_id = next_checkpoint_id_++;
   // Replay will start here. Safe because a record durable before this point
   // was appended — and appends happen while the writer still holds its
@@ -402,9 +425,18 @@ Status LogManager::Recover(const std::string& log_dir, Database* db,
     }
   }
 
-  // 2. Scan the WAL's valid prefix from the checkpoint's replay offset.
+  // 2. Scan the WAL's valid prefix from the checkpoint's replay offset. The
+  // cursors start at that offset so a resume without any post-checkpoint WAL
+  // records still remembers the manifest's replay position.
+  stats->resume_wal_bytes = wal_offset;
+  stats->valid_wal_bytes = wal_offset;
   std::vector<char> walimg;
   if (!ReadFileFully(WalPath(log_dir), &walimg)) {
+    if (wal_offset > 0) {
+      // The manifest promises wal_offset durable bytes; losing the whole file
+      // is corruption, not a clean checkpoint-only state.
+      return Status::Internal("manifest records wal_offset but wal is missing");
+    }
     return Status::Ok();  // no WAL at all: the checkpoint (if any) is the state
   }
   if (wal_offset > walimg.size()) {
@@ -421,7 +453,6 @@ Status LogManager::Recover(const std::string& log_dir, Database* db,
   wal::CommitRecord rec;
   uint64_t mark_epoch = 0;
   size_t index = 0;
-  stats->resume_wal_bytes = wal_offset;
   while (parser.Next(&type, &rec, &mark_epoch)) {
     if (type == wal::RecordType::kCommit) {
       commits.push_back({index, std::move(rec)});

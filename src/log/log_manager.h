@@ -78,7 +78,13 @@ struct RecoveryStats {
 /// buffer, appends an epoch mark for e, writes + fsyncs the batch, then
 /// publishes durable_epoch = e and wakes waiters. Because workers read their
 /// tag inside the buffer latch and the cut happens before the drain, every
-/// record tagged <= e is in the drained batch — the mark is truthful.
+/// record tagged <= e is in the drained batch — the mark is truthful. The
+/// converse does not hold: a worker that takes its latch after the cut but
+/// before its buffer is drained lands a record tagged e+1 inside the batch
+/// marked e (a "straggler"). durable_epoch therefore only advances to an
+/// epoch once a mark covering every flushed tag is on disk — when a cycle
+/// drains nothing but stragglers sit above the last mark, it writes (and
+/// fsyncs) a covering mark before acknowledging, never silently.
 ///
 /// Correctness invariant (why acknowledged commits survive consistently):
 /// the record is appended while the transaction still holds its write locks,
@@ -121,7 +127,9 @@ class LogManager {
   bool WaitDurable(uint64_t ticket);
 
   /// Take a fuzzy checkpoint of every table in `db` and publish it in the
-  /// manifest. Callable from any thread while transactions run.
+  /// manifest. Callable from any thread while transactions run; concurrent
+  /// calls are serialized internally (they share the id counter and the
+  /// manifest tmp file).
   Status Checkpoint(Database* db);
 
   /// Rebuild `db` (tables + indexes) from the directory's checkpoint and
@@ -149,9 +157,15 @@ class LogManager {
   const LogOptions& options() const { return options_; }
 
  private:
+  friend struct LogManagerTestPeer;
+
   struct WorkerBuf {
     SpinLatch latch;
     std::vector<char> buf;
+    /// Highest epoch tag appended since the buffer was created; written under
+    /// `latch` by LogCommit, read under `latch` by the flusher drain so it can
+    /// detect stragglers (records tagged above the epoch being marked).
+    uint64_t max_tag = 0;
   };
 
   void FlusherLoop();
@@ -177,6 +191,15 @@ class LogManager {
   std::condition_variable flush_cv_;  // wakes the flusher early on Stop
 
   std::vector<char> batch_;  // flusher-local assembly buffer
+  /// Epoch of the newest mark in the WAL (flusher-thread-only). A straggler —
+  /// a record that read its ticket after a cut but was drained into the batch
+  /// marked with the older cut epoch — sits on disk tagged above this.
+  uint64_t last_marked_epoch_ = 0;
+  /// Highest epoch tag among records written to the WAL (flusher-thread-only).
+  /// durable_epoch_ may only pass an epoch once a mark >= every flushed tag
+  /// covers it; the empty-batch path writes that mark when stragglers exist.
+  uint64_t max_flushed_tag_ = 0;
+  std::mutex ckpt_mu_;  // serializes concurrent Checkpoint calls
   uint64_t next_checkpoint_id_ = 1;
   std::thread flusher_;
 };

@@ -21,6 +21,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cc/silo_lrv.h"
@@ -31,6 +32,19 @@
 #include "log/log_record.h"
 
 namespace rocc {
+
+/// White-box seam: lets a test drive individual group-commit cycles and pin
+/// the flusher mid-drain to force the straggler interleaving on demand.
+struct LogManagerTestPeer {
+  static void FlushOnce(LogManager* lm) { lm->FlushOnce(); }
+  static SpinLatch& WorkerLatch(LogManager* lm, uint32_t i) {
+    return lm->workers_[i]->latch;
+  }
+  static uint64_t OpenEpoch(const LogManager* lm) {
+    return lm->open_epoch_.load(std::memory_order_acquire);
+  }
+};
+
 namespace {
 
 constexpr uint64_t kNumAccounts = 64;
@@ -377,6 +391,72 @@ TEST(RecoveryCrash, CrashPointSweep) {
   // epochs; the sweep must exercise both discard paths.
   EXPECT_GT(total_torn, 0u);
   EXPECT_GT(total_skipped, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Straggler coverage: a record that takes its buffer latch after the epoch
+// cut is drained into the batch written under the older mark, tagged one
+// higher. The next drain-nothing cycle must write a covering mark before
+// acknowledging that epoch — otherwise the acknowledged commit has no mark
+// covering it and recovery discards it (the high-severity group-commit hole).
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryCrash, StragglerCoveredBeforeAck) {
+  const std::string dir = FreshDir();
+  LogOptions lo;
+  lo.log_dir = dir;
+  lo.group_commit_us = 3600u * 1000 * 1000;  // park the flusher; test drives cycles
+  LogManager log(lo, /*num_threads=*/2);
+  ASSERT_TRUE(log.Open().ok());
+
+  auto make_txn = [](TxnDescriptor* t, uint64_t txn_id, int64_t value) {
+    t->Reset(txn_id, /*thread_id=*/1, /*start_ts=*/txn_id);
+    WriteEntry we{};
+    we.table_id = 0;
+    we.key = txn_id;
+    we.kind = WriteEntry::Kind::kUpdate;
+    we.data_offset = t->AppendImage(&value, 8);
+    we.data_size = 8;
+    we.field_offset = 0;
+    t->write_set.push_back(we);
+  };
+  TxnDescriptor t1, t2;
+  make_txn(&t1, 1, 111);
+  make_txn(&t2, 2, 222);
+  ASSERT_EQ(log.LogCommit(1, &t1, /*commit_ts=*/10), 1u);
+
+  // Pin the drain loop at worker 0 so the cut (epoch 1 -> 2) is visible while
+  // worker 1's buffer is still undrained — the straggler window.
+  LogManagerTestPeer::WorkerLatch(&log, 0).Lock();
+  std::thread cycle([&] { LogManagerTestPeer::FlushOnce(&log); });
+  while (LogManagerTestPeer::OpenEpoch(&log) < 2) std::this_thread::yield();
+  // Tagged 2, but drained into — and durable under — the batch marked 1.
+  EXPECT_EQ(log.LogCommit(1, &t2, /*commit_ts=*/20), 2u);
+  LogManagerTestPeer::WorkerLatch(&log, 0).Unlock();
+  cycle.join();
+  EXPECT_EQ(log.durable_epoch(), 1u);
+
+  // The drain-nothing cycle finds the flushed tag 2 above mark 1 and must
+  // write mark 2 before publishing durable_epoch = 2.
+  const uint64_t bytes_before = log.durable_bytes();
+  LogManagerTestPeer::FlushOnce(&log);
+  EXPECT_EQ(log.durable_epoch(), 2u);
+  EXPECT_GT(log.durable_bytes(), bytes_before);  // the covering mark hit disk
+  EXPECT_TRUE(log.WaitDurable(2));               // t2's commit is acknowledged
+  log.Stop();
+
+  Bank fresh;
+  fresh.InitSchema();
+  RecoveryStats rs;
+  ASSERT_TRUE(LogManager::Recover(dir, &fresh.db, &rs).ok());
+  EXPECT_EQ(rs.durable_epoch, 2u);
+  EXPECT_EQ(rs.replayed_records, 2u);
+  EXPECT_EQ(rs.skipped_records, 0u);  // the acknowledged straggler survived
+  int64_t got = 0;
+  Row* row = fresh.db.GetIndex(0)->Get(2);
+  ASSERT_NE(row, nullptr);
+  std::memcpy(&got, row->Data(), 8);
+  EXPECT_EQ(got, 222);
 }
 
 // ---------------------------------------------------------------------------
