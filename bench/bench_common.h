@@ -12,6 +12,9 @@
 //   --warmup N        warmup transactions per thread
 //   --csv [file]      additionally print CSV blocks; with a path, also
 //                     append them to that file
+//   --json FILE       machine-readable report: every emitted table is added
+//                     to FILE (rewritten after each table, so the file is
+//                     valid JSON even mid-sweep)
 //   --log-dir D       enable durability: group-commit WAL under D (one
 //                     subdirectory per measured run)
 //   --group-commit-us N   flusher batching interval (default 200)
@@ -44,7 +47,9 @@ struct BenchEnv {
   Config cfg;
   bool paper = false;
   bool csv = false;
-  std::string csv_file;  // --csv <path>: CSV blocks are also appended here
+  std::string csv_file;   // --csv <path>: CSV blocks are also appended here
+  std::string json_file;  // --json <path>: JSON report rewritten per table
+  std::string binary;     // argv[0] basename, stamped into the JSON report
   std::string log_dir;   // --log-dir: durability on, WALs under this dir
   uint32_t group_commit_us = 200;
   bool no_durability = false;  // --no-durability: async log, no ack wait
@@ -69,6 +74,11 @@ struct BenchEnv {
 inline BenchEnv ParseEnv(int argc, char** argv) {
   BenchEnv env;
   env.cfg = Config(argc, argv);
+  if (argc > 0 && argv[0] != nullptr) {
+    const std::string path = argv[0];
+    const size_t slash = path.find_last_of('/');
+    env.binary = slash == std::string::npos ? path : path.substr(slash + 1);
+  }
   env.paper = env.cfg.GetBool("paper", false);
   if (env.paper) {
     env.threads = 40;
@@ -87,6 +97,7 @@ inline BenchEnv ParseEnv(int argc, char** argv) {
       csv_value != "yes") {
     env.csv_file = csv_value;
   }
+  env.json_file = env.cfg.GetString("json", "");
   env.log_dir = env.cfg.GetString("log-dir", "");
   env.group_commit_us =
       static_cast<uint32_t>(env.cfg.GetInt("group-commit-us", env.group_commit_us));
@@ -95,9 +106,20 @@ inline BenchEnv ParseEnv(int argc, char** argv) {
 }
 
 /// Print the table; when `--csv <file>` was given, also append the CSV block
-/// to that file (appending keeps multiple tables from one binary together).
-inline void Emit(const BenchEnv& env, const ReportTable& table) {
+/// to that file (appending keeps multiple tables from one binary together);
+/// when `--json <file>` was given, add the table to the binary's JSON report
+/// and rewrite the file.
+inline void Emit(const BenchEnv& env, const ReportTable& table,
+                 const std::string& title = "") {
   table.Print(env.csv);
+  if (!env.json_file.empty()) {
+    static JsonReport report(env.binary, env.Describe());
+    report.AddTable(title.empty() ? env.binary : title, table);
+    if (!report.WriteTo(env.json_file)) {
+      std::fprintf(stderr, "warning: cannot write %s for JSON output\n",
+                   env.json_file.c_str());
+    }
+  }
   if (env.csv_file.empty()) return;
   std::ofstream out(env.csv_file, std::ios::app);
   if (!out) {

@@ -28,7 +28,10 @@ OccBase::OccBase(Database* db, uint32_t num_threads)
   for (size_t tbl = 0; tbl < db_->NumTables(); tbl++) {
     max_row_size_ = std::max(max_row_size_, db_->GetTable(tbl)->row_size());
   }
-  for (auto& ctx : ctxs_) ctx->scratch.resize(std::max<uint32_t>(max_row_size_, 8));
+  for (auto& ctx : ctxs_) {
+    ctx->scratch.resize(std::max<uint32_t>(max_row_size_, 8));
+    ctx->local_image.resize(std::max<uint32_t>(max_row_size_, 8));
+  }
 }
 
 OccBase::~OccBase() {
@@ -87,27 +90,18 @@ Status OccBase::Read(TxnDescriptor* t, uint32_t table_id, uint64_t key, void* ou
         break;
     }
   }
-  // Overlay this transaction's own pending writes in chronological order.
-  bool wrote = false;
-  bool deleted = false;
-  for (const WriteEntry& we : t->write_set) {
-    if (we.table_id != table_id || we.key != key) continue;
-    switch (we.kind) {
-      case WriteEntry::Kind::kDelete:
-        deleted = true;
-        wrote = false;
-        break;
-      case WriteEntry::Kind::kInsert:
-      case WriteEntry::Kind::kUpdate:
-        std::memcpy(static_cast<char*>(out) + we.field_offset,
-                    t->ImageAt(we.data_offset), we.data_size);
-        wrote = true;
-        deleted = false;
-        break;
+  // Overlay this transaction's own pending writes: the newest entry decides
+  // visibility, and the per-key chain replays the partial images in
+  // chronological order.
+  const int wi = t->FindWrite(table_id, key);
+  if (wi >= 0) {
+    if (t->write_set[wi].kind == WriteEntry::Kind::kDelete) {
+      return Status::NotFound();
     }
+    t->ReplayChain(wi, static_cast<char*>(out));
+    return Status::Ok();
   }
-  if (deleted) return Status::NotFound();
-  if (!have_base && !wrote) return Status::NotFound();
+  if (!have_base) return Status::NotFound();
   return Status::Ok();
 }
 
@@ -135,7 +129,7 @@ Status OccBase::Update(TxnDescriptor* t, uint32_t table_id, uint64_t key,
   we.data_offset = t->AppendImage(data, size);
   we.data_size = size;
   we.field_offset = field_offset;
-  t->write_set.push_back(we);
+  t->AppendWrite(we);
   return Status::Ok();
 }
 
@@ -154,17 +148,25 @@ Status OccBase::Insert(TxnDescriptor* t, uint32_t table_id, uint64_t key,
   we.data_offset = t->AppendImage(payload, tab->row_size());
   we.data_size = tab->row_size();
   we.field_offset = 0;
-  t->write_set.push_back(we);
+  t->AppendWrite(we);
   return Status::Ok();
 }
 
 Status OccBase::Remove(TxnDescriptor* t, uint32_t table_id, uint64_t key) {
+  Row* row = nullptr;
   const int wi = t->FindWrite(table_id, key);
-  if (wi >= 0 && t->write_set[wi].kind == WriteEntry::Kind::kDelete) {
-    return Status::NotFound();
+  if (wi >= 0) {
+    if (t->write_set[wi].kind == WriteEntry::Kind::kDelete) {
+      return Status::NotFound();
+    }
+    // Null when the chain began with a pending insert: deleting one's own
+    // pending insert is allowed and cancels it (AppendWrite drops the key
+    // from the pending-insert view).
+    row = t->write_set[wi].row;
+  } else {
+    row = db_->GetIndex(table_id)->Get(key);
+    if (row == nullptr || row->IsAbsent()) return Status::NotFound();
   }
-  Row* row = db_->GetIndex(table_id)->Get(key);
-  if (row == nullptr || row->IsAbsent()) return Status::NotFound();
   WriteEntry we;
   we.row = row;
   we.key = key;
@@ -174,7 +176,7 @@ Status OccBase::Remove(TxnDescriptor* t, uint32_t table_id, uint64_t key) {
   we.data_offset = 0;
   we.data_size = 0;
   we.field_offset = 0;
-  t->write_set.push_back(we);
+  t->AppendWrite(we);
   return Status::Ok();
 }
 
@@ -184,6 +186,7 @@ Status OccBase::ScanRecords(TxnDescriptor* t, uint32_t table_id, uint64_t start_
                             uint64_t* delivered, bool* consumer_stopped) {
   ThreadCtx& ctx = *ctxs_[t->thread_id];
   char* buf = ctx.scratch.data();
+  char* local = ctx.local_image.data();
   Status result = Status::Ok();
   uint64_t n = 0;
   uint64_t lk = start_key;
@@ -191,27 +194,30 @@ Status OccBase::ScanRecords(TxnDescriptor* t, uint32_t table_id, uint64_t start_
   const uint64_t effective_end = end_bound == 0 ? ~0ULL : end_bound;
 
   // Read-your-own-writes for scans: pending inserts of this transaction are
-  // not yet indexed, so collect the ones falling in the scanned window and
-  // merge them into the index stream in key order.
-  std::vector<uint64_t> pending = PendingInsertKeys(t, table_id, start_key,
-                                                    effective_end);
-  std::vector<char> insert_buf;
+  // not yet indexed, so slice its sorted pending-insert view over the
+  // scanned window and merge it into the index stream in key order. The
+  // slice and the image staging both live in per-thread scratch; the scan
+  // itself allocates nothing.
+  std::vector<uint64_t>& pending = ctx.pending_keys;
+  pending.clear();
+  t->PendingInsertKeysInto(table_id, start_key, effective_end, &pending);
   size_t pi = 0;
+  // Delivers this transaction's local image of `key`; false = stop the scan.
+  auto deliver_local = [&](uint64_t key) -> bool {
+    BuildLocalImage(t, table_id, key, local);
+    n++;
+    lk = key;
+    const bool want_more = consumer == nullptr || consumer->OnRecord(key, local);
+    if (!want_more) {
+      stopped = true;
+      return false;
+    }
+    return !(limit != 0 && n >= limit);
+  };
   // Delivers pending inserted keys below `bound`; false = stop the scan.
   auto flush_pending_below = [&](uint64_t bound) -> bool {
     while (pi < pending.size() && pending[pi] < bound) {
-      if (insert_buf.empty()) insert_buf.resize(db_->GetTable(table_id)->row_size());
-      const uint64_t key = pending[pi++];
-      BuildLocalImage(t, table_id, key, insert_buf.data());
-      n++;
-      lk = key;
-      const bool want_more =
-          consumer == nullptr || consumer->OnRecord(key, insert_buf.data());
-      if (!want_more) {
-        stopped = true;
-        return false;
-      }
-      if (limit != 0 && n >= limit) return false;
+      if (!deliver_local(pending[pi++])) return false;
     }
     return true;
   };
@@ -220,9 +226,14 @@ Status OccBase::ScanRecords(TxnDescriptor* t, uint32_t table_id, uint64_t start_
       start_key, effective_end,
       [&](uint64_t key, Row* row) -> bool {
         if (!flush_pending_below(key)) return false;
-        // A pending insert whose key turned visible concurrently would be
-        // delivered by the index path below; drop the duplicate.
-        while (pi < pending.size() && pending[pi] == key) pi++;
+        if (pi < pending.size() && pending[pi] == key) {
+          // A pending insert's key turned visible in the index concurrently
+          // (e.g. another transaction's placeholder). This transaction's own
+          // write wins: deliver the local image exactly once and never read
+          // — or track — the base record, whose state is someone else's.
+          pi++;
+          return deliver_local(key);
+        }
         uint64_t tidw = 0;
         switch (ReadRecordNoWait(row, buf, &tidw)) {
           case ReadResult::kAbsent:
@@ -237,19 +248,13 @@ Status OccBase::ScanRecords(TxnDescriptor* t, uint32_t table_id, uint64_t start_
           case ReadResult::kOk:
             break;
         }
-        // Overlay own pending updates so a transaction sees its prior writes.
-        bool self_deleted = false;
-        for (const WriteEntry& we : t->write_set) {
-          if (we.table_id != table_id || we.key != key) continue;
-          if (we.kind == WriteEntry::Kind::kDelete) {
-            self_deleted = true;
-          } else {
-            std::memcpy(buf + we.field_offset, t->ImageAt(we.data_offset),
-                        we.data_size);
-            self_deleted = false;
-          }
+        // Overlay own pending writes: the newest entry decides visibility,
+        // the chain replays partial images chronologically.
+        const int wi = t->FindWrite(table_id, key);
+        if (wi >= 0) {
+          if (t->write_set[wi].kind == WriteEntry::Kind::kDelete) return true;
+          t->ReplayChain(wi, buf);
         }
-        if (self_deleted) return true;
         if (track_records) t->scan_records.push_back({row, tidw});
         n++;
         lk = key;
@@ -273,36 +278,12 @@ Status OccBase::ScanRecords(TxnDescriptor* t, uint32_t table_id, uint64_t start_
   return result;
 }
 
-std::vector<uint64_t> OccBase::PendingInsertKeys(const TxnDescriptor* t,
-                                                 uint32_t table_id, uint64_t lo,
-                                                 uint64_t hi) const {
-  std::vector<uint64_t> keys;
-  const auto& ws = t->write_set;
-  for (size_t i = 0; i < ws.size(); i++) {
-    const WriteEntry& we = ws[i];
-    if (we.table_id != table_id || we.kind != WriteEntry::Kind::kInsert) continue;
-    if (we.key < lo || we.key >= hi) continue;
-    // The key exists for this transaction unless a later delete undid it.
-    bool exists = true;
-    for (size_t j = i + 1; j < ws.size(); j++) {
-      if (ws[j].table_id == we.table_id && ws[j].key == we.key) {
-        exists = ws[j].kind != WriteEntry::Kind::kDelete;
-      }
-    }
-    if (exists) keys.push_back(we.key);
-  }
-  std::sort(keys.begin(), keys.end());
-  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-  return keys;
-}
-
 void OccBase::BuildLocalImage(const TxnDescriptor* t, uint32_t table_id,
                               uint64_t key, char* out) const {
   std::memset(out, 0, db_->GetTable(table_id)->row_size());
-  for (const WriteEntry& we : t->write_set) {
-    if (we.table_id != table_id || we.key != key) continue;
-    if (we.kind == WriteEntry::Kind::kDelete) continue;
-    std::memcpy(out + we.field_offset, t->ImageAt(we.data_offset), we.data_size);
+  const int wi = t->FindWrite(table_id, key);
+  if (wi >= 0 && t->write_set[wi].kind != WriteEntry::Kind::kDelete) {
+    t->ReplayChain(wi, out);
   }
 }
 
@@ -323,7 +304,8 @@ bool OccBase::ValidateReadSet(TxnDescriptor* t) {
 
 bool OccBase::LockWriteSet(TxnDescriptor* t) {
   auto& ws = t->write_set;
-  std::vector<uint32_t> order(ws.size());
+  std::vector<uint32_t>& order = ctxs_[t->thread_id]->lock_order;
+  order.resize(ws.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
     if (ws[a].table_id != ws[b].table_id) return ws[a].table_id < ws[b].table_id;
@@ -348,6 +330,7 @@ bool OccBase::LockWriteSet(TxnDescriptor* t) {
       if (st.ok()) {
         we.row = placeholder;
         we.locked = true;
+        t->BindRow(static_cast<int32_t>(order[oi]), placeholder);
         continue;
       }
       // Key already indexed: resurrect an unlocked tombstone, else conflict.
@@ -359,6 +342,7 @@ bool OccBase::LockWriteSet(TxnDescriptor* t) {
       }
       we.row = existing;
       we.locked = true;
+      t->BindRow(static_cast<int32_t>(order[oi]), existing);
     } else {
       if (!we.row->LockWithSpin(kLockSpins)) return false;
       we.locked = true;
@@ -424,7 +408,11 @@ uint64_t OccBase::ApplyWritesAndUnlock(TxnDescriptor* t, uint64_t commit_ts) {
   for (WriteEntry& we : t->write_set) {
     if (!we.locked) continue;
     we.locked = false;
-    if (we.kind == WriteEntry::Kind::kDelete) {
+    // The locked entry is the chronologically-first write of its key; the
+    // commit decision must follow the NET kind — the newest entry in the
+    // chain — or an update-then-delete chain would commit as a live update.
+    const int li = t->FindWrite(we.table_id, we.key);
+    if (li >= 0 && t->write_set[li].kind == WriteEntry::Kind::kDelete) {
       db_->GetIndex(we.table_id)->Remove(we.key);
       we.row->UnlockAsDeleted(commit_ts);
     } else {
@@ -454,6 +442,9 @@ Status OccBase::Commit(TxnDescriptor* t) {
   if (t->HasWrites()) {
     ok = LockWriteSet(t);
     if (ok) {
+      // The write set is final once every lock is held: freeze the sorted
+      // key fingerprints that validators will probe against, then publish.
+      t->FreezeWriteFingerprints();
       RegisterWrites(t);  // Algorithm 1 steps 1-4: lock, then register
     } else {
       s.abort_lock_fail++;

@@ -126,6 +126,9 @@ class OccBase : public ConcurrencyControl {
     std::vector<TxnDescriptor*> free_list;
     RetireList<TxnDescriptor> retired;
     std::vector<char> scratch;      // row-payload staging for scans/reads
+    std::vector<char> local_image;  // staging for pending-insert local images
+    std::vector<uint64_t> pending_keys;  // scan-window pending-insert slice
+    std::vector<uint32_t> lock_order;    // writeset lock-ordering scratch
     uint64_t txn_seq = 0;
     uint64_t allocated = 0;
   };
@@ -188,11 +191,6 @@ class OccBase : public ConcurrencyControl {
   /// Yield point for validation loops (see SetValidationPacing). `counter`
   /// is a caller-local unit count.
   void PaceValidation(uint32_t* counter) const;
-
-  /// Keys this transaction has pending inserts for within [lo, hi), sorted;
-  /// used to merge read-your-own-writes into scan streams.
-  std::vector<uint64_t> PendingInsertKeys(const TxnDescriptor* t, uint32_t table_id,
-                                          uint64_t lo, uint64_t hi) const;
 
   /// Materialise the transaction-local image of `key` (insert + later
   /// partial updates) into `out` (row_size bytes).

@@ -52,12 +52,15 @@ bool SiloLrv::RevalidateScan(TxnDescriptor* t, const ScanEntry& entry,
                         conflict = true;  // locked by another committer
                         return false;
                       }
-                      const WriteEntry::Kind kind = t->write_set[wi].kind;
-                      if (kind == WriteEntry::Kind::kInsert) {
+                      if (t->write_set[wi].kind == WriteEntry::Kind::kInsert) {
                         // Own insert placeholder: not indexed at scan time.
                         return true;
                       }
-                      if (kind == WriteEntry::Kind::kDelete) {
+                      // The NET kind (newest chain entry) decides, exactly as
+                      // the scan itself did: an update-then-delete chain is a
+                      // delete, not an update.
+                      const int li = t->FindLatestWriteByRow(row);
+                      if (t->write_set[li].kind == WriteEntry::Kind::kDelete) {
                         // Deleted BEFORE the scan: the original pass skipped
                         // it, so skip it here too. Deleted AFTER the scan:
                         // it is the next recorded row — fall through and

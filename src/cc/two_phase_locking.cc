@@ -7,15 +7,14 @@
 namespace rocc {
 
 bool TplNoWait::OwnsLock(const TxnDescriptor* t, const Row* row) const {
-  for (const ReadEntry& re : t->read_set) {
-    if (re.row == row) return true;
-  }
-  return false;
+  return t->lock_index.Find(reinterpret_cast<uintptr_t>(row), 0) >= 0;
 }
 
 bool TplNoWait::AcquireLock(TxnDescriptor* t, Row* row) {
   if (OwnsLock(t, row)) return true;
   if (!row->TryLock()) return false;  // no-wait
+  t->lock_index.Put(reinterpret_cast<uintptr_t>(row), 0,
+                    static_cast<int32_t>(t->read_set.size()));
   t->read_set.push_back({row, 0});
   return true;
 }
@@ -28,12 +27,14 @@ Status TplNoWait::Read(TxnDescriptor* t, uint32_t table_id, uint64_t key, void* 
     return Status::NotFound();  // a foreign tombstone; own inserts overlay below
   }
   std::memcpy(out, row->Data(), row->payload_size);
-  // Overlay deferred writes so reads see this transaction's prior updates.
-  for (const WriteEntry& we : t->write_set) {
-    if (we.table_id != table_id || we.key != key) continue;
-    if (we.kind == WriteEntry::Kind::kDelete) return Status::NotFound();
-    std::memcpy(static_cast<char*>(out) + we.field_offset,
-                t->ImageAt(we.data_offset), we.data_size);
+  // Overlay deferred writes so reads see this transaction's prior updates:
+  // the newest entry decides visibility, the chain replays chronologically.
+  const int wi = t->FindWrite(table_id, key);
+  if (wi >= 0) {
+    if (t->write_set[wi].kind == WriteEntry::Kind::kDelete) {
+      return Status::NotFound();
+    }
+    t->ReplayChain(wi, static_cast<char*>(out));
   }
   return Status::Ok();
 }
@@ -57,7 +58,7 @@ Status TplNoWait::Update(TxnDescriptor* t, uint32_t table_id, uint64_t key,
   we.data_offset = t->AppendImage(data, size);
   we.data_size = size;
   we.field_offset = field_offset;
-  t->write_set.push_back(we);
+  t->AppendWrite(we);
   return Status::Ok();
 }
 
@@ -68,6 +69,8 @@ Status TplNoWait::Insert(TxnDescriptor* t, uint32_t table_id, uint64_t key,
   Row* placeholder = tab->CreatePlaceholderRow(key);  // locked + absent
   Status st = idx->Insert(key, placeholder);
   if (!st.ok()) return Status::Aborted("duplicate key");
+  t->lock_index.Put(reinterpret_cast<uintptr_t>(placeholder), 0,
+                    static_cast<int32_t>(t->read_set.size()));
   t->read_set.push_back({placeholder, 0});  // we hold its lock
   WriteEntry we;
   we.row = placeholder;
@@ -78,7 +81,7 @@ Status TplNoWait::Insert(TxnDescriptor* t, uint32_t table_id, uint64_t key,
   we.data_offset = t->AppendImage(payload, tab->row_size());
   we.data_size = tab->row_size();
   we.field_offset = 0;
-  t->write_set.push_back(we);
+  t->AppendWrite(we);
   return Status::Ok();
 }
 
@@ -100,7 +103,7 @@ Status TplNoWait::Remove(TxnDescriptor* t, uint32_t table_id, uint64_t key) {
   we.data_offset = 0;
   we.data_size = 0;
   we.field_offset = 0;
-  t->write_set.push_back(we);
+  t->AppendWrite(we);
   return Status::Ok();
 }
 
@@ -108,7 +111,7 @@ Status TplNoWait::Scan(TxnDescriptor* t, uint32_t table_id, uint64_t start_key,
                        uint64_t end_key, uint64_t limit, ScanConsumer* consumer) {
   Status result = Status::Ok();
   uint64_t n = 0;
-  std::vector<char> buf(db_->GetTable(table_id)->row_size());
+  char* buf = ctxs_[t->thread_id]->scratch.data();
   db_->GetIndex(table_id)->ScanRange(
       start_key, end_key == 0 ? ~0ULL : end_key, [&](uint64_t key, Row* row) -> bool {
         if (!AcquireLock(t, row)) {
@@ -123,15 +126,14 @@ Status TplNoWait::Scan(TxnDescriptor* t, uint32_t table_id, uint64_t start_key,
             return true;
           }
         }
-        std::memcpy(buf.data(), row->Data(), row->payload_size);
-        for (const WriteEntry& we : t->write_set) {
-          if (we.table_id != table_id || we.key != key) continue;
-          if (we.kind == WriteEntry::Kind::kDelete) return true;
-          std::memcpy(buf.data() + we.field_offset, t->ImageAt(we.data_offset),
-                      we.data_size);
+        std::memcpy(buf, row->Data(), row->payload_size);
+        const int wi = t->FindWrite(table_id, key);
+        if (wi >= 0) {
+          if (t->write_set[wi].kind == WriteEntry::Kind::kDelete) return true;
+          t->ReplayChain(wi, buf);
         }
         n++;
-        const bool more = consumer == nullptr || consumer->OnRecord(key, buf.data());
+        const bool more = consumer == nullptr || consumer->OnRecord(key, buf);
         if (!more) return false;
         return !(limit != 0 && n >= limit);
       });
@@ -142,8 +144,10 @@ Status TplNoWait::Scan(TxnDescriptor* t, uint32_t table_id, uint64_t start_key,
 void TplNoWait::ReleaseAll(TxnDescriptor* t, uint64_t commit_ts, bool committed) {
   for (const ReadEntry& re : t->read_set) {
     Row* row = re.row;
-    const int wi = t->FindWriteByRow(row);
     if (!committed) {
+      // Abort: the oldest entry for the row says what placeholder cleanup
+      // (if any) is needed.
+      const int wi = t->FindWriteByRow(row);
       if (wi >= 0 && t->write_set[wi].kind == WriteEntry::Kind::kInsert) {
         row->tid.store(TidWord::kAbsentBit, std::memory_order_release);
         db_->GetIndex(t->write_set[wi].table_id)->Remove(t->write_set[wi].key);
@@ -152,6 +156,9 @@ void TplNoWait::ReleaseAll(TxnDescriptor* t, uint64_t commit_ts, bool committed)
       }
       continue;
     }
+    // Commit: the NET kind — the newest entry in the row's chain — decides,
+    // or an insert-then-delete chain would commit the row as live.
+    const int wi = t->FindLatestWriteByRow(row);
     if (wi < 0) {
       row->Unlock();  // read-only lock
     } else if (t->write_set[wi].kind == WriteEntry::Kind::kDelete) {

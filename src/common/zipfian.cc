@@ -1,7 +1,8 @@
 #include "common/zipfian.h"
 
+#include <atomic>
+#include <cassert>
 #include <cmath>
-#include <map>
 #include <mutex>
 
 namespace rocc {
@@ -9,23 +10,59 @@ namespace {
 
 // zeta(n, theta) is O(n); memoise it so sweeping benchmarks that rebuild
 // generators for every configuration do not recompute the 10M-term sum.
-std::mutex g_zeta_mu;
-std::map<std::pair<uint64_t, double>, double> g_zeta_cache;
+//
+// The cache is an append-only singly-linked list published with
+// release/acquire, so the hit path — the only path a measured worker should
+// ever take — is lock-free and allocation-free. The mutex serialises
+// publishers only. Nodes are intentionally leaked: the set of (n, theta)
+// pairs is tiny and process-lifetime.
+struct ZetaNode {
+  uint64_t n;
+  double theta;
+  double value;
+  ZetaNode* next;
+};
+
+std::atomic<ZetaNode*> g_zeta_head{nullptr};
+std::atomic<bool> g_zeta_warm{false};
+std::mutex g_zeta_publish_mu;
+
+bool FindZeta(uint64_t n, double theta, double* out) {
+  for (ZetaNode* p = g_zeta_head.load(std::memory_order_acquire); p != nullptr;
+       p = p->next) {
+    if (p->n == n && p->theta == theta) {
+      *out = p->value;
+      return true;
+    }
+  }
+  return false;
+}
 
 }  // namespace
 
+void ZipfianGenerator::MarkZetaCacheWarm(bool warm) {
+  g_zeta_warm.store(warm, std::memory_order_relaxed);
+}
+
 double ZipfianGenerator::Zeta(uint64_t n, double theta) {
-  {
-    std::lock_guard<std::mutex> lk(g_zeta_mu);
-    auto it = g_zeta_cache.find({n, theta});
-    if (it != g_zeta_cache.end()) return it->second;
-  }
+  double cached = 0;
+  if (FindZeta(n, theta, &cached)) return cached;
+  // Every generator a run uses is built during setup, so by the time the
+  // measured region starts (the runner flips the flag) every (n, theta) this
+  // process will ever ask for is already published — a miss past that point
+  // means a generator is being constructed on the hot path.
+  assert(!g_zeta_warm.load(std::memory_order_relaxed) &&
+         "zeta cache miss after warm-up: ZipfianGenerator built inside the "
+         "measured region");
+  std::lock_guard<std::mutex> lk(g_zeta_publish_mu);
+  if (FindZeta(n, theta, &cached)) return cached;  // raced with a publisher
   double sum = 0;
-  for (uint64_t i = 1; i <= n; i++) sum += 1.0 / std::pow(static_cast<double>(i), theta);
-  {
-    std::lock_guard<std::mutex> lk(g_zeta_mu);
-    g_zeta_cache[{n, theta}] = sum;
+  for (uint64_t i = 1; i <= n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
   }
+  ZetaNode* node = new ZetaNode{
+      n, theta, sum, g_zeta_head.load(std::memory_order_relaxed)};
+  g_zeta_head.store(node, std::memory_order_release);
   return sum;
 }
 

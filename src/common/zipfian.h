@@ -32,6 +32,13 @@ class ZipfianGenerator {
   uint64_t n() const { return n_; }
   double theta() const { return theta_; }
 
+  /// Declare the process-wide zeta cache warm (or cold again). While warm,
+  /// a cache miss asserts in debug builds: all generators must be built
+  /// during setup/warm-up, never inside a measured region, so workers only
+  /// ever take the lock-free hit path. The runner flips this around the
+  /// measured region.
+  static void MarkZetaCacheWarm(bool warm = true);
+
  private:
   static double Zeta(uint64_t n, double theta);
 

@@ -1,0 +1,19 @@
+#include "core/range_manager.h"
+
+namespace rocc {
+
+RangeManager::RangeManager(uint64_t key_min, uint64_t key_max, uint32_t num_ranges,
+                           uint32_t ring_capacity)
+    : key_min_(key_min),
+      key_max_(key_max),
+      num_ranges_(num_ranges == 0 ? 1 : num_ranges) {
+  const uint64_t span = key_max_ > key_min_ ? key_max_ - key_min_ : 1;
+  range_size_ = (span + num_ranges_ - 1) / num_ranges_;
+  if (range_size_ == 0) range_size_ = 1;
+  rings_.reserve(num_ranges_);
+  for (uint32_t i = 0; i < num_ranges_; i++) {
+    rings_.push_back(std::make_unique<TxnRing>(ring_capacity));
+  }
+}
+
+}  // namespace rocc

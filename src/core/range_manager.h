@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/txn_ring.h"
+
+namespace rocc {
+
+/// Partitions one table's key space into equal, continuous, disjoint logical
+/// ranges [start_key, end_key) and owns the per-range transaction lists
+/// (paper §III-A, Fig. 3).
+class RangeManager {
+ public:
+  /// \param key_min        inclusive lower bound of the key space
+  /// \param key_max        exclusive upper bound of the key space
+  /// \param num_ranges     number of equal logical ranges to create
+  /// \param ring_capacity  slots in each range's circular transaction list
+  RangeManager(uint64_t key_min, uint64_t key_max, uint32_t num_ranges,
+               uint32_t ring_capacity);
+
+  /// Logical range id containing `key`. Keys outside [key_min, key_max) are
+  /// clamped to the first/last range.
+  uint32_t RangeOf(uint64_t key) const {
+    if (key <= key_min_) return 0;
+    const uint64_t r = (key - key_min_) / range_size_;
+    return r >= num_ranges_ ? num_ranges_ - 1 : static_cast<uint32_t>(r);
+  }
+
+  uint64_t RangeStart(uint32_t id) const { return key_min_ + id * range_size_; }
+
+  /// Exclusive end of range `id`; the last range extends to key_max.
+  uint64_t RangeEnd(uint32_t id) const {
+    return id + 1 == num_ranges_ ? key_max_ : key_min_ + (id + 1) * range_size_;
+  }
+
+  TxnRing& ring(uint32_t id) { return *rings_[id]; }
+  const TxnRing& ring(uint32_t id) const { return *rings_[id]; }
+
+  uint32_t num_ranges() const { return num_ranges_; }
+  uint64_t key_min() const { return key_min_; }
+  uint64_t key_max() const { return key_max_; }
+  uint64_t range_size() const { return range_size_; }
+
+ private:
+  uint64_t key_min_;
+  uint64_t key_max_;
+  uint32_t num_ranges_;
+  uint64_t range_size_;
+  std::vector<std::unique_ptr<TxnRing>> rings_;
+};
+
+}  // namespace rocc

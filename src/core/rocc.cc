@@ -1,0 +1,164 @@
+#include "core/rocc.h"
+
+#include <algorithm>
+
+#include "cc/occ_util.h"
+
+namespace rocc {
+
+Rocc::Rocc(Database* db, uint32_t num_threads, RoccOptions options)
+    : OccBase(db, num_threads), options_(std::move(options)) {
+  managers_.resize(db->NumTables());
+  for (const RangeConfig& rc : options_.tables) {
+    managers_[rc.table_id] = std::make_unique<RangeManager>(
+        rc.key_min, rc.key_max, rc.num_ranges, rc.ring_capacity);
+  }
+  for (size_t i = 0; i < managers_.size(); i++) {
+    if (managers_[i] == nullptr) {
+      managers_[i] = std::make_unique<RangeManager>(0, 1ULL << 62, 1,
+                                                    options_.default_ring_capacity);
+    }
+  }
+}
+
+Status Rocc::Scan(TxnDescriptor* t, uint32_t table_id, uint64_t start_key,
+                  uint64_t end_key, uint64_t limit, ScanConsumer* consumer) {
+  RangeManager* rm = managers_[table_id].get();
+  const uint64_t end_bound = (end_key == 0) ? rm->key_max() : end_key;
+  uint64_t cursor = std::max(start_key, rm->key_min());
+  uint64_t produced = 0;
+  const bool precise = PreciseBoundaries();
+
+  while (cursor < end_bound && (limit == 0 || produced < limit)) {
+    const uint32_t rid = rm->RangeOf(cursor);
+    const uint64_t range_lo = rm->RangeStart(rid);
+    // Keys beyond the configured key space clamp into the last logical range
+    // (writers register there too), so the last range absorbs any scan tail
+    // past key_max — otherwise the cursor could never reach end_bound.
+    const bool last_range = rid + 1 == rm->num_ranges();
+    const uint64_t range_hi =
+        last_range ? end_bound : std::min(rm->RangeEnd(rid), end_bound);
+
+    // Construct the predicate BEFORE scanning the range (§III-C2): taking
+    // rd_ts first is the moral equivalent of acquiring a range read lock.
+    RangePredicate p;
+    p.table_id = table_id;
+    p.range_id = rid;
+    p.rd_ts = rm->ring(rid).Version();
+
+    uint64_t last_key = 0;
+    uint64_t n = 0;
+    bool stopped = false;
+    const uint64_t remaining = (limit == 0) ? 0 : limit - produced;
+    Status st = ScanRecords(t, table_id, cursor, range_hi, remaining, consumer,
+                            /*track_records=*/false, &last_key, &n, &stopped);
+    if (!st.ok()) return st;
+    produced += n;
+
+    // A consumer stop bounds the scan exactly like reaching the limit: the
+    // logical extent ends just past the last delivered key.
+    const bool hit_limit = (limit != 0 && produced >= limit) || stopped;
+    if (precise) {
+      p.start_key = cursor;
+      p.end_key = hit_limit ? last_key + 1 : range_hi;
+      p.cover = !hit_limit && cursor <= range_lo && range_hi == rm->RangeEnd(rid);
+    } else {
+      // MVRCC-style imprecision: every touched range counts as fully read.
+      p.start_key = range_lo;
+      p.end_key = rm->RangeEnd(rid);
+      p.cover = true;
+    }
+    t->predicates.push_back(p);
+
+    if (hit_limit) break;
+    cursor = range_hi;
+  }
+  return Status::Ok();
+}
+
+void Rocc::RegisterWrites(TxnDescriptor* t) {
+  if (!options_.register_writes) return;
+  TxnStats& s = stats(t->thread_id);
+  for (const WriteEntry& we : t->write_set) {
+    RangeManager* rm = managers_[we.table_id].get();
+    const uint32_t rid = rm->RangeOf(we.key);
+    const uint64_t tag = (static_cast<uint64_t>(we.table_id) << 32) | rid;
+    // A transaction registers to each logical range only once (§V-H); the
+    // dedup list is kept sorted so the membership probe is O(log R) even for
+    // bulk writers spanning many ranges.
+    const auto it = std::lower_bound(t->registered_ranges.begin(),
+                                     t->registered_ranges.end(), tag);
+    if (it != t->registered_ranges.end() && *it == tag) continue;
+    t->registered_ranges.insert(it, tag);
+    rm->ring(rid).Register(t);
+    s.registrations++;
+  }
+}
+
+bool Rocc::ValidatePredicate(TxnDescriptor* t, const RangePredicate& p,
+                             uint64_t my_cts, uint32_t* pace_counter) {
+  RangeManager* rm = managers_[p.table_id].get();
+  TxnRing& ring = rm->ring(p.range_id);
+  TxnStats& s = stats(t->thread_id);
+
+  const uint64_t v_ts = ring.Version();
+  if (v_ts == p.rd_ts) return true;  // unchanged range: fast path
+  if (v_ts - p.rd_ts >= ring.capacity()) {
+    s.abort_ring_lost++;
+    return false;  // the ring wrapped: conflict information was lost
+  }
+
+  for (uint64_t seq = p.rd_ts + 1; seq <= v_ts; seq++) {
+    TxnDescriptor* writer = ring.Get(seq);
+    if (writer == nullptr) {
+      s.abort_ring_lost++;
+      return false;  // slot overwritten concurrently
+    }
+    s.validated_txns++;
+    PaceValidation(pace_counter);
+    if (writer == t) continue;  // own registration
+    if (writer->state.load(std::memory_order_acquire) == TxnState::kAborted) {
+      continue;  // its writes were never applied
+    }
+    const uint64_t wcts = WaitForCommitTs(writer);
+    if (wcts == 0) {
+      // Aborted meanwhile, or unresolved past the spin budget.
+      if (writer->state.load(std::memory_order_acquire) == TxnState::kAborted) {
+        continue;
+      }
+      s.abort_unresolved++;
+      return false;  // conservative
+    }
+    if (wcts > my_cts) continue;  // serializes after this transaction
+    if (p.cover && options_.cover_fast_path) {
+      s.abort_scan_conflict++;
+      return false;  // any overlapping writer intersects a full range
+    }
+
+    // Partial range (or the cover fast path is ablated away): precise key
+    // check against the writer's frozen fingerprints (Algorithm 1 steps
+    // 19-24). The fingerprints were built before the writer registered, so
+    // the acquire on the ring slot makes them safely readable here; the
+    // interval reject + binary search replaces the O(W) writeset walk.
+    const uint64_t lo = p.cover ? rm->RangeStart(p.range_id) : p.start_key;
+    const uint64_t hi = p.cover ? rm->RangeEnd(p.range_id) : p.end_key;
+    PaceValidation(pace_counter);
+    if (writer->WritesIntersect(p.table_id, lo, hi)) {
+      s.abort_scan_conflict++;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Rocc::ValidateScans(TxnDescriptor* t) {
+  if (t->predicates.empty()) return true;
+  const uint64_t my_cts = t->commit_ts.load(std::memory_order_relaxed);
+  uint32_t pace_counter = 0;
+  for (const RangePredicate& p : t->predicates) {
+    if (!ValidatePredicate(t, p, my_cts, &pace_counter)) return false;
+  }
+  return true;
+}
+
+}  // namespace rocc

@@ -1,6 +1,11 @@
 #include "harness/report.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "common/sysinfo.h"
@@ -68,6 +73,96 @@ void ReportTable::Print(bool csv) const {
     std::fputs(ToCsv().c_str(), stdout);
   }
   std::fflush(stdout);
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// A cell is a JSON number when strtod consumes it fully and the value is
+/// finite (JSON has no nan/inf literals).
+bool IsJsonNumber(const std::string& s) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size() && errno == 0 && std::isfinite(v);
+}
+
+void EmitJsonValue(std::ostringstream& out, const std::string& cell) {
+  if (IsJsonNumber(cell)) {
+    out << cell;
+  } else {
+    out << '"' << JsonEscape(cell) << '"';
+  }
+}
+
+}  // namespace
+
+JsonReport::JsonReport(std::string binary, std::string parameters)
+    : binary_(std::move(binary)),
+      environment_(SysInfo::Probe().ToString()),
+      parameters_(std::move(parameters)) {}
+
+void JsonReport::AddTable(const std::string& title, const ReportTable& table) {
+  tables_.push_back({title, table.headers(), table.rows()});
+}
+
+std::string JsonReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"binary\": \"" << JsonEscape(binary_) << "\",\n";
+  out << "  \"environment\": \"" << JsonEscape(environment_) << "\",\n";
+  out << "  \"parameters\": \"" << JsonEscape(parameters_) << "\",\n";
+  out << "  \"tables\": [";
+  for (size_t ti = 0; ti < tables_.size(); ti++) {
+    const Entry& e = tables_[ti];
+    out << (ti == 0 ? "\n" : ",\n");
+    out << "    {\n      \"title\": \"" << JsonEscape(e.title) << "\",\n";
+    out << "      \"rows\": [";
+    for (size_t ri = 0; ri < e.rows.size(); ri++) {
+      out << (ri == 0 ? "\n" : ",\n") << "        {";
+      const auto& row = e.rows[ri];
+      for (size_t c = 0; c < e.headers.size() && c < row.size(); c++) {
+        if (c > 0) out << ", ";
+        out << '"' << JsonEscape(e.headers[c]) << "\": ";
+        EmitJsonValue(out, row[c]);
+      }
+      out << '}';
+    }
+    out << "\n      ]\n    }";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+bool JsonReport::WriteTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << ToJson();
+  return static_cast<bool>(out);
 }
 
 void PrintBanner(const std::string& title, const std::string& params) {

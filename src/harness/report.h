@@ -25,9 +25,44 @@ class ReportTable {
   static std::string Fmt(double v, int precision = 2);
   static std::string Fmt(uint64_t v);
 
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+/// Machine-readable run report: accumulates named tables and rewrites one
+/// JSON file after every addition, so the file on disk is always valid JSON
+/// even when a sweeping binary is interrupted mid-run.
+///
+/// Cells that parse as finite numbers are emitted as JSON numbers, everything
+/// else as strings, so downstream tooling can diff throughput trajectories
+/// without knowing each table's column types.
+class JsonReport {
+ public:
+  JsonReport(std::string binary, std::string parameters);
+
+  /// Append a table (snapshot of its current rows) under `title`.
+  void AddTable(const std::string& title, const ReportTable& table);
+
+  std::string ToJson() const;
+
+  /// Rewrite `path` with the full report; returns false on I/O failure.
+  bool WriteTo(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string title;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string binary_;
+  std::string environment_;
+  std::string parameters_;
+  std::vector<Entry> tables_;
 };
 
 /// Print the standard benchmark banner: title, environment (paper Table I),

@@ -9,6 +9,7 @@
 #include "cc/two_phase_locking.h"
 #include "common/fiber.h"
 #include "common/latch.h"
+#include "common/zipfian.h"
 #include "harness/coop_cc.h"
 #include "common/timer.h"
 #include "core/rocc.h"
@@ -40,6 +41,7 @@ RunResult RunFiberExperiment(ConcurrencyControl* cc, Workload* workload,
         workload->RunTxn(&coop, tid, rng);
       }
       warmed.Wait();
+      ZipfianGenerator::MarkZetaCacheWarm();  // idempotent across workers
       cc->AttachThread(tid, &stats[tid]);
       measure_start.Wait();
       for (uint64_t i = 0; i < options.txns_per_thread; i++) {
@@ -77,6 +79,7 @@ RunResult RunThreadExperiment(ConcurrencyControl* cc, Workload* workload,
         workload->RunTxn(cc, tid, rng);
       }
       barrier.Wait();  // (2) warmup done
+      ZipfianGenerator::MarkZetaCacheWarm();  // idempotent across workers
       cc->AttachThread(tid, &stats[tid]);
       barrier.Wait();  // (3) measured region starts
       for (uint64_t i = 0; i < options.txns_per_thread; i++) {
@@ -107,6 +110,10 @@ RunResult RunThreadExperiment(ConcurrencyControl* cc, Workload* workload,
 
 RunResult RunExperiment(ConcurrencyControl* cc, Workload* workload,
                         const RunOptions& options) {
+  // A new experiment may legitimately build generators for new (n, theta)
+  // pairs during its setup and warm-up; only the measured region is
+  // construction-free.
+  ZipfianGenerator::MarkZetaCacheWarm(false);
   if (options.log != nullptr) cc->AttachLog(options.log);
   bool fibers;
   switch (options.mode) {

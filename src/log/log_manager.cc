@@ -503,7 +503,11 @@ Status LogManager::Recover(const std::string& log_dir, Database* db,
       }
       Row* row = db->GetIndex(op.table_id)->Get(op.key);
       if (op.kind == wal::WriteKind::kDelete) {
-        if (row != nullptr && TidWord::Version(row->tid.load()) < cts) {
+        // <= cts, not <: a record serializes its writes chronologically, so
+        // a delete may follow this same record's own insert/update of the
+        // key (version already == cts). The commit netted to a delete and
+        // replay must agree; only strictly-newer rows are stale.
+        if (row != nullptr && TidWord::Version(row->tid.load()) <= cts) {
           db->GetIndex(op.table_id)->Remove(op.key);
         } else if (row != nullptr) {
           stats->stale_writes++;

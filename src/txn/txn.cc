@@ -1,8 +1,21 @@
 #include "txn/txn.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace rocc {
+
+namespace {
+
+/// Orders PendingInsert entries and probe bounds by (table_id, key).
+struct PendingLess {
+  bool operator()(const PendingInsert& a, const PendingInsert& b) const {
+    if (a.table_id != b.table_id) return a.table_id < b.table_id;
+    return a.key < b.key;
+  }
+};
+
+}  // namespace
 
 void TxnDescriptor::Reset(uint64_t id, uint32_t thread, uint64_t start) {
   txn_id = id;
@@ -17,6 +30,13 @@ void TxnDescriptor::Reset(uint64_t id, uint32_t thread, uint64_t start) {
   predicates.clear();
   write_buf.clear();
   registered_ranges.clear();
+  pending_inserts.clear();
+  fingerprints.clear();
+  frozen_write_keys.clear();
+  index_active_ = false;
+  write_index_.Clear();
+  row_index_.Clear();
+  lock_index.Clear();
 }
 
 uint32_t TxnDescriptor::AppendImage(const void* data, uint32_t size) {
@@ -26,20 +46,126 @@ uint32_t TxnDescriptor::AppendImage(const void* data, uint32_t size) {
   return off;
 }
 
-int TxnDescriptor::FindWrite(uint32_t table_id, uint64_t key) const {
-  for (size_t i = 0; i < write_set.size(); i++) {
-    if (write_set[i].table_id == table_id && write_set[i].key == key) {
-      return static_cast<int>(i);
+void TxnDescriptor::AppendWrite(WriteEntry we) {
+  const int32_t idx = static_cast<int32_t>(write_set.size());
+  if (!index_active_ && write_set.size() >= kIndexActivationThreshold) {
+    ActivateIndexes();
+  }
+  if (index_active_) {
+    we.prev = write_index_.Put(we.key, we.table_id, idx);
+    if (we.row != nullptr) {
+      row_index_.PutIfAbsent(reinterpret_cast<uintptr_t>(we.row), 0, idx);
+    }
+  } else {
+    we.prev = FindWrite(we.table_id, we.key);  // linear below the threshold
+  }
+  if (we.kind == WriteEntry::Kind::kInsert) {
+    const PendingInsert pi{we.key, we.table_id};
+    pending_inserts.insert(
+        std::lower_bound(pending_inserts.begin(), pending_inserts.end(), pi,
+                         PendingLess{}),
+        pi);
+  } else if (we.kind == WriteEntry::Kind::kDelete && we.prev >= 0) {
+    // Deleting a key whose chain began with an insert cancels the pending
+    // insert: the key must no longer surface in this transaction's scans.
+    const PendingInsert pi{we.key, we.table_id};
+    const auto it = std::lower_bound(pending_inserts.begin(),
+                                     pending_inserts.end(), pi, PendingLess{});
+    if (it != pending_inserts.end() && it->key == we.key &&
+        it->table_id == we.table_id) {
+      pending_inserts.erase(it);
     }
   }
-  return -1;
+  write_set.push_back(we);
 }
 
-int TxnDescriptor::FindWriteByRow(const Row* row) const {
-  for (size_t i = 0; i < write_set.size(); i++) {
-    if (write_set[i].row == row) return static_cast<int>(i);
+void TxnDescriptor::BindRow(int32_t idx, Row* row) {
+  // Below the activation threshold FindWriteByRow scans write_set directly
+  // (LockWriteSet assigns every entry's row), so only the index needs it.
+  if (index_active_) {
+    row_index_.PutIfAbsent(reinterpret_cast<uintptr_t>(row), 0, idx);
   }
-  return -1;
+}
+
+void TxnDescriptor::ActivateIndexes() {
+  index_active_ = true;
+  for (size_t i = 0; i < write_set.size(); i++) {
+    const WriteEntry& we = write_set[i];
+    write_index_.Put(we.key, we.table_id, static_cast<int32_t>(i));
+    if (we.row != nullptr) {
+      row_index_.PutIfAbsent(reinterpret_cast<uintptr_t>(we.row), 0,
+                             static_cast<int32_t>(i));
+    }
+  }
+}
+
+void TxnDescriptor::PendingInsertKeysInto(uint32_t table_id, uint64_t lo,
+                                          uint64_t hi,
+                                          std::vector<uint64_t>* out) const {
+  const PendingInsert lo_probe{lo, table_id};
+  auto it = std::lower_bound(pending_inserts.begin(), pending_inserts.end(),
+                             lo_probe, PendingLess{});
+  for (; it != pending_inserts.end() && it->table_id == table_id && it->key < hi;
+       ++it) {
+    out->push_back(it->key);
+  }
+}
+
+void TxnDescriptor::FreezeWriteFingerprints() {
+  fingerprints.clear();
+  frozen_write_keys.clear();
+  if (write_set.empty()) return;
+  frozen_write_keys.reserve(write_set.size());
+  // Single-table fast path: bulk transactions typically write one table, so
+  // the grouping sort degenerates to a key sort.
+  bool single_table = true;
+  const uint32_t table0 = write_set[0].table_id;
+  for (const WriteEntry& we : write_set) {
+    if (we.table_id != table0) {
+      single_table = false;
+      break;
+    }
+  }
+  if (single_table) {
+    for (const WriteEntry& we : write_set) frozen_write_keys.push_back(we.key);
+    std::sort(frozen_write_keys.begin(), frozen_write_keys.end());
+    fingerprints.push_back({table0, frozen_write_keys.front(),
+                            frozen_write_keys.back(), 0,
+                            static_cast<uint32_t>(frozen_write_keys.size())});
+    return;
+  }
+  // General path: sort (table, key) pairs, then cut per-table slices.
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;  // (table, key)
+  pairs.reserve(write_set.size());
+  for (const WriteEntry& we : write_set) pairs.emplace_back(we.table_id, we.key);
+  std::sort(pairs.begin(), pairs.end());
+  for (size_t i = 0; i < pairs.size();) {
+    const uint32_t table = static_cast<uint32_t>(pairs[i].first);
+    const uint32_t first = static_cast<uint32_t>(frozen_write_keys.size());
+    uint64_t key_min = pairs[i].second;
+    uint64_t key_max = key_min;
+    for (; i < pairs.size() && pairs[i].first == table; i++) {
+      key_max = pairs[i].second;
+      frozen_write_keys.push_back(pairs[i].second);
+    }
+    fingerprints.push_back(
+        {table, key_min, key_max, first,
+         static_cast<uint32_t>(frozen_write_keys.size()) - first});
+  }
+}
+
+bool TxnDescriptor::WritesIntersect(uint32_t table_id, uint64_t lo,
+                                    uint64_t hi) const {
+  if (lo >= hi) return false;
+  for (const WriteFingerprint& fp : fingerprints) {
+    if (fp.table_id != table_id) continue;
+    if (fp.key_max < lo || fp.key_min >= hi) return false;  // interval reject
+    const uint64_t* first = frozen_write_keys.data() + fp.first;
+    const uint64_t* last = first + fp.count;
+    const uint64_t* it = std::lower_bound(first, last, lo);
+    return it != last && *it < hi;
+  }
+  return false;
 }
 
 }  // namespace rocc

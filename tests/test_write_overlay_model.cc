@@ -1,0 +1,272 @@
+// Randomized differential test of the transaction-local write overlay.
+//
+// Interleaves Insert / Update (partial fields) / Delete / Read / Scan inside
+// single transactions and checks read-your-own-writes against a naive
+// std::map reference model, for every protocol. This pins the in-transaction
+// key life cycle the O(1) write-set index must preserve:
+//   - a delete is terminal for a key: later Update/Remove return NotFound
+//     and Insert returns KeyExists (2PL surfaces the insert as an abort);
+//   - removing one's own pending insert cancels it;
+//   - partial field images compose chronologically (left to right);
+//   - scans deliver pending inserts merged in key order, and a transaction's
+//     own image wins over the indexed record (regression: the duplicate-key
+//     skip used to drop the record instead of delivering the local view).
+//
+// Everything runs on one OS thread, so any protocol divergence is a logic
+// bug, not a race.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cc/hyper_gwv.h"
+#include "cc/mvrcc.h"
+#include "cc/silo_lrv.h"
+#include "cc/two_phase_locking.h"
+#include "common/rng.h"
+#include "core/rocc.h"
+
+namespace rocc {
+namespace {
+
+constexpr uint64_t kKeySpace = 64;
+constexpr uint32_t kPayload = 16;  // two u64 fields: A @0, B @8
+
+using Payload = std::array<char, kPayload>;
+
+Payload MakePayload(uint64_t a, uint64_t b) {
+  Payload p{};
+  std::memcpy(p.data(), &a, 8);
+  std::memcpy(p.data() + 8, &b, 8);
+  return p;
+}
+
+class CollectingConsumer : public ScanConsumer {
+ public:
+  explicit CollectingConsumer(uint64_t stop_after = 0) : stop_after_(stop_after) {}
+
+  bool OnRecord(uint64_t key, const char* payload) override {
+    keys.push_back(key);
+    Payload p;
+    std::memcpy(p.data(), payload, kPayload);
+    payloads.push_back(p);
+    return stop_after_ == 0 || keys.size() < stop_after_;
+  }
+
+  std::vector<uint64_t> keys;
+  std::vector<Payload> payloads;
+
+ private:
+  uint64_t stop_after_;
+};
+
+class OverlayModelTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    Schema schema({{"a", 8, 0}, {"b", 8, 8}});
+    table_ = db_.CreateTable("t", std::move(schema));
+    // Load every other key so inserts and deletes both have room to act.
+    for (uint64_t k = 0; k < kKeySpace; k += 2) {
+      const Payload p = MakePayload(k, k * 100);
+      db_.LoadRow(table_, k, p.data());
+      committed_[k] = p;
+    }
+    cc_ = MakeProtocol();
+    cc_->AttachThread(0, nullptr);
+  }
+
+  std::unique_ptr<ConcurrencyControl> MakeProtocol() {
+    const std::string name = GetParam();
+    if (name == "rocc" || name == "mvrcc") {
+      RoccOptions opts;
+      RangeConfig rc;
+      rc.table_id = table_;
+      rc.key_min = 0;
+      rc.key_max = kKeySpace;
+      rc.num_ranges = 8;
+      rc.ring_capacity = 256;
+      opts.tables = {rc};
+      if (name == "mvrcc") return std::make_unique<Mvrcc>(&db_, 2, std::move(opts));
+      return std::make_unique<Rocc>(&db_, 2, std::move(opts));
+    }
+    if (name == "lrv") return std::make_unique<SiloLrv>(&db_, 2);
+    if (name == "gwv") return std::make_unique<HyperGwv>(&db_, 2);
+    return std::make_unique<TplNoWait>(&db_, 2);
+  }
+
+  /// One transaction of `num_ops` random operations, mirrored against the
+  /// reference; commits (or aborts, for 2PL duplicate-key inserts) and folds
+  /// the outcome back into `committed_`.
+  void RunModelTxn(Rng& rng, int num_ops) {
+    TxnDescriptor* t = cc_->Begin(0);
+    // Reference state for this transaction.
+    std::map<uint64_t, Payload> view(committed_);
+    std::set<uint64_t> written;           // keys with any pending write chain
+    std::set<uint64_t> terminal_deleted;  // newest chain entry is a delete
+    bool txn_aborted = false;
+
+    for (int op = 0; op < num_ops && !txn_aborted; op++) {
+      const uint64_t key = rng.Uniform(kKeySpace);
+      switch (rng.Uniform(6)) {
+        case 0: {  // Read
+          Payload buf{};
+          const Status st = cc_->Read(t, table_, key, buf.data());
+          if (view.count(key)) {
+            ASSERT_TRUE(st.ok()) << "read live key " << key << ": " << st.ToString();
+            ASSERT_EQ(0, std::memcmp(buf.data(), view[key].data(), kPayload))
+                << "read of key " << key << " returned a stale image";
+          } else {
+            ASSERT_TRUE(st.not_found()) << "read dead key " << key;
+          }
+          break;
+        }
+        case 1: {  // partial Update of field A or B
+          const uint64_t v = rng.Next();
+          const uint32_t off = rng.Uniform(2) ? 8 : 0;
+          const Status st = cc_->Update(t, table_, key, &v, 8, off);
+          if (view.count(key) && !terminal_deleted.count(key)) {
+            ASSERT_TRUE(st.ok()) << "update live key " << key << ": " << st.ToString();
+            std::memcpy(view[key].data() + off, &v, 8);
+            written.insert(key);
+          } else {
+            ASSERT_TRUE(st.not_found()) << "update dead key " << key;
+          }
+          break;
+        }
+        case 2: {  // Insert
+          const Payload p = MakePayload(rng.Next(), rng.Next());
+          const Status st = cc_->Insert(t, table_, key, p.data());
+          if (written.count(key) || view.count(key)) {
+            // 2PL defers its delete, so the key is still indexed and the
+            // duplicate surfaces as an immediate abort instead of KeyExists.
+            ASSERT_FALSE(st.ok()) << "insert of existing key " << key;
+            if (st.aborted()) {
+              cc_->Abort(t);
+              txn_aborted = true;
+            } else {
+              ASSERT_EQ(Code::kKeyExists, st.code());
+            }
+          } else {
+            ASSERT_TRUE(st.ok()) << "insert free key " << key << ": " << st.ToString();
+            view[key] = p;
+            written.insert(key);
+            terminal_deleted.erase(key);
+          }
+          break;
+        }
+        case 3: {  // Remove
+          const Status st = cc_->Remove(t, table_, key);
+          if (view.count(key) && !terminal_deleted.count(key)) {
+            ASSERT_TRUE(st.ok()) << "remove live key " << key << ": " << st.ToString();
+            view.erase(key);
+            written.insert(key);
+            terminal_deleted.insert(key);
+          } else {
+            ASSERT_TRUE(st.not_found()) << "remove dead key " << key;
+          }
+          break;
+        }
+        default: {  // Scan a random window, sometimes with an early stop
+          uint64_t lo = rng.Uniform(kKeySpace);
+          uint64_t hi = lo + 1 + rng.Uniform(kKeySpace);
+          if (hi > kKeySpace) hi = kKeySpace;
+          const uint64_t limit = rng.Uniform(4) == 0 ? 1 + rng.Uniform(8) : 0;
+          CollectingConsumer got;
+          const Status st = cc_->Scan(t, table_, lo, hi, limit, &got);
+          ASSERT_TRUE(st.ok()) << "scan [" << lo << "," << hi
+                               << "): " << st.ToString();
+          std::vector<uint64_t> want_keys;
+          std::vector<Payload> want_payloads;
+          for (auto it = view.lower_bound(lo); it != view.end() && it->first < hi;
+               ++it) {
+            if (limit != 0 && want_keys.size() >= limit) break;
+            want_keys.push_back(it->first);
+            want_payloads.push_back(it->second);
+          }
+          ASSERT_EQ(want_keys, got.keys) << "scan [" << lo << "," << hi << ")";
+          for (size_t i = 0; i < want_keys.size(); i++) {
+            ASSERT_EQ(0, std::memcmp(want_payloads[i].data(), got.payloads[i].data(),
+                                     kPayload))
+                << "scan image of key " << want_keys[i];
+          }
+          break;
+        }
+      }
+    }
+
+    if (txn_aborted) return;  // committed_ unchanged
+    const Status st = cc_->Commit(t);
+    ASSERT_TRUE(st.ok()) << "single-threaded commit failed: " << st.ToString();
+    committed_ = std::move(view);
+  }
+
+  /// Full-state audit through a fresh transaction.
+  void VerifyCommittedState() {
+    TxnDescriptor* t = cc_->Begin(0);
+    CollectingConsumer got;
+    ASSERT_TRUE(cc_->Scan(t, table_, 0, kKeySpace, 0, &got).ok());
+    std::vector<uint64_t> want;
+    for (const auto& kv : committed_) want.push_back(kv.first);
+    ASSERT_EQ(want, got.keys);
+    for (size_t i = 0; i < want.size(); i++) {
+      ASSERT_EQ(0, std::memcmp(committed_[want[i]].data(), got.payloads[i].data(),
+                               kPayload))
+          << "committed image of key " << want[i];
+    }
+    ASSERT_TRUE(cc_->Commit(t).ok());
+  }
+
+  Database db_;
+  uint32_t table_ = 0;
+  std::map<uint64_t, Payload> committed_;
+  std::unique_ptr<ConcurrencyControl> cc_;
+};
+
+TEST_P(OverlayModelTest, RandomizedAgainstMapReference) {
+  Rng rng(0xC0FFEE ^ std::hash<std::string>{}(GetParam()));
+  for (int txn = 0; txn < 300; txn++) {
+    RunModelTxn(rng, 1 + static_cast<int>(rng.Uniform(24)));
+    if (txn % 25 == 0) VerifyCommittedState();
+  }
+  VerifyCommittedState();
+}
+
+// Deterministic regression for the duplicate-pending-key scan fix: a pending
+// insert whose key is also delivered by the index must surface exactly once,
+// with the transaction's own image.
+TEST_P(OverlayModelTest, ScanDeliversOwnImageForIndexedPendingKey) {
+  if (GetParam() == "2pl") return;  // 2PL indexes its inserts immediately
+  TxnDescriptor* t = cc_->Begin(0);
+  // Key 1 is odd, so it is not loaded. Queue a pending insert plus a partial
+  // update of it.
+  const Payload p = MakePayload(7, 70);
+  ASSERT_TRUE(cc_->Insert(t, table_, 1, p.data()).ok());
+  const uint64_t v = 777;
+  ASSERT_TRUE(cc_->Update(t, table_, 1, &v, 8, 8).ok());
+  // A concurrent writer now materialises key 1 in the index and holds its
+  // record lock (mid-commit). The scan must still deliver this transaction's
+  // own image exactly once: the old duplicate-key skip fell through to the
+  // base record and aborted on the foreign lock instead.
+  Row* foreign = db_.LoadRow(table_, 1, MakePayload(999, 999).data());
+  ASSERT_TRUE(foreign->TryLock());
+  CollectingConsumer got;
+  ASSERT_TRUE(cc_->Scan(t, table_, 0, 4, 0, &got).ok());
+  ASSERT_EQ((std::vector<uint64_t>{0, 1, 2}), got.keys);
+  const Payload want = MakePayload(7, 777);
+  ASSERT_EQ(0, std::memcmp(want.data(), got.payloads[1].data(), kPayload));
+  foreign->Unlock();
+  // The pending insert now collides with a live committed row: the commit
+  // must abort rather than clobber it.
+  ASSERT_TRUE(cc_->Commit(t).aborted());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, OverlayModelTest,
+                         ::testing::Values("rocc", "lrv", "gwv", "mvrcc", "2pl"));
+
+}  // namespace
+}  // namespace rocc
