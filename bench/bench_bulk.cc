@@ -121,6 +121,7 @@ class BulkWorkload : public Workload {
     }
 
     return RunWithRetries(
+        cc, thread_id, is_bulk,
         [&]() -> Status {
           TxnDescriptor* t = cc->Begin(thread_id);
           t->is_scan_txn = is_bulk;
@@ -208,10 +209,14 @@ int main(int argc, char** argv) {
     table_id = loader.table_id();
   }
 
+  GiveUpGuard guard;
   for (double mix : mixes) {
-    ReportTable table({"bulk_writes", "mix", "scheme", "total_tps", "bulk_tps",
-                       "point_tps", "abort_rate", "bulk_abort_rate",
-                       "bulk_p50_ms", "validated_txns_per_scan"});
+    std::vector<std::string> headers = {
+        "bulk_writes", "mix", "scheme", "total_tps", "bulk_tps",
+        "point_tps", "abort_rate", "bulk_abort_rate",
+        "bulk_p50_ms", "validated_txns_per_scan"};
+    for (const std::string& h : ContentionHeaders()) headers.push_back(h);
+    ReportTable table(std::move(headers));
     // Pure point mix: the write-set size never varies, one sweep point.
     const std::vector<int64_t> sweep =
         mix == 0.0 ? std::vector<int64_t>{static_cast<int64_t>(base.point_ops)}
@@ -233,15 +238,20 @@ int main(int argc, char** argv) {
         const RunResult r = RunExperiment(cc.get(), &workload, run);
         if (log != nullptr) log->Stop();
         const double bulk_tps = r.ScanThroughput();
-        table.AddRow({F(static_cast<uint64_t>(w)), F(mix, 2), scheme,
-                      F(r.Throughput(), 1), F(bulk_tps, 1),
-                      F(r.Throughput() - bulk_tps, 1),
-                      F(r.stats.AbortRate(), 4), F(r.stats.ScanAbortRate(), 4),
-                      F(static_cast<double>(r.stats.latency_scan.Percentile(50)) / 1e6, 3),
-                      F(r.ValidatedTxnsPerScan(), 1)});
+        guard.Check(r, scheme + " @ mix=" + F(mix, 2) + " w=" +
+                           F(static_cast<uint64_t>(w)));
+        std::vector<std::string> row = {
+            F(static_cast<uint64_t>(w)), F(mix, 2), scheme,
+            F(r.Throughput(), 1), F(bulk_tps, 1),
+            F(r.Throughput() - bulk_tps, 1),
+            F(r.stats.AbortRate(), 4), F(r.stats.ScanAbortRate(), 4),
+            F(static_cast<double>(r.stats.latency_scan.Percentile(50)) / 1e6, 3),
+            F(r.ValidatedTxnsPerScan(), 1)};
+        for (std::string& c : ContentionCells(r.stats)) row.push_back(std::move(c));
+        table.AddRow(std::move(row));
       }
     }
     Emit(env, table, "bulk_mix_" + F(mix, 2));
   }
-  return 0;
+  return guard.Failed() ? 1 : 0;
 }

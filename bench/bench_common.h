@@ -234,5 +234,27 @@ inline RunResult RunTpcc(const BenchEnv& env, const TpccOptions& opts,
 inline std::string F(double v, int p = 2) { return ReportTable::Fmt(v, p); }
 inline std::string F(uint64_t v) { return ReportTable::Fmt(v); }
 
+/// Loud give-up guard: at the default retry budgets the starvation-escape
+/// escalation makes retry exhaustion impossible, so a nonzero give_ups count
+/// means dropped transactions are silently skewing the reported throughput.
+/// Accumulates across runs; call Failed() before exiting to pick main's
+/// return code.
+class GiveUpGuard {
+ public:
+  void Check(const RunResult& r, const std::string& label) {
+    if (r.stats.give_ups == 0) return;
+    failed_ = true;
+    std::fprintf(stderr,
+                 "ERROR: %s dropped %llu logical transactions (give_ups != 0); "
+                 "throughput figures above under-report contention\n",
+                 label.c_str(),
+                 static_cast<unsigned long long>(r.stats.give_ups));
+  }
+  bool Failed() const { return failed_; }
+
+ private:
+  bool failed_ = false;
+};
+
 }  // namespace bench
 }  // namespace rocc

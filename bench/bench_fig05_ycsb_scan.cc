@@ -20,9 +20,13 @@ int main(int argc, char** argv) {
   opts.theta = 0.7;
   YcsbBench bench(env, opts);
 
-  ReportTable table({"scan_len", "scheme", "scan_tps", "scan_avg_lat_ms",
-                     "scan_p99_lat_ms", "total_tps", "scan_abort_rate"});
+  std::vector<std::string> headers = {"scan_len", "scheme", "scan_tps",
+                                      "scan_avg_lat_ms", "scan_p99_lat_ms",
+                                      "total_tps", "scan_abort_rate"};
+  for (const std::string& h : ContentionHeaders()) headers.push_back(h);
+  ReportTable table(std::move(headers));
 
+  GiveUpGuard guard;
   const auto scan_lens = env.cfg.GetIntList("scan_lens",
                                             {10, 100, 300, 500, 1000, 1500});
   for (int64_t scan_len : scan_lens) {
@@ -31,13 +35,18 @@ int main(int argc, char** argv) {
     bench.Reconfigure(cur);
     for (const char* scheme : {"lrv", "gwv", "rocc"}) {
       const RunResult r = bench.Run(scheme);
-      table.AddRow({F(static_cast<uint64_t>(scan_len)), scheme,
-                    F(r.ScanThroughput(), 1),
-                    F(r.stats.latency_scan.Mean() / 1e6, 3),
-                    F(static_cast<double>(r.stats.latency_scan.Percentile(99)) / 1e6, 3),
-                    F(r.Throughput(), 1), F(r.stats.ScanAbortRate(), 4)});
+      guard.Check(r, std::string(scheme) + " @ scan_len=" +
+                         F(static_cast<uint64_t>(scan_len)));
+      std::vector<std::string> row = {
+          F(static_cast<uint64_t>(scan_len)), scheme,
+          F(r.ScanThroughput(), 1),
+          F(r.stats.latency_scan.Mean() / 1e6, 3),
+          F(static_cast<double>(r.stats.latency_scan.Percentile(99)) / 1e6, 3),
+          F(r.Throughput(), 1), F(r.stats.ScanAbortRate(), 4)};
+      for (std::string& c : ContentionCells(r.stats)) row.push_back(std::move(c));
+      table.AddRow(std::move(row));
     }
   }
   Emit(env, table);
-  return 0;
+  return guard.Failed() ? 1 : 0;
 }

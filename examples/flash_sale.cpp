@@ -125,6 +125,7 @@ int main(int argc, char** argv) {
       const uint64_t amount = 100 + rng.Uniform(50'000);
 
       Status st = RunWithRetries(
+          cc.get(), tid, /*is_scan_txn=*/false,
           [&] {
             TxnDescriptor* t = cc->Begin(tid);
             OrderRow order{account, amount, 0};

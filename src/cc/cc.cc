@@ -7,6 +7,7 @@
 #include "cc/occ_util.h"
 #include "common/fiber.h"
 #include "common/timer.h"
+#include "harness/contention.h"
 #include "log/log_manager.h"
 
 namespace rocc {
@@ -20,7 +21,8 @@ uint64_t MakeTxnId(uint32_t thread_id, uint64_t seq) {
 }  // namespace
 
 OccBase::OccBase(Database* db, uint32_t num_threads)
-    : db_(db), epoch_(num_threads) {
+    : db_(db), epoch_(num_threads),
+      contention_(std::make_unique<ContentionManager>(num_threads)) {
   ctxs_.reserve(num_threads);
   for (uint32_t i = 0; i < num_threads; i++) {
     ctxs_.push_back(std::make_unique<ThreadCtx>());
@@ -51,6 +53,7 @@ void OccBase::PaceValidation(uint32_t* counter) const {
 
 void OccBase::AttachThread(uint32_t thread_id, TxnStats* sink) {
   ctxs_[thread_id]->stats = sink;
+  contention_->AttachThread(thread_id, sink);
 }
 
 TxnDescriptor* OccBase::Begin(uint32_t thread_id) {
@@ -69,6 +72,7 @@ TxnDescriptor* OccBase::Begin(uint32_t thread_id) {
   t->Reset(MakeTxnId(thread_id, ++ctx.txn_seq), thread_id, clock_.Current());
   t->begin_nanos = NowNanos();
   t->is_scan_txn = false;
+  ctx.last_abort_reason = AbortReason::kNone;
   return t;
 }
 
@@ -84,7 +88,7 @@ Status OccBase::Read(TxnDescriptor* t, uint32_t table_id, uint64_t key, void* ou
         break;
       case ReadResult::kLocked:
       case ReadResult::kContended:
-        stats(t->thread_id).abort_dirty_read++;
+        NoteAbortCause(t->thread_id, AbortReason::kDirtyRead);
         return Status::Aborted("dirty read");
       case ReadResult::kAbsent:
         break;
@@ -242,7 +246,7 @@ Status OccBase::ScanRecords(TxnDescriptor* t, uint32_t table_id, uint64_t start_
           case ReadResult::kContended:
             // Per the paper, a scanned record locked by a committing writer
             // is dirty and the scanning transaction aborts immediately.
-            stats(t->thread_id).abort_dirty_read++;
+            NoteAbortCause(t->thread_id, AbortReason::kDirtyRead);
             result = Status::Aborted("dirty scan");
             return false;
           case ReadResult::kOk:
@@ -447,14 +451,14 @@ Status OccBase::Commit(TxnDescriptor* t) {
       t->FreezeWriteFingerprints();
       RegisterWrites(t);  // Algorithm 1 steps 1-4: lock, then register
     } else {
-      s.abort_lock_fail++;
+      NoteAbortCause(t->thread_id, AbortReason::kLockFail);
     }
   }
   if (ok) {
     cts = clock_.Next();  // step 5: serialization point
     t->commit_ts.store(cts, std::memory_order_release);
     if (!ValidateReadSet(t)) {
-      s.abort_read_validation++;
+      NoteAbortCause(t->thread_id, AbortReason::kReadValidation);
       ok = false;
     } else {
       ok = ValidateScans(t);  // protocols count their own abort causes
@@ -491,7 +495,11 @@ Status OccBase::Commit(TxnDescriptor* t) {
 }
 
 void OccBase::Abort(TxnDescriptor* t) {
-  // Read-phase abort: no locks are held before Commit runs.
+  // Read-phase abort: no locks are held before Commit runs. When no protocol
+  // cause was latched, the workload abandoned the transaction voluntarily
+  // (e.g. a NotFound mid-transaction): attribute kExplicit so the cause
+  // counters still sum to `aborts`.
+  NoteAbortCause(t->thread_id, AbortReason::kExplicit);
   TxnStats& s = stats(t->thread_id);
   const bool scan_txn = t->is_scan_txn;
   const uint64_t begin_nanos = t->begin_nanos;

@@ -14,6 +14,7 @@
 
 namespace rocc {
 
+class ContentionManager;
 class LogManager;
 
 /// Receiver for records produced by a range scan. Return false to stop the
@@ -77,6 +78,20 @@ class ConcurrencyControl {
   /// Abandon a transaction during its read phase.
   virtual void Abort(TxnDescriptor* t) = 0;
 
+  /// Structured cause of the thread's most recent aborted attempt, recorded
+  /// at the abort site (kNone until the first abort after Begin). The retry
+  /// layer (RunWithRetries / ContentionManager) keys its policy off this.
+  virtual AbortReason LastAbortReason(uint32_t thread_id) const {
+    (void)thread_id;
+    return AbortReason::kNone;
+  }
+
+  /// The protocol's contention manager (abort-reason-aware backoff,
+  /// starvation-escape escalation, retry telemetry). Null for protocols that
+  /// predate the policy layer; RunWithRetries then falls back to a fixed
+  /// randomized backoff.
+  virtual ContentionManager* contention() { return nullptr; }
+
   /// Simulation hook: when `every` > 0, validation loops emit a cooperative
   /// yield every `every` units of validation work (records re-read or
   /// transactions examined). Under the fiber runner this makes validation
@@ -119,10 +134,16 @@ class OccBase : public ConcurrencyControl {
 
   void SetValidationPacing(uint32_t every) override { validation_pacing_ = every; }
 
+  AbortReason LastAbortReason(uint32_t thread_id) const override {
+    return ctxs_[thread_id]->last_abort_reason;
+  }
+  ContentionManager* contention() override { return contention_.get(); }
+
  protected:
   struct ThreadCtx {
     TxnStats local_stats;           // fallback sink when none is attached
     TxnStats* stats = nullptr;
+    AbortReason last_abort_reason = AbortReason::kNone;  // of the current attempt
     std::vector<TxnDescriptor*> free_list;
     RetireList<TxnDescriptor> retired;
     std::vector<char> scratch;      // row-payload staging for scans/reads
@@ -160,6 +181,17 @@ class OccBase : public ConcurrencyControl {
   TxnStats& stats(uint32_t thread_id) {
     ThreadCtx& ctx = *ctxs_[thread_id];
     return ctx.stats != nullptr ? *ctx.stats : ctx.local_stats;
+  }
+
+  /// Record the structured cause of the current attempt's abort: bumps the
+  /// matching abort_* counter and latches the reason for LastAbortReason.
+  /// First reason wins — every aborted attempt is counted exactly once, so
+  /// the cause counters sum to `aborts` (checked by the runner and ctest).
+  void NoteAbortCause(uint32_t thread_id, AbortReason reason) {
+    ThreadCtx& ctx = *ctxs_[thread_id];
+    if (ctx.last_abort_reason != AbortReason::kNone) return;
+    ctx.last_abort_reason = reason;
+    stats(thread_id).CountAbortCause(reason);
   }
 
   /// Record-level readset validation shared by every scheme.
@@ -201,6 +233,7 @@ class OccBase : public ConcurrencyControl {
   GlobalClock clock_;
   EpochManager epoch_;
   LogManager* log_ = nullptr;  // not owned; nullptr = durability off
+  std::unique_ptr<ContentionManager> contention_;
   std::vector<std::unique_ptr<ThreadCtx>> ctxs_;
   uint32_t max_row_size_ = 0;
   uint32_t validation_pacing_ = 0;

@@ -49,7 +49,7 @@ bool HyperGwv::ValidateScans(TxnDescriptor* t) {
   for (const RangePredicate& p : t->predicates) min_rd = std::min(min_rd, p.rd_ts);
   if (v_ts == min_rd) return true;
   if (v_ts - min_rd >= global_list_.capacity()) {
-    s.abort_ring_lost++;
+    NoteAbortCause(t->thread_id, AbortReason::kRingLost);
     return false;  // window lost
   }
 
@@ -58,7 +58,7 @@ bool HyperGwv::ValidateScans(TxnDescriptor* t) {
     PaceValidation(&pace_counter);
     TxnDescriptor* writer = global_list_.Get(seq);
     if (writer == nullptr) {
-      s.abort_ring_lost++;
+      NoteAbortCause(t->thread_id, AbortReason::kRingLost);
       return false;  // overwritten concurrently
     }
     s.validated_txns++;
@@ -69,7 +69,7 @@ bool HyperGwv::ValidateScans(TxnDescriptor* t) {
       if (writer->state.load(std::memory_order_acquire) == TxnState::kAborted) {
         continue;
       }
-      s.abort_unresolved++;
+      NoteAbortCause(t->thread_id, AbortReason::kUnresolved);
       return false;  // unresolved: conservative
     }
     if (wcts > my_cts) continue;
@@ -84,7 +84,7 @@ bool HyperGwv::ValidateScans(TxnDescriptor* t) {
       if (seq <= p.rd_ts) continue;  // already visible to that scan
       PaceValidation(&pace_counter);
       if (writer->WritesIntersect(p.table_id, p.start_key, p.end_key)) {
-        s.abort_scan_conflict++;
+        NoteAbortCause(t->thread_id, AbortReason::kScanConflict);
         return false;
       }
     }

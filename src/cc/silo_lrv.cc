@@ -100,7 +100,7 @@ bool SiloLrv::ValidateScans(TxnDescriptor* t) {
   uint32_t pace_counter = 0;
   for (const ScanEntry& entry : t->scan_set) {
     if (!RevalidateScan(t, entry, &pace_counter)) {
-      stats(t->thread_id).abort_scan_conflict++;
+      NoteAbortCause(t->thread_id, AbortReason::kScanConflict);
       return false;
     }
   }

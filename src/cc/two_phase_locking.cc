@@ -12,7 +12,10 @@ bool TplNoWait::OwnsLock(const TxnDescriptor* t, const Row* row) const {
 
 bool TplNoWait::AcquireLock(TxnDescriptor* t, Row* row) {
   if (OwnsLock(t, row)) return true;
-  if (!row->TryLock()) return false;  // no-wait
+  if (!row->TryLock()) {  // no-wait: the caller must abort
+    NoteAbortCause(t->thread_id, AbortReason::kLockFail);
+    return false;
+  }
   t->lock_index.Put(reinterpret_cast<uintptr_t>(row), 0,
                     static_cast<int32_t>(t->read_set.size()));
   t->read_set.push_back({row, 0});
@@ -68,7 +71,11 @@ Status TplNoWait::Insert(TxnDescriptor* t, uint32_t table_id, uint64_t key,
   OrderedIndex* idx = db_->GetIndex(table_id);
   Row* placeholder = tab->CreatePlaceholderRow(key);  // locked + absent
   Status st = idx->Insert(key, placeholder);
-  if (!st.ok()) return Status::Aborted("duplicate key");
+  if (!st.ok()) {
+    // Write-write race on the key: same no-wait conflict class as TryLock.
+    NoteAbortCause(t->thread_id, AbortReason::kLockFail);
+    return Status::Aborted("duplicate key");
+  }
   t->lock_index.Put(reinterpret_cast<uintptr_t>(placeholder), 0,
                     static_cast<int32_t>(t->read_set.size()));
   t->read_set.push_back({placeholder, 0});  // we hold its lock
@@ -205,6 +212,8 @@ Status TplNoWait::Commit(TxnDescriptor* t) {
 }
 
 void TplNoWait::Abort(TxnDescriptor* t) {
+  // No cause latched = the workload abandoned the transaction voluntarily.
+  NoteAbortCause(t->thread_id, AbortReason::kExplicit);
   TxnStats& s = stats(t->thread_id);
   const bool scan_txn = t->is_scan_txn;
   const uint64_t begin_nanos = t->begin_nanos;

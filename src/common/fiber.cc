@@ -9,6 +9,24 @@
 #include <ucontext.h>
 #endif
 
+// ThreadSanitizer does not understand the raw stack switch in
+// RoccFiberSwitch: without annotations it sees one OS thread magically
+// continuing on a different stack and reports false races between fibers.
+// The fiber API (__tsan_create/switch_to/destroy_fiber) tells TSan about
+// every switch; flags=0 makes each switch a synchronization point, which is
+// exact for cooperative fibers sharing one OS thread.
+#if defined(__SANITIZE_THREAD__)
+#define ROCC_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ROCC_TSAN_FIBERS 1
+#endif
+#endif
+
+#ifdef ROCC_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace rocc {
 
 namespace {
@@ -16,6 +34,39 @@ namespace {
 thread_local FiberScheduler* tls_scheduler = nullptr;
 thread_local bool tls_in_fiber = false;
 thread_local uint32_t tls_current_fiber = 0;
+
+inline void* TsanCreateFiber() {
+#ifdef ROCC_TSAN_FIBERS
+  return __tsan_create_fiber(0);
+#else
+  return nullptr;
+#endif
+}
+
+inline void TsanDestroyFiber(void* fiber) {
+#ifdef ROCC_TSAN_FIBERS
+  if (fiber != nullptr) __tsan_destroy_fiber(fiber);
+#else
+  (void)fiber;
+#endif
+}
+
+inline void* TsanCurrentFiber() {
+#ifdef ROCC_TSAN_FIBERS
+  return __tsan_get_current_fiber();
+#else
+  return nullptr;
+#endif
+}
+
+/// Must run immediately before the stack switch that enters `fiber`.
+inline void TsanSwitchTo(void* fiber) {
+#ifdef ROCC_TSAN_FIBERS
+  if (fiber != nullptr) __tsan_switch_to_fiber(fiber, 0);
+#else
+  (void)fiber;
+#endif
+}
 
 }  // namespace
 
@@ -52,7 +103,10 @@ RoccFiberSwitch:
 #endif  // __x86_64__
 
 FiberScheduler::FiberScheduler() = default;
-FiberScheduler::~FiberScheduler() = default;
+
+FiberScheduler::~FiberScheduler() {
+  for (auto& fiber : fibers_) TsanDestroyFiber(fiber->tsan_fiber);
+}
 
 void FiberScheduler::Trampoline() {
   FiberScheduler* sched = tls_scheduler;
@@ -68,6 +122,7 @@ void FiberScheduler::Spawn(std::function<void()> fn, size_t stack_bytes) {
   auto fiber = std::make_unique<Fiber>();
   fiber->fn = std::move(fn);
   fiber->stack = std::make_unique<char[]>(stack_bytes);
+  fiber->tsan_fiber = TsanCreateFiber();
 
 #if defined(__x86_64__)
   // Build the initial stack frame so the first RoccFiberSwitch "returns"
@@ -99,6 +154,7 @@ void FiberScheduler::SwitchIn(uint32_t index) {
   tls_current_fiber = index;
   tls_in_fiber = true;
 #if defined(__x86_64__)
+  TsanSwitchTo(fibers_[index]->tsan_fiber);
   RoccFiberSwitch(&scheduler_sp_, fibers_[index]->resume_sp);
 #else
 #error "FiberScheduler requires x86-64 (ucontext fallback not wired)"
@@ -110,6 +166,7 @@ void FiberScheduler::Run() {
   assert(!tls_in_fiber && "nested schedulers are not supported");
   FiberScheduler* prev = tls_scheduler;
   tls_scheduler = this;
+  tsan_scheduler_ = TsanCurrentFiber();
   running_ = true;
 
   size_t remaining = fibers_.size();
@@ -134,6 +191,7 @@ void FiberScheduler::YieldFiber() {
   assert(sched != nullptr && tls_in_fiber);
 #if defined(__x86_64__)
   Fiber& fiber = *sched->fibers_[tls_current_fiber];
+  TsanSwitchTo(sched->tsan_scheduler_);
   RoccFiberSwitch(&fiber.resume_sp, sched->scheduler_sp_);
 #endif
   // Resumed: restore fiber-local markers (SwitchIn set them already).

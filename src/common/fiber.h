@@ -59,6 +59,7 @@ class FiberScheduler {
   struct Fiber {
     std::unique_ptr<char[]> stack;
     void* resume_sp = nullptr;
+    void* tsan_fiber = nullptr;  ///< TSan fiber context (TSan builds only)
     std::function<void()> fn;
     bool done = false;
   };
@@ -68,6 +69,7 @@ class FiberScheduler {
 
   std::vector<std::unique_ptr<Fiber>> fibers_;
   void* scheduler_sp_ = nullptr;
+  void* tsan_scheduler_ = nullptr;  ///< TSan context of the scheduling thread
   uint32_t current_ = 0;
   bool running_ = false;
 };

@@ -104,14 +104,14 @@ bool Rocc::ValidatePredicate(TxnDescriptor* t, const RangePredicate& p,
   const uint64_t v_ts = ring.Version();
   if (v_ts == p.rd_ts) return true;  // unchanged range: fast path
   if (v_ts - p.rd_ts >= ring.capacity()) {
-    s.abort_ring_lost++;
+    NoteAbortCause(t->thread_id, AbortReason::kRingLost);
     return false;  // the ring wrapped: conflict information was lost
   }
 
   for (uint64_t seq = p.rd_ts + 1; seq <= v_ts; seq++) {
     TxnDescriptor* writer = ring.Get(seq);
     if (writer == nullptr) {
-      s.abort_ring_lost++;
+      NoteAbortCause(t->thread_id, AbortReason::kRingLost);
       return false;  // slot overwritten concurrently
     }
     s.validated_txns++;
@@ -126,12 +126,12 @@ bool Rocc::ValidatePredicate(TxnDescriptor* t, const RangePredicate& p,
       if (writer->state.load(std::memory_order_acquire) == TxnState::kAborted) {
         continue;
       }
-      s.abort_unresolved++;
+      NoteAbortCause(t->thread_id, AbortReason::kUnresolved);
       return false;  // conservative
     }
     if (wcts > my_cts) continue;  // serializes after this transaction
     if (p.cover && options_.cover_fast_path) {
-      s.abort_scan_conflict++;
+      NoteAbortCause(t->thread_id, AbortReason::kScanConflict);
       return false;  // any overlapping writer intersects a full range
     }
 
@@ -144,7 +144,7 @@ bool Rocc::ValidatePredicate(TxnDescriptor* t, const RangePredicate& p,
     const uint64_t hi = p.cover ? rm->RangeEnd(p.range_id) : p.end_key;
     PaceValidation(pace_counter);
     if (writer->WritesIntersect(p.table_id, lo, hi)) {
-      s.abort_scan_conflict++;
+      NoteAbortCause(t->thread_id, AbortReason::kScanConflict);
       return false;
     }
   }

@@ -55,6 +55,11 @@ class CoopYieldCc : public ConcurrencyControl {
   Status Commit(TxnDescriptor* t) override { return target_->Commit(t); }
   void Abort(TxnDescriptor* t) override { target_->Abort(t); }
 
+  AbortReason LastAbortReason(uint32_t thread_id) const override {
+    return target_->LastAbortReason(thread_id);
+  }
+  ContentionManager* contention() override { return target_->contention(); }
+
   ConcurrencyControl* inner() { return target_; }
 
  private:

@@ -165,6 +165,21 @@ bool JsonReport::WriteTo(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
+std::vector<std::string> ContentionHeaders() {
+  return {"give_ups", "escalations", "protected_commits", "attempts_mean",
+          "attempts_p99", "backoff_ms"};
+}
+
+std::vector<std::string> ContentionCells(const TxnStats& stats) {
+  const Histogram& a = stats.attempts_per_commit;
+  return {ReportTable::Fmt(stats.give_ups),
+          ReportTable::Fmt(stats.escalations),
+          ReportTable::Fmt(stats.protected_commits),
+          ReportTable::Fmt(a.count() == 0 ? 0.0 : a.Mean(), 2),
+          ReportTable::Fmt(static_cast<uint64_t>(a.Percentile(99))),
+          ReportTable::Fmt(static_cast<double>(stats.backoff_ns_total) / 1e6, 3)};
+}
+
 void PrintBanner(const std::string& title, const std::string& params) {
   const SysInfo info = SysInfo::Probe();
   std::printf("=== %s ===\n", title.c_str());

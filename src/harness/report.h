@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "harness/stats.h"
+
 namespace rocc {
 
 /// Aligned text table + CSV emitter used by the figure benchmarks so every
@@ -68,5 +70,12 @@ class JsonReport {
 /// Print the standard benchmark banner: title, environment (paper Table I),
 /// and the parameter line.
 void PrintBanner(const std::string& title, const std::string& params);
+
+/// Standard retry-telemetry columns every bench appends to its tables:
+/// give_ups, escalations, protected commits, mean / p99 attempts per commit,
+/// and the total adaptive-backoff time in milliseconds. Use the two together
+/// so every table reports the contention manager the same way.
+std::vector<std::string> ContentionHeaders();
+std::vector<std::string> ContentionCells(const TxnStats& stats);
 
 }  // namespace rocc

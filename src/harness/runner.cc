@@ -1,5 +1,8 @@
 #include "harness/runner.h"
 
+#include <atomic>
+#include <cassert>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
@@ -17,6 +20,14 @@
 namespace rocc {
 
 namespace {
+
+/// Honest-accounting invariant: every aborted attempt carries exactly one
+/// structured cause, so the abort_* counters sum to `aborts` (debug builds).
+void CheckAbortAccounting(const TxnStats& s) {
+  assert(s.AbortCauseSum() == s.aborts &&
+         "abort cause counters must sum to aborts");
+  (void)s;
+}
 
 /// All workers as fibers on one OS thread, interleaved at operation
 /// granularity through CoopYieldCc (see common/fiber.h for why).
@@ -58,6 +69,7 @@ RunResult RunFiberExperiment(ConcurrencyControl* cc, Workload* workload,
                    1e-9;
   result.total_txns = static_cast<uint64_t>(n) * options.txns_per_thread;
   for (const TxnStats& s : stats) result.stats.Merge(s);
+  CheckAbortAccounting(result.stats);
   return result;
 }
 
@@ -103,6 +115,7 @@ RunResult RunThreadExperiment(ConcurrencyControl* cc, Workload* workload,
   result.seconds = seconds;
   result.total_txns = static_cast<uint64_t>(n) * options.txns_per_thread;
   for (const TxnStats& s : stats) result.stats.Merge(s);
+  CheckAbortAccounting(result.stats);
   return result;
 }
 
@@ -124,11 +137,27 @@ RunResult RunExperiment(ConcurrencyControl* cc, Workload* workload,
       fibers = true;
       break;
     case ExecMode::kAuto:
-    default:
+    default: {
       // Workers beyond the host's real parallelism would be timesliced at
       // millisecond granularity; simulate fine-grained interleaving instead.
-      fibers = options.num_threads > std::thread::hardware_concurrency();
+      // hardware_concurrency() == 0 means "unknown", not "zero cores":
+      // default to real threads and say so once instead of silently forcing
+      // every run through the fiber simulator.
+      const uint32_t hw = std::thread::hardware_concurrency();
+      if (hw == 0) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+          std::fprintf(stderr,
+                       "[runner] hardware concurrency unknown; running %u "
+                       "workers as OS threads\n",
+                       options.num_threads);
+        }
+        fibers = false;
+      } else {
+        fibers = options.num_threads > hw;
+      }
       break;
+    }
   }
   return fibers ? RunFiberExperiment(cc, workload, options)
                 : RunThreadExperiment(cc, workload, options);

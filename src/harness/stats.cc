@@ -1,4 +1,19 @@
 #include "harness/stats.h"
 
-// TxnStats is header-only; this translation unit anchors the header in the
-// library build.
+namespace rocc {
+
+const char* AbortReasonName(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone: return "none";
+    case AbortReason::kDirtyRead: return "dirty_read";
+    case AbortReason::kLockFail: return "lock_fail";
+    case AbortReason::kReadValidation: return "read_validation";
+    case AbortReason::kScanConflict: return "scan_conflict";
+    case AbortReason::kRingLost: return "ring_lost";
+    case AbortReason::kUnresolved: return "unresolved";
+    case AbortReason::kExplicit: return "explicit";
+  }
+  return "unknown";
+}
+
+}  // namespace rocc

@@ -7,6 +7,23 @@
 
 namespace rocc {
 
+/// Structured cause of one aborted attempt. The protocol records the reason
+/// at the abort site (see OccBase::NoteAbortCause) so the retry layer can
+/// pick a per-reason policy instead of one blind backoff; each value maps
+/// 1:1 onto an `abort_*` counter in TxnStats.
+enum class AbortReason : uint8_t {
+  kNone = 0,        ///< no abort recorded for the current attempt
+  kDirtyRead,       ///< read/scan hit a locked (committing) record
+  kLockFail,        ///< writeset lock not acquired (incl. 2PL no-wait)
+  kReadValidation,  ///< readset version changed
+  kScanConflict,    ///< predicate / re-scan found an overlapping writer
+  kRingLost,        ///< ring wrapped or slot overwritten
+  kUnresolved,      ///< writer commit ts unresolved within the spin budget
+  kExplicit,        ///< workload-initiated abort (no protocol conflict)
+};
+
+const char* AbortReasonName(AbortReason r);
+
 /// Per-thread execution statistics.
 ///
 /// Counters mirror the measurements the paper reports:
@@ -41,17 +58,28 @@ struct TxnStats {
   uint64_t durable_ack_failures = 0;  ///< durability waits cut short (crash/stop)
   uint64_t durable_wait_ns = 0;       ///< time blocked on group commit
 
-  // Abort causes (one per aborted attempt, diagnostic).
+  // Abort causes (exactly one per aborted attempt; their sum equals
+  // `aborts` — checked by the runner in debug builds and by ctest).
   uint64_t abort_dirty_read = 0;       ///< read/scan hit a locked record
   uint64_t abort_lock_fail = 0;        ///< writeset lock not acquired
   uint64_t abort_read_validation = 0;  ///< readset version changed
   uint64_t abort_scan_conflict = 0;    ///< predicate / re-scan found a writer
   uint64_t abort_ring_lost = 0;        ///< ring wrapped or slot overwritten
   uint64_t abort_unresolved = 0;       ///< writer commit ts unresolved in time
+  uint64_t abort_explicit = 0;         ///< workload-initiated abort, no conflict
+
+  // Retry-layer accounting (populated by the ContentionManager).
+  uint64_t give_ups = 0;           ///< logical txns dropped: retry budget spent
+  uint64_t escalations = 0;        ///< entries into protected (escalated) retry
+  uint64_t protected_commits = 0;  ///< commits that needed the protected retry
+  uint64_t backoff_ns_total = 0;   ///< time spent in adaptive abort backoff
+  uint64_t gate_wait_ns = 0;       ///< time stalled behind a protected retry
 
   Histogram latency_all;      ///< committed transaction latency
   Histogram latency_scan;     ///< committed bulk/scan transaction latency
   Histogram latency_durable;  ///< begin -> durable-acknowledge latency
+  Histogram attempts_per_commit;  ///< attempts per committed logical txn (1 = first try)
+  Histogram backoff_time;         ///< per-abort adaptive backoff duration (ns)
 
   void Merge(const TxnStats& o) {
     commits += o.commits;
@@ -75,9 +103,39 @@ struct TxnStats {
     abort_scan_conflict += o.abort_scan_conflict;
     abort_ring_lost += o.abort_ring_lost;
     abort_unresolved += o.abort_unresolved;
+    abort_explicit += o.abort_explicit;
+    give_ups += o.give_ups;
+    escalations += o.escalations;
+    protected_commits += o.protected_commits;
+    backoff_ns_total += o.backoff_ns_total;
+    gate_wait_ns += o.gate_wait_ns;
     latency_all.Merge(o.latency_all);
     latency_scan.Merge(o.latency_scan);
     latency_durable.Merge(o.latency_durable);
+    attempts_per_commit.Merge(o.attempts_per_commit);
+    backoff_time.Merge(o.backoff_time);
+  }
+
+  /// Bump the cause counter matching `r` (kNone is not a cause).
+  void CountAbortCause(AbortReason r) {
+    switch (r) {
+      case AbortReason::kDirtyRead: abort_dirty_read++; break;
+      case AbortReason::kLockFail: abort_lock_fail++; break;
+      case AbortReason::kReadValidation: abort_read_validation++; break;
+      case AbortReason::kScanConflict: abort_scan_conflict++; break;
+      case AbortReason::kRingLost: abort_ring_lost++; break;
+      case AbortReason::kUnresolved: abort_unresolved++; break;
+      case AbortReason::kExplicit: abort_explicit++; break;
+      case AbortReason::kNone: break;
+    }
+  }
+
+  /// Sum of the per-cause abort counters; equals `aborts` when every abort
+  /// path recorded its reason exactly once.
+  uint64_t AbortCauseSum() const {
+    return abort_dirty_read + abort_lock_fail + abort_read_validation +
+           abort_scan_conflict + abort_ring_lost + abort_unresolved +
+           abort_explicit;
   }
 
   void Reset() {

@@ -64,8 +64,9 @@ Status TpccWorkload::RunTxn(ConcurrencyControl* cc, uint32_t thread_id, Rng& rng
   const uint64_t plan_seed = rng.Next();
 
   uint32_t edge = options_.pct_payment;
-  auto run = [&](auto&& fn) {
+  auto run = [&](bool is_scan_txn, auto&& fn) {
     return RunWithRetries(
+        cc, thread_id, is_scan_txn,
         [&] {
           Rng attempt_rng(plan_seed);
           return fn(attempt_rng);
@@ -74,25 +75,27 @@ Status TpccWorkload::RunTxn(ConcurrencyControl* cc, uint32_t thread_id, Rng& rng
   };
 
   if (pick < edge) {
-    return run([&](Rng& r) { return DoPayment(cc, thread_id, r); });
+    return run(false, [&](Rng& r) { return DoPayment(cc, thread_id, r); });
   }
   edge += options_.pct_new_order;
   if (pick < edge) {
-    return run([&](Rng& r) { return DoNewOrder(cc, thread_id, r); });
+    return run(false, [&](Rng& r) { return DoNewOrder(cc, thread_id, r); });
   }
   edge += options_.pct_bulk;
   if (pick < edge) {
-    return run([&](Rng& r) { return DoBulkReward(cc, thread_id, r); });
+    // The bulk reward sweep is the long-scan transaction that starves under
+    // point-write contention: it gets the short escalation ladder.
+    return run(true, [&](Rng& r) { return DoBulkReward(cc, thread_id, r); });
   }
   edge += options_.pct_order_status;
   if (pick < edge) {
-    return run([&](Rng& r) { return DoOrderStatus(cc, thread_id, r); });
+    return run(false, [&](Rng& r) { return DoOrderStatus(cc, thread_id, r); });
   }
   edge += options_.pct_delivery;
   if (pick < edge) {
-    return run([&](Rng& r) { return DoDelivery(cc, thread_id, r); });
+    return run(false, [&](Rng& r) { return DoDelivery(cc, thread_id, r); });
   }
-  return run([&](Rng& r) { return DoStockLevel(cc, thread_id, r); });
+  return run(false, [&](Rng& r) { return DoStockLevel(cc, thread_id, r); });
 }
 
 bool TpccWorkload::CheckYtdInvariant() const {

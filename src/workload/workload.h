@@ -7,6 +7,7 @@
 #include "common/fiber.h"
 #include "common/rng.h"
 #include "core/rocc.h"
+#include "harness/contention.h"
 #include "storage/database.h"
 
 namespace rocc {
@@ -35,12 +36,50 @@ class Workload {
                                                 uint32_t ring_capacity) const = 0;
 };
 
-/// Shared retry loop with bounded exponential backoff.
+/// Shared retry loop for one logical transaction.
 ///
 /// `attempt_fn` runs one attempt and returns its commit status; aborted
-/// attempts are retried up to `max_retries` times.
+/// attempts are retried up to `max_retries` times (max_retries + 1 attempts
+/// total). The loop drives the protocol's ContentionManager:
+///
+///  - every attempt passes the admission gate (Admit), so a transaction in a
+///    protected starvation-escape retry quiesces the rest of the system;
+///  - each abort is reported with its structured reason
+///    (ConcurrencyControl::LastAbortReason), which selects the backoff
+///    ladder — or escalates to a protected retry after enough consecutive
+///    failures;
+///  - the logical outcome is recorded honestly: attempts-per-commit on
+///    success, give_ups when the budget runs out (previously dropped
+///    silently), nothing extra on a non-retryable status.
+///
+/// Protocols without a ContentionManager fall back to the fixed jittered
+/// backoff this loop always had.
 template <typename AttemptFn>
-Status RunWithRetries(AttemptFn&& attempt_fn, Rng& rng, uint32_t max_retries = 1000) {
+Status RunWithRetries(ConcurrencyControl* cc, uint32_t thread_id,
+                      bool is_scan_txn, AttemptFn&& attempt_fn, Rng& rng,
+                      uint32_t max_retries = 1000) {
+  ContentionManager* cm = cc != nullptr ? cc->contention() : nullptr;
+  if (cm != nullptr) {
+    cm->BeginTxn(thread_id, is_scan_txn);
+    for (uint32_t attempt = 1;; attempt++) {
+      cm->Admit(thread_id);
+      Status st = attempt_fn();
+      if (st.ok()) {
+        cm->OnCommit(thread_id, attempt);
+        return st;
+      }
+      if (!st.aborted()) {
+        cm->OnStop(thread_id);
+        return st;
+      }
+      if (attempt > max_retries) {
+        cm->OnGiveUp(thread_id);
+        return st;
+      }
+      cm->OnAbort(thread_id, cc->LastAbortReason(thread_id), rng);
+    }
+  }
+  // Legacy fallback: fixed randomized backoff, blind to the abort reason.
   for (uint32_t attempt = 0;; attempt++) {
     Status st = attempt_fn();
     if (!st.aborted() || attempt >= max_retries) return st;

@@ -78,14 +78,7 @@ YcsbWorkload::Plan YcsbWorkload::GeneratePlan(Rng& rng) const {
     plan.ops[i].key = zipf_.Next(rng);
   }
   if (plan.is_scan) {
-    uint64_t start = zipf_.Next(rng);
-    // Clamp so the scan always finds scan_length records (standard YCSB
-    // practice; keeps the scanned span equal across schemes).
-    if (options_.scan_length < options_.num_rows &&
-        start > options_.num_rows - options_.scan_length) {
-      start = options_.num_rows - options_.scan_length;
-    }
-    plan.scan_start = start;
+    plan.scan_start = ClampScanStart(zipf_.Next(rng));
   }
   return plan;
 }
@@ -126,6 +119,7 @@ Status YcsbWorkload::RunTxn(ConcurrencyControl* cc, uint32_t thread_id, Rng& rng
   if (buf.size() < options_.payload_size) buf.resize(options_.payload_size);
   const Plan plan = GeneratePlan(rng);
   return RunWithRetries(
+      cc, thread_id, plan.is_scan,
       [&] { return TryOnce(cc, thread_id, plan, buf, rng); }, rng,
       options_.max_retries);
 }

@@ -50,6 +50,16 @@ class YcsbWorkload : public Workload {
   /// table is smaller.
   uint32_t DefaultNumRanges() const;
 
+  /// Clamp a Zipfian scan start key so [start, start + scan_length) stays
+  /// inside the table: a scan of scan_length always finds scan_length rows
+  /// (standard YCSB practice; keeps the scanned span equal across schemes).
+  /// When scan_length >= num_rows the whole table is the scan: start is 0.
+  uint64_t ClampScanStart(uint64_t start) const {
+    if (options_.scan_length >= options_.num_rows) return 0;
+    const uint64_t max_start = options_.num_rows - options_.scan_length;
+    return start > max_start ? max_start : start;
+  }
+
  private:
   struct Plan {
     bool is_scan = false;

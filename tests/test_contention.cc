@@ -1,0 +1,288 @@
+// Abort-reason-aware contention management: unit tests for the
+// ContentionManager (backoff ladders, starvation-escape gate, honest
+// accounting), the "cause counters sum to aborts" invariant across every
+// scheme, and the deterministic fiber-mode livelock regression — a bulk
+// whole-table scan must keep committing under a point-write storm.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "harness/contention.h"
+#include "harness/runner.h"
+#include "workload/tpcc/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace rocc {
+namespace {
+
+// --------------------------------------------------------------------------
+// Abort-reason plumbing
+// --------------------------------------------------------------------------
+
+TEST(AbortReason, EveryReasonHasANameAndACounter) {
+  const AbortReason reasons[] = {
+      AbortReason::kDirtyRead,     AbortReason::kLockFail,
+      AbortReason::kReadValidation, AbortReason::kScanConflict,
+      AbortReason::kRingLost,      AbortReason::kUnresolved,
+      AbortReason::kExplicit};
+  TxnStats stats;
+  for (AbortReason r : reasons) {
+    EXPECT_STRNE(AbortReasonName(r), "none");
+    EXPECT_STRNE(AbortReasonName(r), "unknown");
+    stats.CountAbortCause(r);
+  }
+  EXPECT_EQ(stats.AbortCauseSum(), 7u);
+  EXPECT_EQ(stats.abort_dirty_read, 1u);
+  EXPECT_EQ(stats.abort_lock_fail, 1u);
+  EXPECT_EQ(stats.abort_read_validation, 1u);
+  EXPECT_EQ(stats.abort_scan_conflict, 1u);
+  EXPECT_EQ(stats.abort_ring_lost, 1u);
+  EXPECT_EQ(stats.abort_unresolved, 1u);
+  EXPECT_EQ(stats.abort_explicit, 1u);
+  // kNone is not a cause.
+  stats.CountAbortCause(AbortReason::kNone);
+  EXPECT_EQ(stats.AbortCauseSum(), 7u);
+}
+
+TEST(AbortReason, MergePropagatesCauseAndRetryCounters) {
+  TxnStats a, b;
+  a.CountAbortCause(AbortReason::kScanConflict);
+  a.give_ups = 1;
+  a.escalations = 2;
+  b.CountAbortCause(AbortReason::kLockFail);
+  b.protected_commits = 3;
+  b.backoff_ns_total = 40;
+  b.gate_wait_ns = 50;
+  b.attempts_per_commit.Record(5);
+  a.Merge(b);
+  EXPECT_EQ(a.AbortCauseSum(), 2u);
+  EXPECT_EQ(a.give_ups, 1u);
+  EXPECT_EQ(a.escalations, 2u);
+  EXPECT_EQ(a.protected_commits, 3u);
+  EXPECT_EQ(a.backoff_ns_total, 40u);
+  EXPECT_EQ(a.gate_wait_ns, 50u);
+  EXPECT_EQ(a.attempts_per_commit.count(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// ContentionManager unit tests
+// --------------------------------------------------------------------------
+
+ContentionOptions FastOptions() {
+  ContentionOptions opts;
+  opts.scan_escalation_aborts = 3;
+  opts.point_escalation_aborts = 5;
+  opts.short_backoff_spins = 4;
+  opts.long_backoff_spins = 8;
+  return opts;
+}
+
+TEST(ContentionManager, EscalatesScanAfterThresholdAndReleasesOnCommit) {
+  ContentionManager cm(2, FastOptions());
+  TxnStats stats;
+  cm.AttachThread(0, &stats);
+  Rng rng(1);
+
+  cm.BeginTxn(0, /*is_scan_txn=*/true);
+  cm.OnAbort(0, AbortReason::kScanConflict, rng);
+  cm.OnAbort(0, AbortReason::kScanConflict, rng);
+  EXPECT_EQ(cm.protected_holder(), ContentionManager::kNoHolder);
+  EXPECT_FALSE(cm.InProtectedRetry(0));
+  cm.OnAbort(0, AbortReason::kScanConflict, rng);  // 3rd consecutive: escalate
+  EXPECT_EQ(cm.protected_holder(), 0u);
+  EXPECT_TRUE(cm.InProtectedRetry(0));
+  EXPECT_EQ(stats.escalations, 1u);
+
+  cm.OnCommit(0, /*attempts=*/4);
+  EXPECT_EQ(cm.protected_holder(), ContentionManager::kNoHolder);
+  EXPECT_FALSE(cm.InProtectedRetry(0));
+  EXPECT_EQ(stats.protected_commits, 1u);
+  EXPECT_EQ(stats.attempts_per_commit.count(), 1u);
+  EXPECT_EQ(stats.attempts_per_commit.max(), 4u);
+}
+
+TEST(ContentionManager, PointLadderIsLongerThanScanLadder) {
+  ContentionManager cm(1, FastOptions());
+  TxnStats stats;
+  cm.AttachThread(0, &stats);
+  Rng rng(2);
+  cm.BeginTxn(0, /*is_scan_txn=*/false);
+  for (int i = 0; i < 4; i++) cm.OnAbort(0, AbortReason::kLockFail, rng);
+  EXPECT_EQ(stats.escalations, 0u);  // scan threshold (3) does not apply
+  cm.OnAbort(0, AbortReason::kLockFail, rng);  // 5th: point threshold
+  EXPECT_EQ(stats.escalations, 1u);
+  cm.OnCommit(0, 6);
+}
+
+TEST(ContentionManager, BeginTxnResetsTheConsecutiveAbortLadder) {
+  ContentionManager cm(1, FastOptions());
+  TxnStats stats;
+  cm.AttachThread(0, &stats);
+  Rng rng(3);
+  for (int txn = 0; txn < 4; txn++) {
+    cm.BeginTxn(0, /*is_scan_txn=*/true);
+    cm.OnAbort(0, AbortReason::kScanConflict, rng);
+    cm.OnAbort(0, AbortReason::kScanConflict, rng);
+    cm.OnCommit(0, 3);
+  }
+  EXPECT_EQ(stats.escalations, 0u);  // never 3 consecutive within one txn
+}
+
+TEST(ContentionManager, GiveUpIsCountedAndReleasesTheGate) {
+  ContentionManager cm(1, FastOptions());
+  TxnStats stats;
+  cm.AttachThread(0, &stats);
+  Rng rng(4);
+  cm.BeginTxn(0, /*is_scan_txn=*/true);
+  for (int i = 0; i < 3; i++) cm.OnAbort(0, AbortReason::kRingLost, rng);
+  EXPECT_EQ(cm.protected_holder(), 0u);
+  cm.OnGiveUp(0);
+  EXPECT_EQ(stats.give_ups, 1u);
+  EXPECT_EQ(cm.protected_holder(), ContentionManager::kNoHolder);
+}
+
+TEST(ContentionManager, BackoffIsRecordedPerAbort) {
+  ContentionManager cm(1, FastOptions());
+  TxnStats stats;
+  cm.AttachThread(0, &stats);
+  Rng rng(5);
+  cm.BeginTxn(0, /*is_scan_txn=*/false);
+  cm.OnAbort(0, AbortReason::kDirtyRead, rng);
+  cm.OnAbort(0, AbortReason::kUnresolved, rng);
+  cm.OnAbort(0, AbortReason::kScanConflict, rng);
+  EXPECT_EQ(stats.backoff_time.count(), 3u);
+  cm.OnCommit(0, 4);
+}
+
+TEST(ContentionManager, AdmitBlocksWhileProtectedRetryIsHeld) {
+  ContentionManager cm(2, FastOptions());
+  TxnStats stats0, stats1;
+  cm.AttachThread(0, &stats0);
+  cm.AttachThread(1, &stats1);
+  Rng rng(6);
+
+  cm.BeginTxn(0, /*is_scan_txn=*/true);
+  for (int i = 0; i < 3; i++) cm.OnAbort(0, AbortReason::kScanConflict, rng);
+  ASSERT_EQ(cm.protected_holder(), 0u);
+
+  std::atomic<bool> admitted{false};
+  std::thread other([&] {
+    cm.BeginTxn(1, /*is_scan_txn=*/false);
+    cm.Admit(1);  // must block until thread 0 releases the gate
+    admitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(admitted.load());
+
+  cm.OnCommit(0, 4);  // releases the gate
+  other.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_GT(stats1.gate_wait_ns, 0u);
+  // The holder itself is always admitted.
+  cm.BeginTxn(0, true);
+  cm.Admit(0);
+}
+
+// --------------------------------------------------------------------------
+// Cause-sum invariant, end to end, on every scheme
+// --------------------------------------------------------------------------
+
+class SchemeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SchemeTest, AbortCauseCountersSumToAborts) {
+  Database db;
+  YcsbOptions opts;
+  opts.num_rows = 4096;
+  opts.theta = 0.9;               // hot keys: plenty of point conflicts
+  opts.scan_txn_fraction = 0.2;   // plus scan/validation conflicts
+  opts.scan_length = 256;
+  opts.read_fraction = 0.0;
+  YcsbWorkload wl(opts);
+  wl.Load(&db);
+  auto cc = CreateProtocol(GetParam(), &db, wl, 8);
+
+  RunOptions run;
+  run.num_threads = 8;
+  run.txns_per_thread = 150;
+  run.warmup_txns_per_thread = 20;
+  run.mode = ExecMode::kFibers;  // deterministic interleaving
+  const RunResult r = RunExperiment(cc.get(), &wl, run);
+
+  EXPECT_EQ(r.stats.commits + r.stats.give_ups, 8u * 150u) << GetParam();
+  EXPECT_EQ(r.stats.AbortCauseSum(), r.stats.aborts) << GetParam();
+  EXPECT_GT(r.stats.aborts, 0u) << GetParam()
+      << ": config not contended enough to exercise the taxonomy";
+  EXPECT_EQ(r.stats.give_ups, 0u) << GetParam();
+  EXPECT_EQ(r.stats.attempts_per_commit.count(), r.stats.commits) << GetParam();
+}
+
+TEST_P(SchemeTest, TpccExplicitAbortsAreAccounted) {
+  // TPC-C's TPCC_TRY aborts voluntarily on NotFound races; those aborts have
+  // no protocol cause and must land in abort_explicit for the sum to hold.
+  Database db;
+  TpccOptions opts;
+  opts.num_warehouses = 2;
+  opts.initial_orders_per_district = 20;
+  opts.bulk_scan_length = 400;
+  TpccWorkload wl(opts);
+  wl.Load(&db);
+  auto cc = CreateProtocol(GetParam(), &db, wl, 4);
+
+  RunOptions run;
+  run.num_threads = 4;
+  run.txns_per_thread = 120;
+  run.warmup_txns_per_thread = 10;
+  run.mode = ExecMode::kFibers;
+  const RunResult r = RunExperiment(cc.get(), &wl, run);
+
+  EXPECT_EQ(r.stats.AbortCauseSum(), r.stats.aborts) << GetParam();
+  EXPECT_EQ(r.stats.give_ups, 0u) << GetParam();
+}
+
+// --------------------------------------------------------------------------
+// Livelock regression: bulk scan vs point-write storm
+// --------------------------------------------------------------------------
+
+TEST_P(SchemeTest, BulkScanCommitsUnderPointWriteStorm) {
+  // 95% of transactions are 8-op point-write transactions over a 512-row
+  // table; 5% are whole-table scans. Without the starvation-escape gate the
+  // scans abort indefinitely (every point commit invalidates them); with it,
+  // an escalated scan quiesces admission and must commit. Fiber mode with a
+  // fixed seed makes the schedule deterministic.
+  Database db;
+  YcsbOptions opts;
+  opts.num_rows = 512;
+  opts.theta = 0.0;               // uniform: writes land across the whole table
+  opts.scan_txn_fraction = 0.05;
+  opts.scan_length = 512;         // whole-table scan
+  opts.ops_per_txn = 8;
+  opts.read_fraction = 0.0;       // pure point writes
+  YcsbWorkload wl(opts);
+  wl.Load(&db);
+  auto cc = CreateProtocol(GetParam(), &db, wl, 16);
+
+  RunOptions run;
+  run.num_threads = 16;
+  run.txns_per_thread = 150;
+  run.warmup_txns_per_thread = 10;
+  run.seed = 42;
+  run.mode = ExecMode::kFibers;
+  const RunResult r = RunExperiment(cc.get(), &wl, run);
+
+  // Forward progress: every logical transaction commits — no give-ups, and
+  // the bulk scans do get through the storm.
+  EXPECT_EQ(r.stats.give_ups, 0u) << GetParam();
+  EXPECT_EQ(r.stats.commits, 16u * 150u) << GetParam();
+  EXPECT_GT(r.stats.scan_txn_commits, 0u) << GetParam();
+  EXPECT_EQ(r.stats.AbortCauseSum(), r.stats.aborts) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeTest,
+                         ::testing::Values("rocc", "lrv", "gwv", "mvrcc", "2pl"),
+                         [](const auto& pinfo) { return pinfo.param; });
+
+}  // namespace
+}  // namespace rocc

@@ -80,6 +80,50 @@ TEST(Ycsb, HybridMixRunsToCompletion) {
   EXPECT_GT(stats.scanned_records, stats.scan_txn_commits * 99);
 }
 
+TEST(Ycsb, ScanStartClampKeepsWindowInsideTable) {
+  YcsbOptions opts;
+  opts.num_rows = 1000;
+  opts.scan_length = 100;
+  YcsbWorkload wl(opts);
+  // Invariant: scan_start + scan_length <= num_rows.
+  EXPECT_EQ(wl.ClampScanStart(10), 10u);
+  EXPECT_EQ(wl.ClampScanStart(900), 900u);
+  EXPECT_EQ(wl.ClampScanStart(901), 900u);
+  EXPECT_EQ(wl.ClampScanStart(999), 900u);
+}
+
+TEST(Ycsb, ScanStartClampsToZeroWhenScanCoversTable) {
+  YcsbOptions opts;
+  opts.num_rows = 100;
+  opts.scan_length = 100;  // whole table
+  YcsbWorkload exact(opts);
+  EXPECT_EQ(exact.ClampScanStart(0), 0u);
+  EXPECT_EQ(exact.ClampScanStart(57), 0u);
+  EXPECT_EQ(exact.ClampScanStart(99), 0u);
+  opts.scan_length = 250;  // longer than the table
+  YcsbWorkload oversized(opts);
+  EXPECT_EQ(oversized.ClampScanStart(42), 0u);
+}
+
+TEST(Ycsb, WholeTableScanDeliversEveryRow) {
+  // Regression: an unclamped Zipfian scan start with scan_length == num_rows
+  // made "whole table" scans silently deliver only the tail of the table.
+  Database db;
+  YcsbOptions opts;
+  opts.num_rows = 300;
+  opts.scan_length = 300;
+  opts.scan_txn_fraction = 1.0;
+  YcsbWorkload wl(opts);
+  wl.Load(&db);
+  auto cc = CreateProtocol("rocc", &db, wl, 1);
+  TxnStats stats;
+  cc->AttachThread(0, &stats);
+  Rng rng(11);
+  for (int i = 0; i < 50; i++) ASSERT_TRUE(wl.RunTxn(cc.get(), 0, rng).ok());
+  EXPECT_EQ(stats.scan_txn_commits, 50u);
+  EXPECT_EQ(stats.scanned_records, 50u * 300u);
+}
+
 TEST(Ycsb, WorkloadAVariantHasNoScans) {
   Database db;
   YcsbOptions opts;
