@@ -188,13 +188,19 @@ class YcsbBench {
   /// Run a caller-built protocol instance (custom options / ablations).
   RunResult RunWith(std::unique_ptr<ConcurrencyControl> cc,
                     uint32_t threads_override = 0) {
+    return RunWith(cc.get(), threads_override);
+  }
+
+  /// Non-owning variant: the caller keeps the protocol alive, e.g. to read
+  /// range telemetry after the measured run.
+  RunResult RunWith(ConcurrencyControl* cc, uint32_t threads_override = 0) {
     RunOptions run;
     run.num_threads = threads_override == 0 ? env_.threads : threads_override;
     run.txns_per_thread = env_.txns_per_thread;
     run.warmup_txns_per_thread = env_.warmup;
     std::unique_ptr<LogManager> log = OpenRunLog(env_, run.num_threads);
     run.log = log.get();
-    RunResult r = RunExperiment(cc.get(), workload_.get(), run);
+    RunResult r = RunExperiment(cc, workload_.get(), run);
     if (log != nullptr) log->Stop();
     return r;
   }

@@ -18,6 +18,11 @@ namespace rocc {
 /// The substitution from the true multi-version timestamp-ordering protocol
 /// is recorded in DESIGN.md §3; it reproduces exactly the two deficits §VI
 /// attributes to MVRCC.
+///
+/// MVRCC inherits ROCC's adaptive range table unchanged (DESIGN.md §10):
+/// when RoccOptions::tuner.enabled is set, its predicates snapshot the
+/// epoch-published table and fence predecessor rings exactly like ROCC's —
+/// only the boundary imprecision above differs.
 class Mvrcc : public Rocc {
  public:
   Mvrcc(Database* db, uint32_t num_threads, RoccOptions options)

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/cacheline.h"
+#include "common/tsan.h"
 
 namespace rocc {
 
@@ -17,7 +18,11 @@ ReadResult ReadRecordNoWait(const Row* row, void* out, uint64_t* tid_word) {
     const uint64_t v1 = row->tid.load(std::memory_order_acquire);
     if (TidWord::IsLocked(v1)) return ReadResult::kLocked;
     if (TidWord::IsAbsent(v1)) return ReadResult::kAbsent;
+    // Seqlock copy: races with a committer's apply on purpose; the v1 == v2
+    // recheck below discards any torn result (see common/tsan.h).
+    TsanIgnoreReadsBegin();
     std::memcpy(out, row->Data(), row->payload_size);
+    TsanIgnoreReadsEnd();
     std::atomic_thread_fence(std::memory_order_acquire);
     const uint64_t v2 = row->tid.load(std::memory_order_acquire);
     if (v1 == v2) {

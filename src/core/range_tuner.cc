@@ -1,0 +1,133 @@
+#include "core/range_tuner.h"
+
+#include <algorithm>
+
+#include "txn/txn.h"
+
+namespace rocc {
+
+RangeTuner::RangeTuner(const std::vector<std::unique_ptr<RangeManager>>* managers,
+                       EpochManager* epoch, RangeTunerOptions opts)
+    : managers_(managers), epoch_(epoch), opts_(opts) {
+  opts_.max_children = std::max<uint32_t>(2, opts_.max_children);
+  opts_.max_children =
+      std::min<uint32_t>(opts_.max_children, RangePredicate::kMaxPrevRings);
+  if (opts_.pressure_threshold == 0) opts_.pressure_threshold = 1;
+  if (opts_.max_ranges_factor == 0) opts_.max_ranges_factor = 1;
+}
+
+bool RangeTuner::MaybeTune() {
+  if (pressure_.load(std::memory_order_relaxed) < opts_.pressure_threshold) {
+    return false;
+  }
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;  // someone else is tuning
+  if (pressure_.load(std::memory_order_relaxed) < opts_.pressure_threshold) {
+    return false;  // raced: a pass just consumed the pressure
+  }
+  pressure_.store(0, std::memory_order_relaxed);
+  return RunPass(opts_.min_split_score);
+}
+
+bool RangeTuner::ForceTune() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pressure_.store(0, std::memory_order_relaxed);
+  return RunPass(/*min_score=*/1);
+}
+
+bool RangeTuner::RunPass(uint64_t min_score) {
+  passes_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t min_active = epoch_->MinActive();
+  const uint64_t publish_epoch = epoch_->Current();
+  bool acted = false;
+  if (merge_eval_accum_.size() < managers_->size()) {
+    merge_eval_accum_.resize(managers_->size(), 0);
+  }
+
+  for (size_t mi = 0; mi < managers_->size(); mi++) {
+    RangeManager* rm = (*managers_)[mi].get();
+    if (rm == nullptr) continue;
+    rm->ReclaimRetired(min_active);
+    const RangeTable* cur = rm->Snapshot();
+    const uint32_t n = cur->num_ranges();
+    const uint32_t max_ranges = rm->init_num_ranges() * opts_.max_ranges_factor;
+
+    // Per-range contention deltas since the previous pass. seen_* baselines
+    // live on the (table-shared) LogicalRange and are guarded by mu_.
+    // Deltas also accumulate into the per-range merge window, so merge
+    // decisions see a fixed amount of traffic no matter how often passes run.
+    std::vector<uint64_t> d_reg(n), d_lost(n), d_conf(n);
+    for (uint32_t rid = 0; rid < n; rid++) {
+      LogicalRange* lr = cur->range(rid);
+      const uint64_t reg = lr->stats.registrations.load(std::memory_order_relaxed);
+      const uint64_t lost = lr->stats.ring_lost.load(std::memory_order_relaxed);
+      const uint64_t conf = lr->stats.scan_conflict.load(std::memory_order_relaxed);
+      d_reg[rid] = reg - lr->seen_registrations;
+      d_lost[rid] = lost - lr->seen_ring_lost;
+      d_conf[rid] = conf - lr->seen_scan_conflict;
+      lr->seen_registrations = reg;
+      lr->seen_ring_lost = lost;
+      lr->seen_scan_conflict = conf;
+      lr->window_registrations += d_reg[rid];
+      lr->window_aborts += d_lost[rid] + d_conf[rid];
+      merge_eval_accum_[mi] += d_reg[rid];
+    }
+
+    // Split the hottest eligible range. ring_lost dominates the score: it
+    // means the ring itself is the bottleneck, which only a fresh ring plus
+    // a narrower key span can fix. Registration volume is a weak tiebreak so
+    // sustained write pressure can pre-split before rings wrap.
+    int best = -1;
+    uint64_t best_score = 0;
+    for (uint32_t rid = 0; rid < n; rid++) {
+      const LogicalRange* lr = cur->range(rid);
+      if (lr->num_slices < 2) continue;              // grid exhausted
+      if (min_active <= lr->created_epoch) continue;  // grace not elapsed
+      if (n >= max_ranges) break;                     // growth bound
+      const uint64_t score = 8 * d_lost[rid] + 2 * d_conf[rid] + d_reg[rid] / 64;
+      if (score >= min_score && score > best_score) {
+        best_score = score;
+        best = static_cast<int>(rid);
+      }
+    }
+    if (best >= 0 &&
+        rm->Split(static_cast<uint32_t>(best), opts_.max_children, publish_epoch)) {
+      splits_.fetch_add(1, std::memory_order_relaxed);
+      acted = true;
+      continue;  // table swapped; merge candidates are stale — next pass
+    }
+
+    // Merge one adjacent pair of cold split products, but only once enough
+    // table-wide traffic accumulated to judge coldness (see
+    // merge_eval_registrations). The combined-slice bound keeps merges to
+    // re-coalescing refinement, never coarser than the initial layout. Every
+    // table publish forces in-flight scans over the touched span onto the
+    // conservative cross-table path, so merges must be rare and certain.
+    if (merge_eval_accum_[mi] < opts_.merge_eval_registrations) continue;
+    merge_eval_accum_[mi] = 0;
+    if (n > rm->init_num_ranges()) {
+      for (uint32_t rid = 0; rid + 1 < n; rid++) {
+        const LogicalRange* a = cur->range(rid);
+        const LogicalRange* b = cur->range(rid + 1);
+        if (a->num_slices + b->num_slices > rm->slices_per_range()) continue;
+        if (min_active <= a->created_epoch || min_active <= b->created_epoch) continue;
+        if (a->window_aborts != 0 || b->window_aborts != 0) continue;
+        if (a->window_registrations > opts_.merge_idle_registrations) continue;
+        if (b->window_registrations > opts_.merge_idle_registrations) continue;
+        if (rm->Merge(rid, 2, publish_epoch)) {
+          merges_.fetch_add(1, std::memory_order_relaxed);
+          acted = true;
+        }
+        break;  // at most one merge per table per pass
+      }
+    }
+    // Start a fresh window on every range carried into the next evaluation.
+    for (uint32_t rid = 0; rid < n; rid++) {
+      cur->range(rid)->window_registrations = 0;
+      cur->range(rid)->window_aborts = 0;
+    }
+  }
+  return acted;
+}
+
+}  // namespace rocc

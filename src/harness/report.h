@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/range_manager.h"
 #include "harness/stats.h"
 
 namespace rocc {
@@ -77,5 +78,17 @@ void PrintBanner(const std::string& title, const std::string& params);
 /// so every table reports the contention manager the same way.
 std::vector<std::string> ContentionHeaders();
 std::vector<std::string> ContentionCells(const TxnStats& stats);
+
+/// Range-layout summary columns for benches running an adaptive (or static)
+/// ROCC layout: final range count, table version, split/merge totals, and
+/// the hottest range's share of all writer registrations (1.0 = everything
+/// landed in one range). Pair the two like ContentionHeaders/Cells.
+std::vector<std::string> RangeSummaryHeaders();
+std::vector<std::string> RangeSummaryCells(const RangeTelemetry& t);
+
+/// Full per-range telemetry as a table (one row per surviving range, hottest
+/// first): key span, slices, ring version, predecessor count, registrations,
+/// and the per-range abort attributions — shows WHERE contention lives.
+ReportTable RangeTelemetryTable(const RangeTelemetry& t);
 
 }  // namespace rocc

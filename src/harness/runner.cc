@@ -166,7 +166,7 @@ RunResult RunExperiment(ConcurrencyControl* cc, Workload* workload,
 std::unique_ptr<ConcurrencyControl> CreateProtocol(
     const std::string& name, Database* db, const Workload& workload,
     uint32_t num_threads, uint32_t ranges_hint, uint32_t ring_capacity,
-    bool rocc_register_writes) {
+    bool rocc_register_writes, bool adaptive) {
   if (name == "lrv" || name == "LRV" || name == "silo") {
     return std::make_unique<SiloLrv>(db, num_threads);
   }
@@ -179,6 +179,7 @@ std::unique_ptr<ConcurrencyControl> CreateProtocol(
     RoccOptions opts;
     opts.tables = workload.RangeConfigs(ranges_hint, ring_capacity);
     opts.default_ring_capacity = ring_capacity;
+    opts.tuner.enabled = adaptive;
     return std::make_unique<Mvrcc>(db, num_threads, std::move(opts));
   }
   if (name == "2pl" || name == "tpl") {
@@ -189,6 +190,7 @@ std::unique_ptr<ConcurrencyControl> CreateProtocol(
   opts.tables = workload.RangeConfigs(ranges_hint, ring_capacity);
   opts.default_ring_capacity = ring_capacity;
   opts.register_writes = rocc_register_writes;
+  opts.tuner.enabled = adaptive;
   return std::make_unique<Rocc>(db, num_threads, std::move(opts));
 }
 

@@ -70,9 +70,11 @@ RunResult RunExperiment(ConcurrencyControl* cc, Workload* workload,
 /// `ranges_hint` scales the workload's logical-range layout (0 = default);
 /// `ring_capacity` sizes every circular transaction list.
 /// `rocc_register_writes` is the Fig. 12 ablation toggle.
+/// `adaptive` enables the RangeTuner on rocc/mvrcc (default policy knobs);
+/// other schemes ignore it.
 std::unique_ptr<ConcurrencyControl> CreateProtocol(
     const std::string& name, Database* db, const Workload& workload,
     uint32_t num_threads, uint32_t ranges_hint = 0, uint32_t ring_capacity = 4096,
-    bool rocc_register_writes = true);
+    bool rocc_register_writes = true, bool adaptive = false);
 
 }  // namespace rocc

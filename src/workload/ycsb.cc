@@ -34,6 +34,8 @@ class SumConsumer : public ScanConsumer {
 YcsbWorkload::YcsbWorkload(YcsbOptions options)
     : options_(options),
       zipf_(options.num_rows, options.theta),
+      scan_zipf_(options.num_rows,
+                 options.scan_theta < 0 ? options.theta : options.scan_theta),
       thread_bufs_(EpochManager::kMaxThreads) {}
 
 uint32_t YcsbWorkload::DefaultNumRanges() const {
@@ -78,7 +80,7 @@ YcsbWorkload::Plan YcsbWorkload::GeneratePlan(Rng& rng) const {
     plan.ops[i].key = zipf_.Next(rng);
   }
   if (plan.is_scan) {
-    plan.scan_start = ClampScanStart(zipf_.Next(rng));
+    plan.scan_start = ClampScanStart(scan_zipf_.Next(rng));
   }
   return plan;
 }

@@ -19,6 +19,11 @@ struct YcsbOptions {
   double scan_txn_fraction = 0.1;    ///< share of bulk processing transactions
   uint32_t scan_txn_updates = 4;     ///< update ops in a bulk transaction
   uint64_t scan_length = 100;        ///< keys covered by the bulk scan
+  /// Skew of the bulk-scan start keys; negative = same as `theta`. The
+  /// composite workload of §IV places bulk blocks uniformly (scan_theta = 0)
+  /// while point updates stay Zipfian — the false-sharing regime where cold
+  /// scans and hot writers share coarse ranges.
+  double scan_theta = -1.0;
 
   uint32_t num_ranges = 0;     ///< logical ranges (0 = scale the paper's 16384)
   uint32_t max_retries = 1000;
@@ -77,6 +82,7 @@ class YcsbWorkload : public Workload {
 
   YcsbOptions options_;
   ZipfianGenerator zipf_;
+  ZipfianGenerator scan_zipf_;  ///< scan-start distribution (see scan_theta)
   uint32_t table_id_ = 0;
   std::vector<std::vector<char>> thread_bufs_;
 };

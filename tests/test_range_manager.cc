@@ -1,0 +1,263 @@
+// White-box tests of the adaptive RangeManager (DESIGN.md §10): RangeConfig
+// validation, static-layout boundary compatibility (keys below key_min / at
+// key_max, last-range extension, non-divisible spans), the slice grid, and
+// the split/merge invariants — every key maps to exactly one range before,
+// during, and after a table swap, and retired tables are reclaimed only
+// after their grace period.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/range_manager.h"
+#include "core/rocc.h"
+
+namespace rocc {
+namespace {
+
+/// The partition invariant: ranges are ascending and contiguous from key_min
+/// to key_max, and every key maps (via the slice grid) into the one range
+/// whose [start_key, end_key) contains it.
+void CheckPartition(const RangeManager& rm) {
+  const RangeTable* t = rm.Snapshot();
+  ASSERT_GT(t->num_ranges(), 0u);
+  EXPECT_EQ(t->range(0)->start_key, rm.key_min());
+  for (uint32_t i = 0; i + 1 < t->num_ranges(); i++) {
+    EXPECT_EQ(t->range(i)->end_key, t->range(i + 1)->start_key)
+        << "gap/overlap after range " << i;
+    EXPECT_LT(t->range(i)->start_key, t->range(i)->end_key)
+        << "empty range " << i;
+  }
+  EXPECT_EQ(t->range(t->num_ranges() - 1)->end_key, rm.key_max());
+  for (uint64_t k = rm.key_min(); k < rm.key_max(); k++) {
+    const uint32_t rid = t->slice_to_range[rm.SliceOf(k)];
+    ASSERT_LT(rid, t->num_ranges());
+    EXPECT_LE(t->range(rid)->start_key, k) << "key " << k;
+    EXPECT_LT(k, t->range(rid)->end_key) << "key " << k;
+  }
+}
+
+TEST(ValidateRangeConfigTest, RejectsEmptyKeySpace) {
+  RangeConfig rc;
+  rc.key_min = 100;
+  rc.key_max = 100;
+  EXPECT_FALSE(ValidateRangeConfig(rc).ok());
+  rc.key_max = 99;
+  EXPECT_FALSE(ValidateRangeConfig(rc).ok());
+}
+
+TEST(ValidateRangeConfigTest, RejectsZeroRingCapacity) {
+  RangeConfig rc;
+  rc.ring_capacity = 0;
+  EXPECT_FALSE(ValidateRangeConfig(rc).ok());
+}
+
+TEST(ValidateRangeConfigTest, AcceptsDefaultsAndZeroRanges) {
+  RangeConfig rc;
+  EXPECT_TRUE(ValidateRangeConfig(rc).ok());
+  rc.num_ranges = 0;  // legal: treated as one range
+  EXPECT_TRUE(ValidateRangeConfig(rc).ok());
+}
+
+TEST(RangeManagerTest, StaticLayoutBoundariesMatchSeed) {
+  RangeManager rm(0, 500, 10, 64);
+  EXPECT_EQ(rm.num_ranges(), 10u);
+  EXPECT_EQ(rm.range_size(), 50u);
+  for (uint32_t i = 0; i < 10; i++) {
+    EXPECT_EQ(rm.RangeStart(i), i * 50u);
+    EXPECT_EQ(rm.RangeEnd(i), (i + 1) * 50u);
+  }
+  EXPECT_EQ(rm.RangeOf(0), 0u);
+  EXPECT_EQ(rm.RangeOf(49), 0u);
+  EXPECT_EQ(rm.RangeOf(50), 1u);
+  EXPECT_EQ(rm.RangeOf(499), 9u);
+  CheckPartition(rm);
+}
+
+TEST(RangeManagerTest, OutOfSpanKeysClampToEdgeRanges) {
+  RangeManager rm(100, 600, 10, 64);
+  EXPECT_EQ(rm.RangeOf(0), 0u);     // below key_min
+  EXPECT_EQ(rm.RangeOf(100), 0u);   // at key_min
+  EXPECT_EQ(rm.RangeOf(600), 9u);   // at key_max (exclusive bound)
+  EXPECT_EQ(rm.RangeOf(~0ULL), 9u); // far past key_max
+}
+
+TEST(RangeManagerTest, NonDivisibleSpanExtendsLastRange) {
+  // span 100 over 7 ranges: range_size = ceil(100/7) = 15, so ranges 0..5
+  // are 15 keys and the last range holds the remaining 10.
+  RangeManager rm(0, 100, 7, 64);
+  EXPECT_EQ(rm.range_size(), 15u);
+  EXPECT_EQ(rm.RangeStart(6), 90u);
+  EXPECT_EQ(rm.RangeEnd(6), 100u);
+  CheckPartition(rm);
+
+  // span smaller than num_ranges * range_size with a sliced grid.
+  RangeManager rm2(0, 100, 7, 64, /*slices_per_range=*/8);
+  EXPECT_EQ(rm2.RangeStart(6), 90u);
+  EXPECT_EQ(rm2.RangeEnd(6), 100u);
+  CheckPartition(rm2);
+}
+
+TEST(RangeManagerTest, SliceGridPreservesInitialBoundaries) {
+  RangeManager rm(0, 500, 10, 64, /*slices_per_range=*/8);
+  EXPECT_EQ(rm.slices_per_range(), 8u);
+  EXPECT_EQ(rm.num_slices(), 80u);
+  // Range boundaries are bit-exact with the unsliced layout.
+  for (uint32_t i = 0; i < 10; i++) {
+    EXPECT_EQ(rm.RangeStart(i), i * 50u);
+    EXPECT_EQ(rm.RangeEnd(i), (i + 1) * 50u);
+    EXPECT_EQ(rm.SliceBound(i * 8), i * 50u);
+  }
+  EXPECT_EQ(rm.SliceBound(rm.num_slices()), 500u);
+  // SliceOf is consistent with SliceBound: SliceBound(s) <= k < SliceBound(s+1).
+  for (uint64_t k = 0; k < 500; k++) {
+    const uint32_t s = rm.SliceOf(k);
+    EXPECT_LE(rm.SliceBound(s), k);
+    EXPECT_LT(k, rm.SliceBound(s + 1));
+  }
+  CheckPartition(rm);
+}
+
+TEST(RangeManagerTest, SliceWidthClampedToAtLeastOneKey) {
+  // 4-key ranges cannot hold 8 one-key slices: spr clamps to the range size.
+  RangeManager rm(0, 40, 10, 64, /*slices_per_range=*/8);
+  EXPECT_LE(rm.slices_per_range(), 4u);
+  CheckPartition(rm);
+}
+
+TEST(RangeManagerTest, SplitPublishesNewTableAndKeepsPartition) {
+  RangeManager rm(0, 500, 10, 64, 8);
+  const RangeTable* before = rm.Snapshot();
+  const LogicalRange* parent = before->range(3);
+  TxnRing* parent_ring = parent->ring.get();
+
+  ASSERT_TRUE(rm.Split(3, 4, /*publish_epoch=*/5));
+  const RangeTable* after = rm.Snapshot();
+  EXPECT_NE(after, before);
+  EXPECT_EQ(after->version, 1u);
+  EXPECT_EQ(rm.table_version(), 1u);
+  EXPECT_EQ(rm.splits(), 1u);
+  EXPECT_EQ(after->num_ranges(), 13u);  // 10 - 1 + 4
+
+  // The children cover exactly the parent's span, carry fresh rings, and
+  // fence the parent's ring as their single predecessor.
+  EXPECT_EQ(after->range(3)->start_key, 150u);
+  EXPECT_EQ(after->range(6)->end_key, 200u);
+  for (uint32_t rid = 3; rid <= 6; rid++) {
+    const LogicalRange* child = after->range(rid);
+    EXPECT_NE(child->ring.get(), parent_ring);
+    EXPECT_EQ(child->ring->Version(), 0u);
+    ASSERT_EQ(child->prev_rings.size(), 1u);
+    EXPECT_EQ(child->prev_rings[0].get(), parent_ring);
+    EXPECT_EQ(child->created_epoch, 5u);
+  }
+  // Carried ranges keep their identity (same LogicalRange, same ring).
+  EXPECT_EQ(after->range(0), before->range(0));
+  EXPECT_EQ(after->range(12), before->range(9));
+  CheckPartition(rm);
+
+  // The old table is retired, not freed, until the grace period elapses.
+  EXPECT_EQ(rm.retired_tables(), 1u);
+  rm.ReclaimRetired(/*min_active=*/5);  // epoch 5 not yet past
+  EXPECT_EQ(rm.retired_tables(), 1u);
+  rm.ReclaimRetired(/*min_active=*/6);
+  EXPECT_EQ(rm.retired_tables(), 0u);
+}
+
+TEST(RangeManagerTest, SplitOfSingleSliceRangeFails) {
+  RangeManager rm(0, 500, 10, 64);  // spr = 1: the grid cannot refine
+  EXPECT_FALSE(rm.Split(3, 4, 1));
+  EXPECT_EQ(rm.table_version(), 0u);
+  EXPECT_EQ(rm.splits(), 0u);
+}
+
+TEST(RangeManagerTest, SplitSkipsEmptySlices) {
+  // 5-key ranges with an 8-slice grid: slice width 1, slices 5..7 empty.
+  // A 4-way split must produce only non-empty children.
+  RangeManager rm(0, 10, 2, 64, 8);
+  ASSERT_TRUE(rm.Split(0, 4, 1));
+  const RangeTable* t = rm.Snapshot();
+  ASSERT_GE(t->num_ranges(), 3u);
+  for (uint32_t i = 0; i < t->num_ranges(); i++) {
+    EXPECT_LT(t->range(i)->start_key, t->range(i)->end_key);
+  }
+  CheckPartition(rm);
+}
+
+TEST(RangeManagerTest, MergeCoalescesAdjacentRangesWithPrevFences) {
+  RangeManager rm(0, 500, 10, 64, 8);
+  ASSERT_TRUE(rm.Split(3, 2, 1));
+  const RangeTable* mid = rm.Snapshot();
+  ASSERT_EQ(mid->num_ranges(), 11u);
+  TxnRing* left_ring = mid->range(3)->ring.get();
+  TxnRing* right_ring = mid->range(4)->ring.get();
+
+  ASSERT_TRUE(rm.Merge(3, 2, /*publish_epoch=*/2));
+  const RangeTable* after = rm.Snapshot();
+  EXPECT_EQ(after->num_ranges(), 10u);
+  EXPECT_EQ(after->version, 2u);
+  EXPECT_EQ(rm.merges(), 1u);
+  const LogicalRange* merged = after->range(3);
+  EXPECT_EQ(merged->start_key, 150u);
+  EXPECT_EQ(merged->end_key, 200u);
+  EXPECT_EQ(merged->ring->Version(), 0u);
+  ASSERT_EQ(merged->prev_rings.size(), 2u);
+  EXPECT_EQ(merged->prev_rings[0].get(), left_ring);
+  EXPECT_EQ(merged->prev_rings[1].get(), right_ring);
+  EXPECT_EQ(merged->created_epoch, 2u);
+  CheckPartition(rm);
+}
+
+TEST(RangeManagerTest, MergeFanInBoundedByPredicateCapacity) {
+  RangeManager rm(0, 800, 8, 64, 8);
+  EXPECT_FALSE(rm.Merge(0, RangePredicate::kMaxPrevRings + 1, 1));
+  EXPECT_FALSE(rm.Merge(0, 1, 1));
+  EXPECT_FALSE(rm.Merge(7, 2, 1));  // out of bounds
+  EXPECT_TRUE(rm.Merge(0, RangePredicate::kMaxPrevRings, 1));
+  CheckPartition(rm);
+}
+
+TEST(RangeManagerTest, RepeatedSplitsKeepPartitionUntilGridExhausted) {
+  RangeManager rm(0, 200, 2, 64, 8);
+  uint64_t epoch = 1;
+  // Keep splitting range 0's descendants until nothing is splittable.
+  bool split = true;
+  while (split) {
+    split = false;
+    const uint32_t n = rm.num_ranges();
+    for (uint32_t rid = 0; rid < n; rid++) {
+      if (rm.Split(rid, 2, epoch++)) {
+        split = true;
+        break;
+      }
+    }
+    CheckPartition(rm);
+  }
+  // Fully refined: one range per non-empty slice.
+  EXPECT_EQ(rm.num_ranges(), rm.num_slices());
+  rm.ReclaimRetired(~0ULL);
+  EXPECT_EQ(rm.retired_tables(), 0u);
+}
+
+TEST(RangeManagerTest, TelemetrySnapshotsCountersAndTopology) {
+  RangeManager rm(0, 500, 10, 64, 8);
+  rm.Snapshot()->range(4)->stats.registrations.fetch_add(7);
+  rm.Snapshot()->range(4)->stats.ring_lost.fetch_add(2);
+  rm.Snapshot()->range(1)->stats.registrations.fetch_add(3);
+  ASSERT_TRUE(rm.Split(9, 2, 1));
+
+  const RangeTelemetry tel = rm.Telemetry(/*top_n=*/4);
+  EXPECT_EQ(tel.num_ranges, 11u);
+  EXPECT_EQ(tel.table_version, 1u);
+  EXPECT_EQ(tel.splits, 1u);
+  EXPECT_EQ(tel.merges, 0u);
+  EXPECT_EQ(tel.total_registrations, 10u);
+  ASSERT_EQ(tel.rows.size(), 4u);  // truncated to top_n
+  EXPECT_EQ(tel.rows[0].range_id, 4u);  // hottest first
+  EXPECT_EQ(tel.rows[0].registrations, 7u);
+  EXPECT_EQ(tel.rows[0].ring_lost, 2u);
+  EXPECT_EQ(tel.rows[1].range_id, 1u);
+}
+
+}  // namespace
+}  // namespace rocc
