@@ -218,7 +218,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> headers = {
         "bulk_writes", "mix", "scheme", "total_tps", "bulk_tps",
         "point_tps", "abort_rate", "bulk_abort_rate",
-        "bulk_p50_ms", "validated_txns_per_scan"};
+        "bulk_p50_ms", "bulk_p99_ms", "validated_txns_per_scan"};
+    for (const std::string& h : AbortBreakdownHeaders()) headers.push_back(h);
     for (const std::string& h : ContentionHeaders()) headers.push_back(h);
     ReportTable table(std::move(headers));
     // Pure point mix: the write-set size never varies, one sweep point.
@@ -243,6 +244,7 @@ int main(int argc, char** argv) {
         run.log = log.get();
         const RunResult r = RunExperiment(cc.get(), &workload, run);
         if (log != nullptr) log->Stop();
+        EmitProm(env, r.stats);
         const double bulk_tps = r.ScanThroughput();
         guard.Check(r, scheme + " @ mix=" + F(mix, 2) + " w=" +
                            F(static_cast<uint64_t>(w)));
@@ -252,9 +254,21 @@ int main(int argc, char** argv) {
             F(r.Throughput() - bulk_tps, 1),
             F(r.stats.AbortRate(), 4), F(r.stats.ScanAbortRate(), 4),
             F(static_cast<double>(r.stats.latency_scan.Percentile(50)) / 1e6, 3),
+            F(static_cast<double>(r.stats.latency_scan.Percentile(99)) / 1e6, 3),
             F(r.ValidatedTxnsPerScan(), 1)};
+        for (std::string& c : AbortBreakdownCells(r.stats)) row.push_back(std::move(c));
         for (std::string& c : ContentionCells(r.stats)) row.push_back(std::move(c));
         table.AddRow(std::move(row));
+        // Extended latency summary (all/scan/durable percentiles + stddev,
+        // plus the phase breakdown when --obs ran) at the heaviest sweep
+        // point of each mix.
+        if (w == sweep.back()) {
+          std::printf("\nlatency summary (%s, mix=%s, W=%lld):\n",
+                      scheme.c_str(), F(mix, 2).c_str(),
+                      static_cast<long long>(w));
+          Emit(env, LatencySummaryTable(r.stats),
+               "latency_mix_" + F(mix, 2) + "_" + scheme);
+        }
       }
     }
     Emit(env, table, "bulk_mix_" + F(mix, 2));

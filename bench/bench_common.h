@@ -20,6 +20,16 @@
 //   --group-commit-us N   flusher batching interval (default 200)
 //   --no-durability   with --log-dir: append records but acknowledge
 //                     commits from memory (no fsync wait)
+//   --obs             enable the flight recorder (phase histograms + trace
+//                     rings); implied by --trace / --prom
+//   --obs-sample N    trace 1 in N transaction attempts (default 64; 1 =
+//                     every txn)
+//   --obs-ring N      events per worker trace ring (default 8192)
+//   --trace FILE      dump the trace rings as Chrome trace-event JSON to
+//                     FILE at exit (open in ui.perfetto.dev); SIGUSR1 dumps
+//                     mid-run
+//   --prom FILE       write a Prometheus text snapshot of the merged run
+//                     stats to FILE (rewritten after every measured run)
 //
 // Quick-scale defaults keep every range-size/scan-length RATIO of the paper
 // intact (e.g. 610-key logical ranges), so curve shapes are comparable even
@@ -27,8 +37,10 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -37,6 +49,9 @@
 #include "harness/report.h"
 #include "harness/runner.h"
 #include "log/log_manager.h"
+#include "obs/chrome_trace.h"
+#include "obs/obs.h"
+#include "obs/prometheus.h"
 #include "workload/tpcc/tpcc.h"
 #include "workload/ycsb.h"
 
@@ -53,6 +68,11 @@ struct BenchEnv {
   std::string log_dir;   // --log-dir: durability on, WALs under this dir
   uint32_t group_commit_us = 200;
   bool no_durability = false;  // --no-durability: async log, no ack wait
+  bool obs = false;            // --obs: flight recorder installed
+  uint32_t obs_sample = 64;    // --obs-sample: trace 1 in N txn attempts
+  uint32_t obs_ring = 1u << 13;  // --obs-ring: events per worker ring
+  std::string trace_file;      // --trace: Chrome trace JSON dumped at exit
+  std::string prom_file;       // --prom: Prometheus snapshot per run
   // Quick scale keeps the paper's 40 workers (cheap under the fiber runner)
   // but shrinks the table and transaction counts.
   uint32_t threads = 40;
@@ -102,7 +122,49 @@ inline BenchEnv ParseEnv(int argc, char** argv) {
   env.group_commit_us =
       static_cast<uint32_t>(env.cfg.GetInt("group-commit-us", env.group_commit_us));
   env.no_durability = env.cfg.GetBool("no-durability", false);
+  env.trace_file = env.cfg.GetString("trace", "");
+  env.prom_file = env.cfg.GetString("prom", "");
+  env.obs = env.cfg.GetBool("obs", false) || !env.trace_file.empty() ||
+            !env.prom_file.empty();
+  env.obs_sample =
+      static_cast<uint32_t>(env.cfg.GetInt("obs-sample", env.obs_sample));
+  env.obs_ring = static_cast<uint32_t>(env.cfg.GetInt("obs-ring", env.obs_ring));
+
+  if (env.obs) {
+    obs::ObsOptions oo;
+    oo.sample_period = env.obs_sample;
+    oo.ring_capacity = env.obs_ring;
+    oo.max_workers = std::max<uint32_t>(env.threads * 2, 128);
+    // Static: the recorder must outlive every worker AND the atexit dump.
+    // ParseEnv runs once per binary, before any worker starts.
+    static obs::FlightRecorder recorder(oo);
+    obs::SetRecorder(&recorder);
+    if (!env.trace_file.empty()) {
+      static std::string trace_path;
+      trace_path = env.trace_file;
+      std::atexit([] {
+        obs::FlightRecorder* r = obs::Recorder();
+        if (r != nullptr) obs::WriteChromeTrace(*r, trace_path.c_str());
+      });
+      obs::InstallSignalDump(trace_path);
+    }
+  }
   return env;
+}
+
+/// Accumulate a measured run into the binary's Prometheus snapshot and
+/// rewrite `--prom FILE` (cumulative across runs, like a scraped process).
+/// No-op without --prom.
+inline void EmitProm(const BenchEnv& env, const TxnStats& stats) {
+  if (env.prom_file.empty()) return;
+  static TxnStats accumulated;
+  accumulated.Merge(stats);
+  const std::string labels = "binary=\"" + env.binary + "\"";
+  if (!obs::WritePrometheusSnapshot(accumulated, labels,
+                                    env.prom_file.c_str())) {
+    std::fprintf(stderr, "warning: cannot write %s for Prometheus output\n",
+                 env.prom_file.c_str());
+  }
 }
 
 /// Print the table; when `--csv <file>` was given, also append the CSV block
@@ -202,6 +264,7 @@ class YcsbBench {
     run.log = log.get();
     RunResult r = RunExperiment(cc, workload_.get(), run);
     if (log != nullptr) log->Stop();
+    EmitProm(env_, r.stats);
     return r;
   }
 
@@ -234,6 +297,7 @@ inline RunResult RunTpcc(const BenchEnv& env, const TpccOptions& opts,
   run.log = log.get();
   RunResult r = RunExperiment(cc.get(), &workload, run);
   if (log != nullptr) log->Stop();
+  EmitProm(env, r.stats);
   return r;
 }
 

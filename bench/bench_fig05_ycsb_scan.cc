@@ -39,6 +39,12 @@ double PointThroughput(const RunResult& r) {
              : 0;
 }
 
+/// Column name for one abort cause, derived from the shared string table so
+/// the header always matches the trace/Prometheus/report label for the cause.
+std::string AbortHeader(AbortReason r) {
+  return std::string("abort_") + AbortReasonName(r);
+}
+
 /// Fig. 11-style static-granularity baseline: same workload, ROCC only,
 /// sweeping the number of equal-width ranges.
 int SweepRanges(const BenchEnv& env) {
@@ -50,9 +56,10 @@ int SweepRanges(const BenchEnv& env) {
       env.cfg.GetInt("scan_len", static_cast<int64_t>(opts.scan_length)));
   YcsbBench bench(env, opts);
 
-  std::vector<std::string> headers = {"num_ranges", "range_keys", "scan_tps",
-                                      "total_tps",  "abort_ring_lost",
-                                      "abort_scan_conflict"};
+  std::vector<std::string> headers = {
+      "num_ranges", "range_keys", "scan_tps", "total_tps",
+      AbortHeader(AbortReason::kRingLost),
+      AbortHeader(AbortReason::kScanConflict)};
   for (const std::string& h : ContentionHeaders()) headers.push_back(h);
   ReportTable table(std::move(headers));
 
@@ -106,9 +113,10 @@ int AdaptiveAb(const BenchEnv& env) {
 
 
   std::vector<std::string> headers = {
-      "cell",          "layout",          "total_tps",
-      "point_tps",     "scan_tps",        "scan_abort_rate",
-      "abort_ring_lost", "abort_scan_conflict"};
+      "cell",      "layout",   "total_tps",
+      "point_tps", "scan_tps", "scan_abort_rate",
+      AbortHeader(AbortReason::kRingLost),
+      AbortHeader(AbortReason::kScanConflict)};
   for (const std::string& h : ContentionHeaders()) headers.push_back(h);
   for (const std::string& h : RangeSummaryHeaders()) headers.push_back(h);
   ReportTable table(std::move(headers));
@@ -243,6 +251,13 @@ int main(int argc, char** argv) {
           F(r.Throughput(), 1), F(r.stats.ScanAbortRate(), 4)};
       for (std::string& c : ContentionCells(r.stats)) row.push_back(std::move(c));
       table.AddRow(std::move(row));
+      // Extended latency summary (p50/p95/p99/p99.9/stddev, plus the phase
+      // breakdown when --obs ran) for the heaviest scan length per scheme.
+      if (scan_len == scan_lens.back()) {
+        std::printf("\nlatency summary (%s, scan_len=%lld):\n", scheme,
+                    static_cast<long long>(scan_len));
+        Emit(env, LatencySummaryTable(r.stats), std::string("latency_") + scheme);
+      }
     }
   }
   Emit(env, table);

@@ -1,0 +1,159 @@
+// Flight-recorder overhead guard: the observability layer must be free when
+// off and near-free when sampling.
+//
+// Three cells run the same hybrid-YCSB workload (interleaved within each
+// repetition so ambient drift on a shared host cancels out of the paired
+// deltas):
+//
+//   off       no recorder installed — every instrumentation site is one
+//             predicted null-pointer branch
+//   sample64  recorder installed, 1/64 txn sampling (the default)
+//   full      recorder installed, every transaction traced
+//
+// Reported overheads are the median of the per-rep PAIRED deltas against the
+// off cell of the same rep. The binary exits nonzero when:
+//
+//   - the sample64 overhead exceeds --max-overhead (percent, default 2), or
+//   - --baseline-tps REF is given and the off cell's median tps is more than
+//     --baseline-tol percent (default 3) below REF — the pre-change parity
+//     guard: REF is the median tps of the same workload built WITHOUT the
+//     instrumentation in the tree.
+//
+// Extra flags: --reps N (default 15), --scheme S (default rocc),
+// --full-ceiling P (informational ceiling for the full cell; default 0 = no
+// assert, full tracing is allowed to cost what it costs).
+//
+// Cells are deliberately SHORT (500 txns/thread, ~1s) and repetitions many:
+// on a shared host, ambient load bursts last seconds, so a long off cell and
+// its paired sample64 cell see different ambient and the paired delta
+// degenerates to the ambient swing. Short cells keep each off/sampled pair
+// inside one burst; the median over many pairs then isolates recorder cost.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace rocc;        // NOLINT
+using namespace rocc::bench; // NOLINT
+
+namespace {
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+struct Cell {
+  const char* name;
+  uint32_t sample_period;  // 0 = no recorder installed
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchEnv env = ParseEnv(argc, argv);
+  // Small fixed workload: the guard measures recorder cost, not protocol
+  // scaling, and must finish in CI time at tight repetition counts.
+  if (!env.cfg.Has("threads")) env.threads = 8;
+  if (!env.cfg.Has("rows")) env.rows = 200'000;
+  if (!env.cfg.Has("txns")) env.txns_per_thread = 500;
+  if (!env.cfg.Has("warmup")) env.warmup = 50;
+  const int reps = static_cast<int>(env.cfg.GetInt("reps", 15));
+  const double max_overhead = env.cfg.GetDouble("max-overhead", 2.0);
+  const double full_ceiling = env.cfg.GetDouble("full-ceiling", 0.0);
+  const double baseline_tps = env.cfg.GetDouble("baseline-tps", 0.0);
+  const double baseline_tol = env.cfg.GetDouble("baseline-tol", 3.0);
+  const std::string scheme = env.cfg.GetString("scheme", "rocc");
+  PrintBanner("Flight-recorder overhead: off vs 1/64-sampled vs full tracing",
+              env.Describe());
+
+  YcsbBench bench(env, YcsbOptions{});
+
+  const Cell cells[] = {{"off", 0}, {"sample64", 64}, {"full", 1}};
+  constexpr size_t kNumCells = sizeof(cells) / sizeof(cells[0]);
+
+  // One long-lived recorder per enabled cell: recorders must stay alive past
+  // any worker that might still be inside an instrumentation site, and
+  // re-allocating rings every rep would measure the allocator instead.
+  std::unique_ptr<obs::FlightRecorder> recorders[kNumCells];
+  for (size_t c = 0; c < kNumCells; c++) {
+    if (cells[c].sample_period == 0) continue;
+    obs::ObsOptions oo;
+    oo.sample_period = cells[c].sample_period;
+    oo.ring_capacity = env.obs_ring;
+    oo.max_workers = std::max<uint32_t>(env.threads * 2, 128);
+    recorders[c] = std::make_unique<obs::FlightRecorder>(oo);
+  }
+
+  std::vector<double> tps[kNumCells];
+  std::vector<double> paired_overhead[kNumCells];  // vs same-rep off cell
+  for (int rep = 0; rep < reps; rep++) {
+    double off_tps = 0.0;
+    for (size_t c = 0; c < kNumCells; c++) {
+      obs::SetRecorder(recorders[c].get());
+      const RunResult r = bench.Run(scheme);
+      obs::SetRecorder(nullptr);
+      const double t = r.Throughput();
+      tps[c].push_back(t);
+      if (c == 0) {
+        off_tps = t;
+      } else if (off_tps > 0) {
+        paired_overhead[c].push_back((off_tps - t) / off_tps * 100.0);
+      }
+      if (!paired_overhead[c].empty() && c != 0) {
+        std::printf("  [rep %d] %-8s tps=%.0f (paired overhead %.2f%%)\n", rep,
+                    cells[c].name, t, paired_overhead[c].back());
+      } else {
+        std::printf("  [rep %d] %-8s tps=%.0f\n", rep, cells[c].name, t);
+      }
+    }
+  }
+
+  ReportTable table({"cell", "sample_period", "median_tps", "min_tps",
+                     "max_tps", "overhead_pct", "events_recorded"});
+  for (size_t c = 0; c < kNumCells; c++) {
+    std::vector<double> sorted = tps[c];
+    std::sort(sorted.begin(), sorted.end());
+    table.AddRow(
+        {cells[c].name, F(static_cast<uint64_t>(cells[c].sample_period)),
+         F(Median(tps[c]), 0), F(sorted.front(), 0), F(sorted.back(), 0),
+         c == 0 ? "0" : F(Median(paired_overhead[c]), 2),
+         F(recorders[c] ? recorders[c]->TotalEvents() : 0)});
+  }
+  Emit(env, table, "obs_overhead");
+
+  int rc = 0;
+  const double sampled_overhead = Median(paired_overhead[1]);
+  if (sampled_overhead > max_overhead) {
+    std::fprintf(stderr,
+                 "ERROR: 1/64-sampled tracing costs %.2f%% (budget %.2f%%)\n",
+                 sampled_overhead, max_overhead);
+    rc = 1;
+  }
+  const double full_overhead = Median(paired_overhead[2]);
+  if (full_ceiling > 0 && full_overhead > full_ceiling) {
+    std::fprintf(stderr, "ERROR: full tracing costs %.2f%% (ceiling %.2f%%)\n",
+                 full_overhead, full_ceiling);
+    rc = 1;
+  }
+  if (baseline_tps > 0) {
+    const double off_median = Median(tps[0]);
+    const double delta = (baseline_tps - off_median) / baseline_tps * 100.0;
+    std::printf("obs-off parity: median %.0f tps vs pre-change baseline %.0f "
+                "(%+.2f%%)\n",
+                off_median, baseline_tps, -delta);
+    if (delta > baseline_tol) {
+      std::fprintf(stderr,
+                   "ERROR: obs-off runs %.2f%% below the pre-change baseline "
+                   "(tolerance %.2f%%)\n",
+                   delta, baseline_tol);
+      rc = 1;
+    }
+  }
+  if (rc == 0) std::printf("overhead budget OK\n");
+  return rc;
+}

@@ -73,6 +73,8 @@ TxnDescriptor* OccBase::Begin(uint32_t thread_id) {
   t->begin_nanos = NowNanos();
   t->is_scan_txn = false;
   ctx.last_abort_reason = AbortReason::kNone;
+  ctx.last_conflict_range = obs::kNoRange;
+  obs::TxnBegin(thread_id, t->begin_nanos, t->txn_id);
   return t;
 }
 
@@ -376,7 +378,8 @@ uint64_t OccBase::LogWrites(const TxnDescriptor* t, uint64_t commit_ts) {
   return log_->LogCommit(t->thread_id, t, commit_ts);
 }
 
-void OccBase::AwaitDurable(uint64_t ticket, uint64_t begin_nanos, TxnStats& s) {
+void OccBase::AwaitDurable(uint64_t ticket, uint64_t begin_nanos,
+                           uint32_t thread_id, TxnStats& s) {
   if (ticket == 0) return;
   s.log_records++;
   // Async mode acknowledges from memory — WaitDurable returns immediately —
@@ -387,6 +390,10 @@ void OccBase::AwaitDurable(uint64_t ticket, uint64_t begin_nanos, TxnStats& s) {
   const bool durable = log_->WaitDurable(ticket);
   const uint64_t now = NowNanos();
   s.durable_wait_ns += now - wait_start;
+  if (obs::Enabled()) {
+    s.phase_log_wait.Record(now - wait_start);
+    obs::SpanEvent(thread_id, obs::Phase::kLogWait, wait_start, now);
+  }
   if (durable) {
     s.durable_acks++;
     s.latency_durable.Record(now - begin_nanos);
@@ -437,6 +444,8 @@ void OccBase::FinishTxn(TxnDescriptor* t, TxnState final_state) {
 Status OccBase::Commit(TxnDescriptor* t) {
   TxnStats& s = stats(t->thread_id);
   const bool scan_txn = t->is_scan_txn;
+  const uint32_t tid = t->thread_id;
+  const uint64_t txn_id = t->txn_id;
   const uint64_t begin_nanos = t->begin_nanos;
   const uint64_t commit_start = NowNanos();
 
@@ -479,18 +488,38 @@ Status OccBase::Commit(TxnDescriptor* t) {
       s.scan_txn_commits++;
       s.latency_scan.Record(end - begin_nanos);
     }
+    if (obs::Enabled()) {
+      // Phase breakdown from the timestamps this path already takes; spans
+      // only land in the ring for sampled transactions.
+      s.phase_execute.Record(commit_start - begin_nanos);
+      s.phase_validate.Record(validation_end - commit_start);
+      s.phase_apply.Record(end - validation_end);
+      obs::SpanEvent(tid, obs::Phase::kExecute, begin_nanos, commit_start, txn_id);
+      obs::SpanEvent(tid, obs::Phase::kValidate, commit_start, validation_end, txn_id);
+      obs::SpanEvent(tid, obs::Phase::kWriteApply, validation_end, end, txn_id);
+      obs::TxnCommit(tid, end, txn_id, scan_txn);
+    }
     // The group-commit wait happens after the in-memory commit is fully
     // published (locks dropped, descriptor retired) so concurrent workers
     // are never stalled behind this worker's fsync batch.
-    AwaitDurable(log_ticket, begin_nanos, s);
+    AwaitDurable(log_ticket, begin_nanos, tid, s);
     return Status::Ok();
   }
 
   UnlockWriteSet(t);
   FinishTxn(t, TxnState::kAborted);
-  s.abort_ns += NowNanos() - begin_nanos;
+  const uint64_t end = NowNanos();
+  s.abort_ns += end - begin_nanos;
   s.aborts++;
   if (scan_txn) s.scan_txn_aborts++;
+  if (obs::Enabled()) {
+    const ThreadCtx& ctx = *ctxs_[tid];
+    obs::SpanEvent(tid, obs::Phase::kExecute, begin_nanos, commit_start, txn_id);
+    obs::SpanEvent(tid, obs::Phase::kValidate, commit_start, validation_end, txn_id);
+    obs::TxnAbort(tid, end, txn_id,
+                  static_cast<uint8_t>(ctx.last_abort_reason),
+                  ctx.last_conflict_range);
+  }
   return Status::Aborted();
 }
 
@@ -502,11 +531,21 @@ void OccBase::Abort(TxnDescriptor* t) {
   NoteAbortCause(t->thread_id, AbortReason::kExplicit);
   TxnStats& s = stats(t->thread_id);
   const bool scan_txn = t->is_scan_txn;
+  const uint32_t tid = t->thread_id;
+  const uint64_t txn_id = t->txn_id;
   const uint64_t begin_nanos = t->begin_nanos;
   FinishTxn(t, TxnState::kAborted);
-  s.abort_ns += NowNanos() - begin_nanos;
+  const uint64_t end = NowNanos();
+  s.abort_ns += end - begin_nanos;
   s.aborts++;
   if (scan_txn) s.scan_txn_aborts++;
+  if (obs::Enabled()) {
+    const ThreadCtx& ctx = *ctxs_[tid];
+    obs::SpanEvent(tid, obs::Phase::kExecute, begin_nanos, end, txn_id);
+    obs::TxnAbort(tid, end, txn_id,
+                  static_cast<uint8_t>(ctx.last_abort_reason),
+                  ctx.last_conflict_range);
+  }
 }
 
 }  // namespace rocc

@@ -7,6 +7,7 @@
 #include "common/cacheline.h"
 #include "common/status.h"
 #include "harness/stats.h"
+#include "obs/obs.h"
 #include "storage/database.h"
 #include "txn/clock.h"
 #include "txn/epoch.h"
@@ -144,6 +145,9 @@ class OccBase : public ConcurrencyControl {
     TxnStats local_stats;           // fallback sink when none is attached
     TxnStats* stats = nullptr;
     AbortReason last_abort_reason = AbortReason::kNone;  // of the current attempt
+    // Range id a scan-validation abort was attributed to (kNoRange when the
+    // abort had no range attribution); carried on the trace's abort event.
+    uint32_t last_conflict_range = obs::kNoRange;
     std::vector<TxnDescriptor*> free_list;
     RetireList<TxnDescriptor> retired;
     std::vector<char> scratch;      // row-payload staging for scans/reads
@@ -212,8 +216,10 @@ class OccBase : public ConcurrencyControl {
   uint64_t LogWrites(const TxnDescriptor* t, uint64_t commit_ts);
 
   /// Block until `ticket`'s epoch is durable, charging the wait and the
-  /// begin -> durable latency to `s`. No-op when ticket is 0.
-  void AwaitDurable(uint64_t ticket, uint64_t begin_nanos, TxnStats& s);
+  /// begin -> durable latency to `s` (and a log_wait span to `thread_id`'s
+  /// trace ring when sampled). No-op when ticket is 0.
+  void AwaitDurable(uint64_t ticket, uint64_t begin_nanos, uint32_t thread_id,
+                    TxnStats& s);
 
   /// Release locks without applying (abort path); removes insert placeholders.
   void UnlockWriteSet(TxnDescriptor* t);

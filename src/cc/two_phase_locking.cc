@@ -180,6 +180,8 @@ void TplNoWait::ReleaseAll(TxnDescriptor* t, uint64_t commit_ts, bool committed)
 Status TplNoWait::Commit(TxnDescriptor* t) {
   TxnStats& s = stats(t->thread_id);
   const bool scan_txn = t->is_scan_txn;
+  const uint32_t tid = t->thread_id;
+  const uint64_t txn_id = t->txn_id;
   const uint64_t begin_nanos = t->begin_nanos;
   const uint64_t commit_start = NowNanos();
 
@@ -207,7 +209,16 @@ Status TplNoWait::Commit(TxnDescriptor* t) {
     s.scan_txn_commits++;
     s.latency_scan.Record(end - begin_nanos);
   }
-  AwaitDurable(log_ticket, begin_nanos, s);
+  if (obs::Enabled()) {
+    // 2PL has no separate validation: the commit-entry -> end window is the
+    // apply + shrink phase.
+    s.phase_execute.Record(commit_start - begin_nanos);
+    s.phase_apply.Record(end - commit_start);
+    obs::SpanEvent(tid, obs::Phase::kExecute, begin_nanos, commit_start, txn_id);
+    obs::SpanEvent(tid, obs::Phase::kWriteApply, commit_start, end, txn_id);
+    obs::TxnCommit(tid, end, txn_id, scan_txn);
+  }
+  AwaitDurable(log_ticket, begin_nanos, tid, s);
   return Status::Ok();
 }
 
@@ -216,12 +227,20 @@ void TplNoWait::Abort(TxnDescriptor* t) {
   NoteAbortCause(t->thread_id, AbortReason::kExplicit);
   TxnStats& s = stats(t->thread_id);
   const bool scan_txn = t->is_scan_txn;
+  const uint32_t tid = t->thread_id;
+  const uint64_t txn_id = t->txn_id;
   const uint64_t begin_nanos = t->begin_nanos;
   ReleaseAll(t, 0, /*committed=*/false);
   FinishTxn(t, TxnState::kAborted);
-  s.abort_ns += NowNanos() - begin_nanos;
+  const uint64_t end = NowNanos();
+  s.abort_ns += end - begin_nanos;
   s.aborts++;
   if (scan_txn) s.scan_txn_aborts++;
+  if (obs::Enabled()) {
+    obs::SpanEvent(tid, obs::Phase::kExecute, begin_nanos, end, txn_id);
+    obs::TxnAbort(tid, end, txn_id, static_cast<uint8_t>(LastAbortReason(tid)),
+                  obs::kNoRange);
+  }
 }
 
 }  // namespace rocc

@@ -2,20 +2,24 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 
 namespace rocc {
 
-// Bucket layout: 4 sub-buckets per power of two. Bucket index for value v is
-// 4*floor(log2(v)) + next-2-bits, clamped to the table. This keeps relative
-// error under ~19% per bucket which is plenty for latency reporting.
+// Bucket layout: values 0-3 get exact buckets, then 4 sub-buckets per power
+// of two packed contiguously (no dead indices), clamped to the table. This
+// keeps relative error under ~19% per bucket which is plenty for latency
+// reporting, and every bucket's exclusive upper edge is the next bucket's
+// lower bound — the exporters rely on that.
 Histogram::Histogram() : buckets_(kNumBuckets, 0) { Reset(); }
 
 void Histogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = 0;
+  sum_sq_ = 0.0;
   min_ = std::numeric_limits<uint64_t>::max();
   max_ = 0;
 }
@@ -24,14 +28,14 @@ size_t Histogram::BucketFor(uint64_t v) {
   if (v < 4) return static_cast<size_t>(v);
   const int msb = 63 - std::countl_zero(v);
   const uint64_t sub = (v >> (msb - 2)) & 3;  // next two bits below the MSB
-  size_t idx = static_cast<size_t>(msb) * 4 + static_cast<size_t>(sub);
+  size_t idx = static_cast<size_t>(msb - 2) * 4 + static_cast<size_t>(sub) + 4;
   return std::min(idx, kNumBuckets - 1);
 }
 
 uint64_t Histogram::BucketLower(size_t b) {
   if (b < 4) return b;
-  const size_t msb = b / 4;
-  const uint64_t sub = b % 4;
+  const size_t msb = (b - 4) / 4 + 2;
+  const uint64_t sub = (b - 4) % 4;
   return (1ULL << msb) | (sub << (msb - 2));
 }
 
@@ -39,6 +43,8 @@ void Histogram::Record(uint64_t value_ns) {
   buckets_[BucketFor(value_ns)]++;
   count_++;
   sum_ += value_ns;
+  const double v = static_cast<double>(value_ns);
+  sum_sq_ += v * v;
   min_ = std::min(min_, value_ns);
   max_ = std::max(max_, value_ns);
 }
@@ -47,12 +53,21 @@ void Histogram::Merge(const Histogram& other) {
   for (size_t i = 0; i < kNumBuckets; i++) buckets_[i] += other.buckets_[i];
   count_ += other.count_;
   sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
 }
 
 double Histogram::Mean() const {
   return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Stddev() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double mean = static_cast<double>(sum_) / n;
+  const double var = sum_sq_ / n - mean * mean;
+  return var <= 0.0 ? 0.0 : std::sqrt(var);
 }
 
 uint64_t Histogram::Percentile(double p) const {

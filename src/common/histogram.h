@@ -25,10 +25,24 @@ class Histogram {
   uint64_t max() const { return max_; }
   double Mean() const;
 
+  /// Population standard deviation of the recorded samples (exact: tracked
+  /// via a running sum of squares, not reconstructed from buckets).
+  double Stddev() const;
+
   /// Value at percentile p in [0, 100]; interpolated within a bucket.
   uint64_t Percentile(double p) const;
 
   std::string ToString() const;
+
+  /// Raw bucket counts (size kNumBuckets); bucket b covers
+  /// [BucketLowerBound(b), BucketLowerBound(b+1)). Exposed for exporters.
+  const std::vector<uint64_t>& bucket_counts() const { return buckets_; }
+
+  /// Smallest value that lands in bucket b.
+  static uint64_t BucketLowerBound(size_t b) { return BucketLower(b); }
+
+  /// Bucket index a given value is recorded into.
+  static size_t BucketIndex(uint64_t v) { return BucketFor(v); }
 
   static constexpr size_t kNumBuckets = 160;
 
@@ -39,6 +53,7 @@ class Histogram {
   std::vector<uint64_t> buckets_;
   uint64_t count_;
   uint64_t sum_;
+  double sum_sq_;
   uint64_t min_;
   uint64_t max_;
 };

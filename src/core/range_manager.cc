@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/timer.h"
+#include "obs/obs.h"
+
 namespace rocc {
 
 RangeManager::RangeManager(uint64_t key_min, uint64_t key_max, uint32_t num_ranges,
@@ -61,6 +64,8 @@ void RangeManager::Publish(RangeTable* next, uint64_t publish_epoch) {
   }
   current_.store(next, std::memory_order_release);
   retired_.Retire(old, publish_epoch);
+  obs::ServiceEvent(obs::EventType::kRangePublish, 0, NowNanos(), 0,
+                    next->version, next->num_ranges());
 }
 
 bool RangeManager::Split(uint32_t range_id, uint32_t children,
@@ -114,6 +119,8 @@ bool RangeManager::Split(uint32_t range_id, uint32_t children,
   }
   Publish(next, publish_epoch);
   splits_++;
+  obs::ServiceEvent(obs::EventType::kRangeSplit, 0, NowNanos(), 0, range_id,
+                    static_cast<uint32_t>(cuts.size() - 1));
   return true;
 }
 
@@ -145,6 +152,8 @@ bool RangeManager::Merge(uint32_t first_range_id, uint32_t count,
   }
   Publish(next, publish_epoch);
   merges_++;
+  obs::ServiceEvent(obs::EventType::kRangeMerge, 0, NowNanos(), 0,
+                    first_range_id, count);
   return true;
 }
 

@@ -182,6 +182,12 @@ void Rocc::RegisterWrites(TxnDescriptor* t) {
 void Rocc::NoteScanAbort(TxnDescriptor* t, const RangePredicate& p,
                          AbortReason reason) {
   NoteAbortCause(t->thread_id, reason);
+  // Attribute the abort to the predicate's range for the trace: the abort
+  // event then carries which range's ring the conflict came from. First
+  // attribution wins, matching NoteAbortCause's first-reason-wins rule.
+  if (ctxs_[t->thread_id]->last_conflict_range == obs::kNoRange) {
+    ctxs_[t->thread_id]->last_conflict_range = p.range_id;
+  }
   if (p.range != nullptr) {
     std::atomic<uint64_t>& counter = reason == AbortReason::kRingLost
                                          ? p.range->stats.ring_lost

@@ -4,6 +4,7 @@
 
 #include "common/fiber.h"
 #include "common/timer.h"
+#include "obs/obs.h"
 
 namespace rocc {
 
@@ -38,7 +39,11 @@ void ContentionManager::Admit(uint32_t thread_id) {
     CooperativeYield();
     h = holder_.load(std::memory_order_acquire);
   } while (h != kNoHolder && h != thread_id);
-  stats(thread_id).gate_wait_ns += NowNanos() - wait_start;
+  const uint64_t now = NowNanos();
+  stats(thread_id).gate_wait_ns += now - wait_start;
+  // Always recorded: gate stalls are rare but long, exactly what 1/N
+  // sampling would miss.
+  obs::SpanEventAlways(thread_id, obs::Phase::kGateWait, wait_start, now);
 }
 
 void ContentionManager::EnterProtected(uint32_t thread_id) {
@@ -52,6 +57,7 @@ void ContentionManager::EnterProtected(uint32_t thread_id) {
     CooperativeYield();
   }
   states_[thread_id]->protected_mode = true;
+  obs::WorkerEvent(thread_id, obs::EventType::kGateEnter, 0, thread_id, 0);
 }
 
 void ContentionManager::ReleaseProtected(uint32_t thread_id) {
@@ -59,6 +65,7 @@ void ContentionManager::ReleaseProtected(uint32_t thread_id) {
   if (!st.protected_mode) return;
   st.protected_mode = false;
   holder_.store(kNoHolder, std::memory_order_release);
+  obs::WorkerEvent(thread_id, obs::EventType::kGateExit, 0, thread_id, 0);
 }
 
 void ContentionManager::SpinWithYields(uint64_t spins) const {
@@ -140,9 +147,13 @@ void ContentionManager::OnAbort(uint32_t thread_id, AbortReason reason, Rng& rng
       break;
     }
   }
-  const uint64_t waited = NowNanos() - backoff_start;
+  const uint64_t backoff_end = NowNanos();
+  const uint64_t waited = backoff_end - backoff_start;
   s.backoff_ns_total += waited;
   s.backoff_time.Record(waited);
+  // Sampling-gated like the txn spans: the aborted attempt that triggered
+  // this backoff belongs to the same sampled transaction timeline.
+  obs::SpanEvent(thread_id, obs::Phase::kBackoff, backoff_start, backoff_end);
 }
 
 void ContentionManager::OnCommit(uint32_t thread_id, uint32_t attempts) {

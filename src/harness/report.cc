@@ -212,6 +212,55 @@ ReportTable RangeTelemetryTable(const RangeTelemetry& t) {
   return table;
 }
 
+ReportTable LatencySummaryTable(const TxnStats& stats) {
+  ReportTable table({"kind", "count", "mean_us", "p50_us", "p95_us", "p99_us",
+                     "p999_us", "stddev_us", "max_us"});
+  struct NamedHist {
+    const char* kind;
+    const Histogram* h;
+  };
+  const NamedHist hists[] = {
+      {"all", &stats.latency_all},
+      {"scan", &stats.latency_scan},
+      {"durable", &stats.latency_durable},
+      {"phase_execute", &stats.phase_execute},
+      {"phase_validate", &stats.phase_validate},
+      {"phase_apply", &stats.phase_apply},
+      {"phase_log_wait", &stats.phase_log_wait},
+  };
+  for (const NamedHist& nh : hists) {
+    const Histogram& h = *nh.h;
+    if (h.count() == 0) continue;
+    table.AddRow({nh.kind, ReportTable::Fmt(h.count()),
+                  ReportTable::Fmt(h.Mean() / 1e3, 1),
+                  ReportTable::Fmt(static_cast<double>(h.Percentile(50)) / 1e3, 1),
+                  ReportTable::Fmt(static_cast<double>(h.Percentile(95)) / 1e3, 1),
+                  ReportTable::Fmt(static_cast<double>(h.Percentile(99)) / 1e3, 1),
+                  ReportTable::Fmt(static_cast<double>(h.Percentile(99.9)) / 1e3, 1),
+                  ReportTable::Fmt(h.Stddev() / 1e3, 1),
+                  ReportTable::Fmt(static_cast<double>(h.max()) / 1e3, 1)});
+  }
+  return table;
+}
+
+std::vector<std::string> AbortBreakdownHeaders() {
+  std::vector<std::string> headers;
+  headers.reserve(kNumAbortCauses);
+  for (AbortReason r : kAbortCauses) {
+    headers.push_back(std::string("abort_") + AbortReasonName(r));
+  }
+  return headers;
+}
+
+std::vector<std::string> AbortBreakdownCells(const TxnStats& stats) {
+  std::vector<std::string> cells;
+  cells.reserve(kNumAbortCauses);
+  for (AbortReason r : kAbortCauses) {
+    cells.push_back(ReportTable::Fmt(AbortCauseCount(stats, r)));
+  }
+  return cells;
+}
+
 void PrintBanner(const std::string& title, const std::string& params) {
   const SysInfo info = SysInfo::Probe();
   std::printf("=== %s ===\n", title.c_str());

@@ -91,4 +91,19 @@ std::vector<std::string> RangeSummaryCells(const RangeTelemetry& t);
 /// and the per-range abort attributions — shows WHERE contention lives.
 ReportTable RangeTelemetryTable(const RangeTelemetry& t);
 
+/// Extended latency summary, one row per populated distribution: the
+/// end-to-end latencies (all / scan / durable) and, when the flight recorder
+/// ran, the per-phase breakdown (execute / validate / apply / log_wait).
+/// Columns: kind, count, mean_us, p50_us, p95_us, p99_us, p999_us, stddev_us,
+/// max_us. Empty distributions are skipped, so the table is stable across
+/// configurations (no durable row without a log, no phase rows without obs).
+ReportTable LatencySummaryTable(const TxnStats& stats);
+
+/// Per-cause abort columns derived from the single AbortReasonName table:
+/// headers are "abort_<name>" for every cause in kAbortCauses, cells the
+/// matching counters. Use both together so every bench labels abort causes
+/// identically.
+std::vector<std::string> AbortBreakdownHeaders();
+std::vector<std::string> AbortBreakdownCells(const TxnStats& stats);
+
 }  // namespace rocc

@@ -2,18 +2,18 @@
 
 namespace rocc {
 
-const char* AbortReasonName(AbortReason r) {
+uint64_t AbortCauseCount(const TxnStats& s, AbortReason r) {
   switch (r) {
-    case AbortReason::kNone: return "none";
-    case AbortReason::kDirtyRead: return "dirty_read";
-    case AbortReason::kLockFail: return "lock_fail";
-    case AbortReason::kReadValidation: return "read_validation";
-    case AbortReason::kScanConflict: return "scan_conflict";
-    case AbortReason::kRingLost: return "ring_lost";
-    case AbortReason::kUnresolved: return "unresolved";
-    case AbortReason::kExplicit: return "explicit";
+    case AbortReason::kNone: return 0;
+    case AbortReason::kDirtyRead: return s.abort_dirty_read;
+    case AbortReason::kLockFail: return s.abort_lock_fail;
+    case AbortReason::kReadValidation: return s.abort_read_validation;
+    case AbortReason::kScanConflict: return s.abort_scan_conflict;
+    case AbortReason::kRingLost: return s.abort_ring_lost;
+    case AbortReason::kUnresolved: return s.abort_unresolved;
+    case AbortReason::kExplicit: return s.abort_explicit;
   }
-  return "unknown";
+  return 0;
 }
 
 }  // namespace rocc

@@ -22,7 +22,34 @@ enum class AbortReason : uint8_t {
   kExplicit,        ///< workload-initiated abort (no protocol conflict)
 };
 
-const char* AbortReasonName(AbortReason r);
+/// Canonical short name for an abort reason. This is the single string table
+/// for the whole repo: the report table, bench JSON column names, the trace
+/// exporters, and the Prometheus labels all derive from it, so a grep for
+/// one of these names matches across every surface.
+constexpr const char* AbortReasonName(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone: return "none";
+    case AbortReason::kDirtyRead: return "dirty_read";
+    case AbortReason::kLockFail: return "lock_fail";
+    case AbortReason::kReadValidation: return "read_validation";
+    case AbortReason::kScanConflict: return "scan_conflict";
+    case AbortReason::kRingLost: return "ring_lost";
+    case AbortReason::kUnresolved: return "unresolved";
+    case AbortReason::kExplicit: return "explicit";
+  }
+  return "unknown";
+}
+
+/// Every real abort cause (kNone excluded), in TxnStats counter order.
+/// Reporting code iterates this instead of hand-listing causes.
+inline constexpr AbortReason kAbortCauses[] = {
+    AbortReason::kDirtyRead,      AbortReason::kLockFail,
+    AbortReason::kReadValidation, AbortReason::kScanConflict,
+    AbortReason::kRingLost,       AbortReason::kUnresolved,
+    AbortReason::kExplicit,
+};
+inline constexpr size_t kNumAbortCauses =
+    sizeof(kAbortCauses) / sizeof(kAbortCauses[0]);
 
 /// Per-thread execution statistics.
 ///
@@ -82,6 +109,14 @@ struct TxnStats {
   Histogram attempts_per_commit;  ///< attempts per committed logical txn (1 = first try)
   Histogram backoff_time;         ///< per-abort adaptive backoff duration (ns)
 
+  // Per-phase latency of committed attempts; populated only while the flight
+  // recorder is installed (obs::Enabled()), using timestamps the commit path
+  // already takes — obs-off runs pay nothing for these.
+  Histogram phase_execute;   ///< begin -> commit-entry (read/write phase)
+  Histogram phase_validate;  ///< lock + register + validate
+  Histogram phase_apply;     ///< write install + ring publish
+  Histogram phase_log_wait;  ///< group-commit durability wait
+
   void Merge(const TxnStats& o) {
     commits += o.commits;
     aborts += o.aborts;
@@ -116,6 +151,10 @@ struct TxnStats {
     latency_durable.Merge(o.latency_durable);
     attempts_per_commit.Merge(o.attempts_per_commit);
     backoff_time.Merge(o.backoff_time);
+    phase_execute.Merge(o.phase_execute);
+    phase_validate.Merge(o.phase_validate);
+    phase_apply.Merge(o.phase_apply);
+    phase_log_wait.Merge(o.phase_log_wait);
   }
 
   /// Bump the cause counter matching `r` (kNone is not a cause).
@@ -155,5 +194,9 @@ struct TxnStats {
                       : static_cast<double>(scan_txn_aborts) / static_cast<double>(total);
   }
 };
+
+/// Counter value for one abort cause; pairs with kAbortCauses so reporting
+/// code can iterate causes without naming each field.
+uint64_t AbortCauseCount(const TxnStats& s, AbortReason r);
 
 }  // namespace rocc

@@ -12,7 +12,9 @@
 
 #include "cc/occ_util.h"
 #include "common/fiber.h"
+#include "common/timer.h"
 #include "log/log_record.h"
+#include "obs/obs.h"
 
 namespace rocc {
 
@@ -236,9 +238,13 @@ void LogManager::FlushOnce() {
                                     batch_.size());
   }
   if (allowed > 0) {
+    const uint64_t flush_start = NowNanos();
     WriteFully(fd_, batch_.data(), allowed);
     ::fdatasync(fd_);
     durable_bytes_.fetch_add(allowed, std::memory_order_acq_rel);
+    obs::ServiceEvent(obs::EventType::kWalFlush, 0, flush_start,
+                      NowNanos() - flush_start, allowed,
+                      static_cast<uint32_t>(e));
   }
   if (allowed < batch_.size()) {
     Crash();

@@ -1,0 +1,206 @@
+#include "obs/chrome_trace.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "harness/stats.h"
+
+namespace rocc {
+namespace obs {
+
+namespace {
+
+/// Buffered fd writer built on open/write + stack buffers only, so the
+/// SIGUSR1 dump path performs no allocation and takes no stdio locks.
+class FdWriter {
+ public:
+  explicit FdWriter(int fd) : fd_(fd) {}
+  ~FdWriter() { Flush(); }
+
+  void Append(const char* data, size_t n) {
+    if (!ok_) return;
+    if (len_ + n > sizeof(buf_)) Flush();
+    if (n > sizeof(buf_)) {
+      WriteAll(data, n);  // oversized chunk: bypass the buffer
+      return;
+    }
+    std::memcpy(buf_ + len_, data, n);
+    len_ += n;
+  }
+
+  void Str(const char* s) { Append(s, std::strlen(s)); }
+
+  void Printf(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+    char tmp[512];
+    va_list ap;
+    va_start(ap, fmt);
+    const int n = std::vsnprintf(tmp, sizeof(tmp), fmt, ap);
+    va_end(ap);
+    if (n > 0) Append(tmp, std::min<size_t>(static_cast<size_t>(n), sizeof(tmp) - 1));
+  }
+
+  void Flush() {
+    if (len_ > 0) WriteAll(buf_, len_);
+    len_ = 0;
+  }
+
+  bool ok() const { return ok_; }
+
+ private:
+  void WriteAll(const char* data, size_t n) {
+    while (n > 0 && ok_) {
+      const ssize_t w = ::write(fd_, data, n);
+      if (w <= 0) {
+        ok_ = false;
+        return;
+      }
+      data += w;
+      n -= static_cast<size_t>(w);
+    }
+  }
+
+  int fd_;
+  size_t len_ = 0;
+  bool ok_ = true;
+  char buf_[1 << 16];
+};
+
+void EmitEvent(FdWriter& w, const TraceEvent& e, uint64_t base_ns, bool* first) {
+  const double ts_us = static_cast<double>(e.ts_ns - base_ns) / 1e3;
+  const unsigned tid = e.tid;
+  if (!*first) w.Str(",\n");
+  *first = false;
+  switch (static_cast<EventType>(e.type)) {
+    case EventType::kSpan:
+      w.Printf(
+          "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
+          "\"cat\":\"phase\",\"ts\":%.3f,\"dur\":%.3f,"
+          "\"args\":{\"txn\":%llu}}",
+          tid, PhaseName(static_cast<Phase>(e.detail)), ts_us,
+          static_cast<double>(e.dur_ns) / 1e3,
+          static_cast<unsigned long long>(e.a));
+      break;
+    case EventType::kTxnBegin:
+    case EventType::kTxnCommit:
+      w.Printf(
+          "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
+          "\"cat\":\"txn\",\"ts\":%.3f,\"args\":{\"txn\":%llu,\"scan\":%u}}",
+          tid, EventTypeName(static_cast<EventType>(e.type)), ts_us,
+          static_cast<unsigned long long>(e.a), e.detail);
+      break;
+    case EventType::kTxnAbort:
+      // The structured cause plus the conflicting range id (when a scan
+      // validation attributed one) ride in args for Perfetto queries.
+      if (e.b == kNoRange) {
+        w.Printf(
+            "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,"
+            "\"name\":\"abort\",\"cat\":\"txn\",\"ts\":%.3f,"
+            "\"args\":{\"txn\":%llu,\"reason\":\"%s\"}}",
+            tid, ts_us, static_cast<unsigned long long>(e.a),
+            AbortReasonName(static_cast<AbortReason>(e.detail)));
+      } else {
+        w.Printf(
+            "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,"
+            "\"name\":\"abort\",\"cat\":\"txn\",\"ts\":%.3f,"
+            "\"args\":{\"txn\":%llu,\"reason\":\"%s\",\"range\":%u}}",
+            tid, ts_us, static_cast<unsigned long long>(e.a),
+            AbortReasonName(static_cast<AbortReason>(e.detail)), e.b);
+      }
+      break;
+    case EventType::kWalFlush:
+      w.Printf(
+          "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"wal_flush\","
+          "\"cat\":\"log\",\"ts\":%.3f,\"dur\":%.3f,"
+          "\"args\":{\"bytes\":%llu,\"epoch\":%u}}",
+          tid, ts_us, static_cast<double>(e.dur_ns) / 1e3,
+          static_cast<unsigned long long>(e.a), e.b);
+      break;
+    case EventType::kRangePublish:
+    case EventType::kRangeSplit:
+    case EventType::kRangeMerge:
+    case EventType::kGateEnter:
+    case EventType::kGateExit:
+    default:
+      w.Printf(
+          "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
+          "\"cat\":\"control\",\"ts\":%.3f,\"args\":{\"a\":%llu,\"b\":%u}}",
+          tid, EventTypeName(static_cast<EventType>(e.type)), ts_us,
+          static_cast<unsigned long long>(e.a), e.b);
+      break;
+  }
+}
+
+// SIGUSR1 dump target; fixed storage so the handler never allocates.
+char g_signal_dump_path[512] = {0};
+
+void SignalDumpHandler(int) {
+  FlightRecorder* r = Recorder();
+  if (r == nullptr || g_signal_dump_path[0] == '\0') return;
+  WriteChromeTrace(*r, g_signal_dump_path);
+}
+
+}  // namespace
+
+bool WriteChromeTrace(const FlightRecorder& recorder, const char* path) {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  FdWriter w(fd);
+
+  // Pass 1: earliest timestamp, so exported times start near zero.
+  uint64_t base_ns = ~0ULL;
+  recorder.ForEachEvent([&](const TraceEvent& e) {
+    if (e.ts_ns != 0 && e.ts_ns < base_ns) base_ns = e.ts_ns;
+  });
+  if (base_ns == ~0ULL) base_ns = 0;
+
+  w.Str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+  bool first = true;
+  // Track-naming metadata: one row per worker ring that saw events, plus the
+  // control-plane track. Under the fiber runner, worker ids are fiber ids —
+  // this is exactly the synthetic-tid mapping that makes 40 fibers on one OS
+  // thread render as 40 parallel tracks.
+  for (uint32_t tid = 0; tid < recorder.num_workers(); tid++) {
+    if (recorder.worker_ring(tid).head() == 0) continue;
+    if (!first) w.Str(",\n");
+    first = false;
+    w.Printf(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\","
+        "\"args\":{\"name\":\"worker %u\"}}",
+        tid, tid);
+  }
+  if (recorder.service_ring().head() != 0) {
+    if (!first) w.Str(",\n");
+    first = false;
+    w.Printf(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\","
+        "\"args\":{\"name\":\"control\"}}",
+        static_cast<unsigned>(FlightRecorder::kServiceTid));
+  }
+  // Pass 2: the events. Perfetto does not require global timestamp order.
+  recorder.ForEachEvent(
+      [&](const TraceEvent& e) { EmitEvent(w, e, base_ns, &first); });
+  w.Str("\n]}\n");
+  w.Flush();
+  const bool ok = w.ok();
+  ::close(fd);
+  return ok;
+}
+
+void InstallSignalDump(const std::string& path) {
+  std::snprintf(g_signal_dump_path, sizeof(g_signal_dump_path), "%s",
+                path.c_str());
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = SignalDumpHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGUSR1, &sa, nullptr);
+}
+
+}  // namespace obs
+}  // namespace rocc

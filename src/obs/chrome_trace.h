@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "obs/obs.h"
+
+namespace rocc {
+namespace obs {
+
+/// Write every recorded event as Chrome trace-event JSON, loadable in
+/// Perfetto (ui.perfetto.dev) or chrome://tracing. Phase spans become "X"
+/// (complete) events on their worker's track; txn begin/commit/abort and the
+/// control-plane events become "i" (instant) events with their payload in
+/// args. Fiber-mode workers map 1:1 onto synthetic tids (the worker id), so
+/// 40 fibers on one OS thread render as 40 parallel tracks; the service ring
+/// renders as a separate "control" track.
+///
+/// The writer uses only open/write + stack buffers (no allocation, no stdio
+/// locks), so it is safe enough to call from the SIGUSR1 handler installed by
+/// InstallSignalDump while workers are still running: a racing ring append
+/// can tear at most the event being overwritten, never the JSON structure.
+///
+/// Returns false when the file cannot be opened or a write fails.
+bool WriteChromeTrace(const FlightRecorder& recorder, const char* path);
+
+/// Install a SIGUSR1 handler that dumps the current global recorder to
+/// `path` (dump-on-signal; pair with the dump-on-exit done by the bench
+/// scaffolding). The path is copied into static storage; a second call
+/// replaces it.
+void InstallSignalDump(const std::string& path);
+
+}  // namespace obs
+}  // namespace rocc

@@ -1,0 +1,315 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/latch.h"
+#include "common/timer.h"
+
+namespace rocc {
+namespace obs {
+
+/// Execution phase of a span event; names must stay in sync with PhaseName.
+/// The first four are the commit pipeline of every scheme (Fig. 1 of the
+/// paper, per-transaction instead of aggregated); the last two come from the
+/// retry layer.
+enum class Phase : uint8_t {
+  kExecute = 0,   ///< Begin -> Commit entry (read/write phase)
+  kValidate,      ///< lock + register + readset/scan validation
+  kWriteApply,    ///< after-image apply, WAL append, lock release
+  kLogWait,       ///< group-commit durability wait
+  kBackoff,       ///< ContentionManager per-abort adaptive backoff
+  kGateWait,      ///< stalled behind another txn's protected retry
+};
+constexpr uint32_t kNumPhases = 6;
+
+const char* PhaseName(Phase p);
+
+/// Trace event kinds; names must stay in sync with EventTypeName.
+enum class EventType : uint8_t {
+  kTxnBegin = 0,  ///< a (sampled) attempt started; a = txn id
+  kTxnCommit,     ///< attempt committed; detail = is_scan, a = txn id
+  kTxnAbort,      ///< attempt aborted; detail = AbortReason, a = txn id,
+                  ///< b = conflicting range id (kNoRange when not a scan abort)
+  kSpan,          ///< phase span; detail = Phase, dur_ns = length
+  kRangePublish,  ///< range table published; a = new version, b = num ranges
+  kRangeSplit,    ///< a = parent range id, b = children created
+  kRangeMerge,    ///< a = first merged range id, b = ranges merged
+  kWalFlush,      ///< group-commit batch; a = bytes written, b = epoch
+  kGateEnter,     ///< protected-retry gate acquired; a = holder thread id
+  kGateExit,      ///< protected-retry gate released; a = holder thread id
+};
+
+const char* EventTypeName(EventType t);
+
+/// Sentinel for "no conflicting range attributed" in kTxnAbort events.
+constexpr uint32_t kNoRange = 0xFFFFFFFFu;
+
+/// One POD trace record. 32 bytes so a 2^13-slot ring is 256 KiB per worker.
+struct TraceEvent {
+  uint64_t ts_ns;   ///< event time (span start for kSpan), NowNanos clock
+  uint64_t dur_ns;  ///< span duration; 0 for instant events
+  uint64_t a;       ///< type-specific payload (see EventType)
+  uint32_t b;       ///< type-specific payload (see EventType)
+  uint16_t tid;     ///< worker id / synthetic service tid
+  uint8_t type;     ///< EventType
+  uint8_t detail;   ///< Phase, AbortReason, or flag, per EventType
+};
+static_assert(sizeof(TraceEvent) == 32, "keep trace events cache-friendly");
+
+/// Fixed-size power-of-two ring of trace events owned by ONE writer thread.
+///
+/// Push is wait-free for the owner: one indexed store plus a release store of
+/// the head counter. The head only grows; readers (the exporters, possibly in
+/// a signal handler) derive the live window as [max(0, head - capacity),
+/// head). A reader racing the owner may observe a slot being overwritten —
+/// acceptable for a diagnostics dump, and the end-of-run dump happens after
+/// the workers joined.
+class TraceRing {
+ public:
+  TraceRing() = default;
+  ~TraceRing() { delete[] events_.load(std::memory_order_relaxed); }
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Allocate the slot array (idempotent; owner thread only). `capacity` is
+  /// rounded up to a power of two.
+  void Init(uint32_t capacity);
+
+  bool initialized() const {
+    return events_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// Owner-only append; drops the event when Init was never called.
+  void Push(const TraceEvent& e) {
+    TraceEvent* slots = events_.load(std::memory_order_relaxed);
+    if (slots == nullptr) return;
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    slots[h & mask_] = e;
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  /// Total events ever pushed (not clamped to capacity).
+  uint64_t head() const { return head_.load(std::memory_order_acquire); }
+  uint32_t capacity() const { return static_cast<uint32_t>(mask_ + 1); }
+
+  /// Copy the live window, oldest first, into `out` (appends).
+  void Snapshot(std::vector<TraceEvent>* out) const;
+
+  /// Visit the live window oldest-first without allocating (signal-safe).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const TraceEvent* slots = events_.load(std::memory_order_acquire);
+    if (slots == nullptr) return;
+    const uint64_t h = head_.load(std::memory_order_acquire);
+    const uint64_t lo = h > mask_ + 1 ? h - (mask_ + 1) : 0;
+    for (uint64_t seq = lo; seq < h; seq++) fn(slots[seq & mask_]);
+  }
+
+  void Reset() { head_.store(0, std::memory_order_release); }
+
+  // --- per-worker sampling state (owner thread only) ---
+  uint64_t sample_countdown = 1;  ///< txns until the next sampled one
+  bool sampled = false;           ///< current txn attempt is being traced
+
+ private:
+  std::atomic<TraceEvent*> events_{nullptr};
+  uint64_t mask_ = 0;
+  alignas(kCacheLineSize) std::atomic<uint64_t> head_{0};
+};
+
+/// Flight-recorder configuration.
+struct ObsOptions {
+  /// Events per worker ring; rounded up to a power of two.
+  uint32_t ring_capacity = 1u << 13;
+  /// Trace 1 in N transaction attempts (1 = every txn, 0 = txn tracing off;
+  /// rare control-plane events are always recorded while enabled).
+  uint32_t sample_period = 64;
+  /// Worker ring slots (worker ids above this are silently dropped).
+  uint32_t max_workers = 128;
+};
+
+/// Always-compiled, runtime-gated flight recorder: per-worker lock-free trace
+/// rings plus one latched "service" ring for rare control-plane events
+/// (range-table publishes, WAL flush batches) emitted off the worker path.
+///
+/// Off (no recorder installed) costs one predicted null-pointer branch at
+/// each instrumentation site. Enabled, a sampled transaction records POD
+/// events with one branch + one indexed store + one relaxed-ordered head
+/// store; unsampled transactions pay the branch only. Worker rings are
+/// allocated lazily at the worker's first transaction so idle slots cost
+/// nothing.
+class FlightRecorder {
+ public:
+  /// Synthetic tid for service-ring events in exported traces.
+  static constexpr uint16_t kServiceTid = 0xFFFF;
+
+  explicit FlightRecorder(ObsOptions options);
+
+  /// Transaction-attempt start: advances the 1/N sampling countdown, latches
+  /// the per-worker sampled flag, and (when sampled) records kTxnBegin.
+  /// Returns the sampled decision.
+  bool BeginTxn(uint32_t tid, uint64_t ts_ns, uint64_t txn_id);
+
+  /// True when `tid`'s current transaction attempt is being traced.
+  bool IsSampled(uint32_t tid) const {
+    return tid < num_workers_ && workers_[tid].value.sampled;
+  }
+
+  /// Append to `tid`'s ring (owner thread only; drops when tid out of range).
+  void Emit(uint32_t tid, EventType type, uint8_t detail, uint64_t ts_ns,
+            uint64_t dur_ns, uint64_t a, uint32_t b) {
+    if (tid >= num_workers_) return;
+    workers_[tid].value.Push(
+        {ts_ns, dur_ns, a, b, static_cast<uint16_t>(tid),
+         static_cast<uint8_t>(type), detail});
+  }
+
+  /// Append a rare control-plane event to the latched service ring; callable
+  /// from any thread (tuner passes, the WAL flusher).
+  void EmitService(EventType type, uint8_t detail, uint64_t ts_ns,
+                   uint64_t dur_ns, uint64_t a, uint32_t b);
+
+  /// Copy every ring's live window (workers then service), oldest-first per
+  /// ring, into `out`.
+  void SnapshotAll(std::vector<TraceEvent>* out) const;
+
+  /// Visit every ring's live window without allocating (signal-safe).
+  template <typename Fn>
+  void ForEachEvent(Fn&& fn) const {
+    for (uint32_t i = 0; i < num_workers_; i++) workers_[i].value.ForEach(fn);
+    service_.ForEach(fn);
+  }
+
+  /// Total events recorded across all rings (including overwritten ones).
+  uint64_t TotalEvents() const;
+
+  /// Drop all recorded events; sampling countdowns keep their position.
+  void ResetRings();
+
+  const ObsOptions& options() const { return options_; }
+  uint32_t num_workers() const { return num_workers_; }
+  const TraceRing& worker_ring(uint32_t tid) const {
+    return workers_[tid].value;
+  }
+  const TraceRing& service_ring() const { return service_; }
+
+ private:
+  ObsOptions options_;
+  uint32_t num_workers_;
+  std::unique_ptr<CachePadded<TraceRing>[]> workers_;
+  TraceRing service_;
+  SpinLatch service_latch_;
+};
+
+/// Install `recorder` (may be null to disable) as the process-global
+/// recorder; returns the previous one. The caller owns both and must keep the
+/// installed recorder alive until it is swapped out and no worker can still
+/// be inside an instrumentation site (in practice: install before workers
+/// start, uninstall after they join).
+FlightRecorder* SetRecorder(FlightRecorder* recorder);
+
+namespace internal {
+extern std::atomic<FlightRecorder*> g_recorder;
+}  // namespace internal
+
+/// The process-global recorder, or nullptr when observability is off. The
+/// relaxed load compiles to a plain load; every hot-path helper below starts
+/// with this one predicted branch.
+inline FlightRecorder* Recorder() {
+  return internal::g_recorder.load(std::memory_order_relaxed);
+}
+
+inline bool Enabled() { return Recorder() != nullptr; }
+
+// ---- hot-path helpers (no-ops when no recorder is installed) ----
+
+/// Per-attempt sampling decision + kTxnBegin event.
+inline void TxnBegin(uint32_t tid, uint64_t ts_ns, uint64_t txn_id) {
+  FlightRecorder* r = Recorder();
+  if (r != nullptr) r->BeginTxn(tid, ts_ns, txn_id);
+}
+
+inline bool Sampled(uint32_t tid) {
+  FlightRecorder* r = Recorder();
+  return r != nullptr && r->IsSampled(tid);
+}
+
+/// Phase span from timestamps the caller already took (zero extra clock
+/// reads on the commit path). Recorded only for sampled transactions.
+inline void SpanEvent(uint32_t tid, Phase phase, uint64_t start_ns,
+                      uint64_t end_ns, uint64_t txn_id = 0) {
+  FlightRecorder* r = Recorder();
+  if (r != nullptr && r->IsSampled(tid) && end_ns > start_ns) {
+    r->Emit(tid, EventType::kSpan, static_cast<uint8_t>(phase), start_ns,
+            end_ns - start_ns, txn_id, 0);
+  }
+}
+
+/// Always-recorded span (sampling bypassed) for rare, long stalls — gate
+/// waits would vanish from 1/N-sampled timelines otherwise.
+inline void SpanEventAlways(uint32_t tid, Phase phase, uint64_t start_ns,
+                            uint64_t end_ns) {
+  FlightRecorder* r = Recorder();
+  if (r != nullptr && end_ns > start_ns) {
+    r->Emit(tid, EventType::kSpan, static_cast<uint8_t>(phase), start_ns,
+            end_ns - start_ns, 0, 0);
+  }
+}
+
+inline void TxnCommit(uint32_t tid, uint64_t ts_ns, uint64_t txn_id,
+                      bool is_scan) {
+  FlightRecorder* r = Recorder();
+  if (r != nullptr && r->IsSampled(tid)) {
+    r->Emit(tid, EventType::kTxnCommit, is_scan ? 1 : 0, ts_ns, 0, txn_id, 0);
+  }
+}
+
+inline void TxnAbort(uint32_t tid, uint64_t ts_ns, uint64_t txn_id,
+                     uint8_t reason, uint32_t conflict_range) {
+  FlightRecorder* r = Recorder();
+  if (r != nullptr && r->IsSampled(tid)) {
+    r->Emit(tid, EventType::kTxnAbort, reason, ts_ns, 0, txn_id,
+            conflict_range);
+  }
+}
+
+/// Rare per-worker event recorded regardless of sampling (gate enter/exit).
+inline void WorkerEvent(uint32_t tid, EventType type, uint8_t detail,
+                        uint64_t a, uint32_t b) {
+  FlightRecorder* r = Recorder();
+  if (r != nullptr) r->Emit(tid, type, detail, NowNanos(), 0, a, b);
+}
+
+/// Rare control-plane event (range publish/split/merge, WAL flush).
+inline void ServiceEvent(EventType type, uint8_t detail, uint64_t ts_ns,
+                         uint64_t dur_ns, uint64_t a, uint32_t b) {
+  FlightRecorder* r = Recorder();
+  if (r != nullptr) r->EmitService(type, detail, ts_ns, dur_ns, a, b);
+}
+
+/// RAII phase timer for sites without pre-existing timestamps. When the
+/// current transaction of `tid` is not sampled (or observability is off) the
+/// constructor reads no clock and the destructor is one branch.
+class ObsSpan {
+ public:
+  ObsSpan(uint32_t tid, Phase phase) : tid_(tid), phase_(phase) {
+    if (Sampled(tid)) start_ns_ = NowNanos();
+  }
+  ~ObsSpan() {
+    if (start_ns_ != 0) SpanEvent(tid_, phase_, start_ns_, NowNanos());
+  }
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  uint64_t start_ns_ = 0;
+  uint32_t tid_;
+  Phase phase_;
+};
+
+}  // namespace obs
+}  // namespace rocc

@@ -1,0 +1,144 @@
+#include "obs/prometheus.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+namespace rocc {
+namespace obs {
+
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, std::min<size_t>(static_cast<size_t>(n), sizeof(buf) - 1));
+}
+
+void Counter(std::string* out, const char* name, const char* help,
+             const std::string& labels, uint64_t value) {
+  Appendf(out, "# HELP %s %s\n# TYPE %s counter\n", name, help, name);
+  Appendf(out, "%s{%s} %llu\n", name, labels.c_str(),
+          static_cast<unsigned long long>(value));
+}
+
+/// Label prefix for metrics that add their own label (reason=, le=): the
+/// shared labels followed by a comma, or empty.
+std::string Prefix(const std::string& labels) {
+  return labels.empty() ? std::string() : labels + ",";
+}
+
+/// One Prometheus histogram from a rocc::Histogram. Buckets are emitted in
+/// seconds (the Prometheus convention for durations); only buckets that hold
+/// samples contribute an `le` line, followed by the mandatory `+Inf`.
+void Hist(std::string* out, const char* name, const char* help,
+          const std::string& labels, const Histogram& h) {
+  Appendf(out, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name);
+  const std::string prefix = Prefix(labels);
+  const auto& buckets = h.bucket_counts();
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < Histogram::kNumBuckets; b++) {
+    if (buckets[b] == 0) continue;
+    cumulative += buckets[b];
+    // Upper bound of bucket b = lower bound of bucket b+1.
+    const double le_sec =
+        static_cast<double>(Histogram::BucketLowerBound(b + 1)) / 1e9;
+    Appendf(out, "%s_bucket{%sle=\"%.9g\"} %llu\n", name, prefix.c_str(),
+            le_sec, static_cast<unsigned long long>(cumulative));
+  }
+  Appendf(out, "%s_bucket{%sle=\"+Inf\"} %llu\n", name, prefix.c_str(),
+          static_cast<unsigned long long>(h.count()));
+  Appendf(out, "%s_sum{%s} %.9g\n", name, labels.c_str(),
+          static_cast<double>(h.sum()) / 1e9);
+  Appendf(out, "%s_count{%s} %llu\n", name, labels.c_str(),
+          static_cast<unsigned long long>(h.count()));
+}
+
+}  // namespace
+
+std::string PrometheusSnapshot(const TxnStats& s, const std::string& labels) {
+  std::string out;
+  out.reserve(8192);
+
+  Counter(&out, "rocc_txn_commits_total", "Committed transactions", labels,
+          s.commits);
+  Counter(&out, "rocc_txn_scan_commits_total", "Committed bulk/scan transactions",
+          labels, s.scan_txn_commits);
+  Counter(&out, "rocc_txn_give_ups_total",
+          "Logical transactions dropped after exhausting the retry budget",
+          labels, s.give_ups);
+  Counter(&out, "rocc_txn_escalations_total",
+          "Entries into the protected (escalated) retry path", labels,
+          s.escalations);
+  Counter(&out, "rocc_log_records_total", "Redo records appended to the WAL",
+          labels, s.log_records);
+  Counter(&out, "rocc_durable_acks_total", "Commits acknowledged as durable",
+          labels, s.durable_acks);
+
+  // Aborted attempts, labelled by structured cause — same names as the
+  // report table and the trace exporter (single string table).
+  Appendf(&out,
+          "# HELP rocc_txn_aborts_total Aborted attempts by cause\n"
+          "# TYPE rocc_txn_aborts_total counter\n");
+  const std::string prefix = Prefix(labels);
+  for (AbortReason r : kAbortCauses) {
+    Appendf(&out, "rocc_txn_aborts_total{%sreason=\"%s\"} %llu\n",
+            prefix.c_str(), AbortReasonName(r),
+            static_cast<unsigned long long>(AbortCauseCount(s, r)));
+  }
+
+  Appendf(&out,
+          "# HELP rocc_txn_abort_rate Aborted attempts / total attempts\n"
+          "# TYPE rocc_txn_abort_rate gauge\n"
+          "rocc_txn_abort_rate{%s} %.6f\n",
+          labels.c_str(), s.AbortRate());
+
+  struct NamedHist {
+    const char* name;
+    const char* help;
+    const Histogram* h;
+  };
+  const NamedHist hists[] = {
+      {"rocc_txn_latency_seconds", "Committed transaction latency",
+       &s.latency_all},
+      {"rocc_txn_scan_latency_seconds", "Committed bulk/scan transaction latency",
+       &s.latency_scan},
+      {"rocc_txn_durable_latency_seconds", "Begin to durable-acknowledge latency",
+       &s.latency_durable},
+      {"rocc_phase_execute_seconds", "Read/write phase of committed attempts",
+       &s.phase_execute},
+      {"rocc_phase_validate_seconds",
+       "Lock+register+validate phase of committed attempts", &s.phase_validate},
+      {"rocc_phase_apply_seconds",
+       "Write install and ring publish of committed attempts", &s.phase_apply},
+      {"rocc_phase_log_wait_seconds", "Group-commit durability wait",
+       &s.phase_log_wait},
+      {"rocc_backoff_seconds", "Per-abort adaptive backoff duration",
+       &s.backoff_time},
+  };
+  for (const NamedHist& nh : hists) {
+    if (nh.h->count() == 0) continue;
+    Hist(&out, nh.name, nh.help, labels, *nh.h);
+  }
+  return out;
+}
+
+bool WritePrometheusSnapshot(const TxnStats& stats, const std::string& labels,
+                             const char* path) {
+  const std::string text = PrometheusSnapshot(stats, labels);
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  return written == text.size() && closed;
+}
+
+}  // namespace obs
+}  // namespace rocc

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "harness/stats.h"
+
+namespace rocc {
+namespace obs {
+
+/// Render merged run statistics in the Prometheus text exposition format:
+/// counters for commits/aborts (aborts labelled by reason via
+/// AbortReasonName), gauges for derived rates, and native log-bucketed
+/// histograms (cumulative `le` buckets in seconds, plus `_sum`/`_count`) for
+/// the end-to-end latencies and the per-phase breakdown. `labels` is spliced
+/// verbatim inside the metric braces (e.g. `protocol="rocc"`); pass "" for
+/// none.
+std::string PrometheusSnapshot(const TxnStats& stats, const std::string& labels);
+
+/// Write PrometheusSnapshot(stats, labels) to `path` (truncating). Returns
+/// false on I/O failure.
+bool WritePrometheusSnapshot(const TxnStats& stats, const std::string& labels,
+                             const char* path);
+
+}  // namespace obs
+}  // namespace rocc

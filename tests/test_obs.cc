@@ -1,0 +1,356 @@
+// Observability subsystem tests: histogram bucket math and the new stddev /
+// extended-percentile surface, the lock-free trace ring (wraparound, sampling
+// determinism), both exporters' output formats, and an end-to-end fiber-mode
+// run asserting the recorder captures every commit-pipeline phase.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "obs/chrome_trace.h"
+#include "obs/obs.h"
+#include "obs/prometheus.h"
+#include "workload/ycsb.h"
+
+namespace rocc {
+namespace {
+
+// ---------------------------------------------------------------- Histogram
+
+TEST(Histogram, BucketBoundaryRoundTrip) {
+  // Every bucket's lower bound must map back into that bucket, and the value
+  // one below it into an earlier bucket — the exporters' `le` bounds rely on
+  // BucketLowerBound(b + 1) being the exclusive upper edge of bucket b.
+  for (size_t b = 1; b < Histogram::kNumBuckets; b++) {
+    const uint64_t lo = Histogram::BucketLowerBound(b);
+    if (lo <= Histogram::BucketLowerBound(b - 1)) continue;  // clamped tail
+    EXPECT_EQ(Histogram::BucketIndex(lo), b) << "lower bound of bucket " << b;
+    EXPECT_LT(Histogram::BucketIndex(lo - 1), b) << "below bucket " << b;
+  }
+}
+
+TEST(Histogram, PercentileMonotoneAndInterpolated) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; v++) h.Record(v);
+  uint64_t prev = 0;
+  for (double p : {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0}) {
+    const uint64_t v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    prev = v;
+  }
+  // Interpolation keeps percentiles near their exact rank despite the ~19%
+  // bucket width.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 5000.0, 5000.0 * 0.25);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(99)), 9900.0, 9900.0 * 0.25);
+  EXPECT_EQ(h.Percentile(100), h.max());
+}
+
+TEST(Histogram, MergeIsExact) {
+  Histogram a, b, whole;
+  for (uint64_t v = 1; v <= 2000; v++) {
+    (v % 2 == 0 ? a : b).Record(v * 37);
+    whole.Record(v * 37);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.sum(), whole.sum());
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+  EXPECT_DOUBLE_EQ(a.Stddev(), whole.Stddev());
+  for (double p : {50.0, 95.0, 99.9}) {
+    EXPECT_EQ(a.Percentile(p), whole.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(Histogram, StddevMatchesClosedForm) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Stddev(), 0.0);
+  h.Record(100);
+  EXPECT_DOUBLE_EQ(h.Stddev(), 0.0);  // one sample: no spread
+  Histogram two;
+  two.Record(100);
+  two.Record(300);
+  EXPECT_NEAR(two.Stddev(), 100.0, 1e-9);  // population stddev of {100, 300}
+  Histogram uniform;
+  for (uint64_t v = 1; v <= 1000; v++) uniform.Record(v);
+  // Population stddev of 1..N = sqrt((N^2 - 1) / 12).
+  EXPECT_NEAR(uniform.Stddev(), 288.67, 0.1);
+}
+
+TEST(Report, LatencySummarySkipsEmptyAndReportsPhases) {
+  TxnStats s;
+  for (uint64_t v = 1; v <= 100; v++) s.latency_all.Record(v * 1000);
+  ReportTable t = LatencySummaryTable(s);
+  ASSERT_EQ(t.rows().size(), 1u);  // scan/durable/phases all empty
+  EXPECT_EQ(t.rows()[0][0], "all");
+  s.phase_execute.Record(5000);
+  s.phase_validate.Record(2000);
+  ReportTable t2 = LatencySummaryTable(s);
+  ASSERT_EQ(t2.rows().size(), 3u);
+  EXPECT_EQ(t2.rows()[1][0], "phase_execute");
+  EXPECT_EQ(t2.rows()[2][0], "phase_validate");
+}
+
+TEST(Report, AbortBreakdownUsesSharedNames) {
+  const std::vector<std::string> headers = AbortBreakdownHeaders();
+  ASSERT_EQ(headers.size(), kNumAbortCauses);
+  EXPECT_EQ(headers.front(), "abort_dirty_read");
+  TxnStats s;
+  s.abort_scan_conflict = 7;
+  const std::vector<std::string> cells = AbortBreakdownCells(s);
+  ASSERT_EQ(cells.size(), headers.size());
+  for (size_t i = 0; i < headers.size(); i++) {
+    EXPECT_EQ(cells[i], headers[i] == "abort_scan_conflict" ? "7" : "0");
+  }
+}
+
+// ---------------------------------------------------------------- TraceRing
+
+TEST(TraceRing, WraparoundKeepsNewestWindow) {
+  obs::TraceRing ring;
+  ring.Init(8);  // power of two already
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (uint64_t i = 0; i < 20; i++) {
+    ring.Push({/*ts_ns=*/i + 1, 0, /*a=*/i, 0, 0,
+               static_cast<uint8_t>(obs::EventType::kTxnBegin), 0});
+  }
+  EXPECT_EQ(ring.head(), 20u);
+  std::vector<obs::TraceEvent> out;
+  ring.Snapshot(&out);
+  ASSERT_EQ(out.size(), 8u);  // live window = last `capacity` events
+  for (size_t i = 0; i < out.size(); i++) {
+    EXPECT_EQ(out[i].a, 12 + i) << "oldest-first window of the last 8";
+  }
+}
+
+TEST(TraceRing, PushWithoutInitDrops) {
+  obs::TraceRing ring;
+  ring.Push({1, 0, 0, 0, 0, 0, 0});
+  EXPECT_EQ(ring.head(), 0u);
+  std::vector<obs::TraceEvent> out;
+  ring.Snapshot(&out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(FlightRecorder, SamplingIsDeterministic) {
+  obs::ObsOptions oo;
+  oo.sample_period = 4;
+  oo.ring_capacity = 64;
+  oo.max_workers = 2;
+  obs::FlightRecorder rec(oo);
+  // Countdown starts at 1: attempt 0 sampled, then every 4th after that —
+  // a fixed pattern, independent of any RNG.
+  std::vector<bool> sampled;
+  for (int i = 0; i < 12; i++) sampled.push_back(rec.BeginTxn(0, 100 + i, i));
+  for (int i = 0; i < 12; i++) {
+    EXPECT_EQ(sampled[i], i % 4 == 0) << "attempt " << i;
+  }
+  // Per-worker state: worker 1's countdown is independent of worker 0's.
+  EXPECT_TRUE(rec.BeginTxn(1, 200, 0));
+  EXPECT_FALSE(rec.BeginTxn(1, 201, 1));
+  // Each sampled attempt recorded exactly one kTxnBegin event.
+  EXPECT_EQ(rec.worker_ring(0).head(), 3u);
+  EXPECT_EQ(rec.worker_ring(1).head(), 1u);
+}
+
+TEST(FlightRecorder, SampledEventsGateEmission) {
+  obs::ObsOptions oo;
+  oo.sample_period = 2;
+  oo.max_workers = 1;
+  obs::FlightRecorder rec(oo);
+  obs::FlightRecorder* prev = obs::SetRecorder(&rec);
+  EXPECT_TRUE(obs::Enabled());
+  rec.BeginTxn(0, 10, 1);  // sampled
+  obs::SpanEvent(0, obs::Phase::kExecute, 10, 20, 1);
+  rec.BeginTxn(0, 30, 2);  // not sampled
+  obs::SpanEvent(0, obs::Phase::kExecute, 30, 40, 2);
+  obs::SetRecorder(prev);
+  std::vector<obs::TraceEvent> out;
+  rec.worker_ring(0).Snapshot(&out);
+  // Only the sampled attempt leaves a trace: its begin + its span. The
+  // unsampled attempt records neither a begin nor a span.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].type, static_cast<uint8_t>(obs::EventType::kSpan));
+  EXPECT_EQ(out[1].a, 1u);
+}
+
+// ---------------------------------------------------------------- Exporters
+
+TEST(Exporters, ChromeTraceWritesLoadableJson) {
+  obs::ObsOptions oo;
+  oo.sample_period = 1;
+  oo.max_workers = 2;
+  obs::FlightRecorder rec(oo);
+  rec.BeginTxn(0, 1000, 42);
+  rec.Emit(0, obs::EventType::kSpan,
+           static_cast<uint8_t>(obs::Phase::kValidate), 1500, 250, 42, 0);
+  rec.Emit(0, obs::EventType::kTxnAbort,
+           static_cast<uint8_t>(AbortReason::kScanConflict), 2000, 0, 42, 7);
+  rec.EmitService(obs::EventType::kWalFlush, 0, 1200, 300, 4096, 3);
+
+  const std::string path = ::testing::TempDir() + "/trace.json";
+  ASSERT_TRUE(obs::WriteChromeTrace(rec, path.c_str()));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"validate\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"scan_conflict\""), std::string::npos);
+  EXPECT_NE(json.find("\"range\":7"), std::string::npos);
+  EXPECT_NE(json.find("wal_flush"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"control\""), std::string::npos);
+  // Structurally valid JSON: balanced braces/brackets outside strings.
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); i++) {
+    const char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') i++;
+      else if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    else if (ch == '{' || ch == '[') depth++;
+    else if (ch == '}' || ch == ']') depth--;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  std::remove(path.c_str());
+}
+
+TEST(Exporters, PrometheusSnapshotFormat) {
+  TxnStats s;
+  s.commits = 1000;
+  s.abort_scan_conflict = 5;
+  s.aborts = 5;
+  for (uint64_t v = 1; v <= 100; v++) s.latency_all.Record(v * 10000);
+  s.phase_validate.Record(123456);
+  const std::string text = obs::PrometheusSnapshot(s, "protocol=\"rocc\"");
+  EXPECT_NE(text.find("# TYPE rocc_txn_commits_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("rocc_txn_commits_total{protocol=\"rocc\"} 1000"),
+            std::string::npos);
+  EXPECT_NE(text.find("rocc_txn_aborts_total{protocol=\"rocc\","
+                      "reason=\"scan_conflict\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rocc_txn_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("rocc_txn_latency_seconds_count{protocol=\"rocc\"} 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 100"), std::string::npos);
+  EXPECT_NE(text.find("rocc_phase_validate_seconds"), std::string::npos);
+  // Empty histograms are omitted entirely.
+  EXPECT_EQ(text.find("rocc_txn_scan_latency_seconds"), std::string::npos);
+
+  // Cumulative le buckets: counts never decrease along the bucket list.
+  std::istringstream lines(text);
+  std::string line;
+  uint64_t prev = 0;
+  bool in_latency = false;
+  while (std::getline(lines, line)) {
+    if (line.rfind("rocc_txn_latency_seconds_bucket", 0) == 0) {
+      in_latency = true;
+      const size_t sp = line.find_last_of(' ');
+      const uint64_t v = std::strtoull(line.c_str() + sp + 1, nullptr, 10);
+      EXPECT_GE(v, prev) << line;
+      prev = v;
+    } else if (in_latency) {
+      break;
+    }
+  }
+  EXPECT_EQ(prev, 100u);  // +Inf bucket equals count
+}
+
+// --------------------------------------------------------------- End-to-end
+
+TEST(EndToEnd, FiberRunRecordsEveryCommitPhase) {
+  obs::ObsOptions oo;
+  oo.sample_period = 1;  // trace everything: the run is tiny
+  oo.ring_capacity = 1u << 12;
+  oo.max_workers = 8;
+  auto rec = std::make_unique<obs::FlightRecorder>(oo);
+  obs::FlightRecorder* prev = obs::SetRecorder(rec.get());
+
+  Database db;
+  YcsbOptions opts;
+  opts.num_rows = 20000;
+  opts.scan_length = 50;
+  YcsbWorkload wl(opts);
+  wl.Load(&db);
+  auto cc = CreateProtocol("rocc", &db, wl, 4);
+  RunOptions run;
+  run.num_threads = 4;
+  run.txns_per_thread = 300;
+  run.warmup_txns_per_thread = 20;
+  run.mode = ExecMode::kFibers;
+  const RunResult r = RunExperiment(cc.get(), &wl, run);
+  obs::SetRecorder(prev);
+
+  EXPECT_GT(r.stats.commits, 0u);
+  // Phase histograms mirror the trace spans and merge through TxnStats.
+  EXPECT_EQ(r.stats.phase_execute.count(), r.stats.commits);
+  EXPECT_EQ(r.stats.phase_validate.count(), r.stats.commits);
+  EXPECT_EQ(r.stats.phase_apply.count(), r.stats.commits);
+
+  std::map<uint8_t, uint64_t> span_count;
+  uint64_t begins = 0, commits = 0;
+  rec->ForEachEvent([&](const obs::TraceEvent& e) {
+    switch (static_cast<obs::EventType>(e.type)) {
+      case obs::EventType::kSpan: span_count[e.detail]++; break;
+      case obs::EventType::kTxnBegin: begins++; break;
+      case obs::EventType::kTxnCommit: commits++; break;
+      default: break;
+    }
+  });
+  EXPECT_GT(begins, 0u);
+  EXPECT_GT(commits, 0u);
+  EXPECT_GT(span_count[static_cast<uint8_t>(obs::Phase::kExecute)], 0u);
+  EXPECT_GT(span_count[static_cast<uint8_t>(obs::Phase::kValidate)], 0u);
+  EXPECT_GT(span_count[static_cast<uint8_t>(obs::Phase::kWriteApply)], 0u);
+
+  // The trace round-trips through the Chrome exporter with per-fiber tracks.
+  const std::string path = ::testing::TempDir() + "/e2e_trace.json";
+  ASSERT_TRUE(obs::WriteChromeTrace(*rec, path.c_str()));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"name\":\"worker 3\""), std::string::npos);
+  EXPECT_NE(buf.str().find("\"name\":\"execute\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(EndToEnd, DisabledRecorderLeavesNoTrace) {
+  ASSERT_FALSE(obs::Enabled());
+  Database db;
+  YcsbOptions opts;
+  opts.num_rows = 5000;
+  YcsbWorkload wl(opts);
+  wl.Load(&db);
+  auto cc = CreateProtocol("rocc", &db, wl, 2);
+  RunOptions run;
+  run.num_threads = 2;
+  run.txns_per_thread = 100;
+  run.warmup_txns_per_thread = 10;
+  const RunResult r = RunExperiment(cc.get(), &wl, run);
+  EXPECT_GT(r.stats.commits, 0u);
+  // Obs-off runs must not populate the phase histograms.
+  EXPECT_EQ(r.stats.phase_execute.count(), 0u);
+  EXPECT_EQ(r.stats.phase_validate.count(), 0u);
+  EXPECT_EQ(r.stats.phase_apply.count(), 0u);
+  EXPECT_EQ(r.stats.phase_log_wait.count(), 0u);
+}
+
+}  // namespace
+}  // namespace rocc
