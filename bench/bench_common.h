@@ -30,6 +30,10 @@
 //                     mid-run
 //   --prom FILE       write a Prometheus text snapshot of the merged run
 //                     stats to FILE (rewritten after every measured run)
+//   --prom-stream-ms N    with --prom: additionally stream the trace rings
+//                     to FILE every N ms while the run is in progress
+//                     (WAL/range/version-GC counters derived incrementally
+//                     from the rings; implies --obs)
 //
 // Quick-scale defaults keep every range-size/scan-length RATIO of the paper
 // intact (e.g. 610-key logical ranges), so curve shapes are comparable even
@@ -73,6 +77,7 @@ struct BenchEnv {
   uint32_t obs_ring = 1u << 13;  // --obs-ring: events per worker ring
   std::string trace_file;      // --trace: Chrome trace JSON dumped at exit
   std::string prom_file;       // --prom: Prometheus snapshot per run
+  uint32_t prom_stream_ms = 0;  // --prom-stream-ms: live streaming period
   // Quick scale keeps the paper's 40 workers (cheap under the fiber runner)
   // but shrinks the table and transaction counts.
   uint32_t threads = 40;
@@ -90,6 +95,14 @@ struct BenchEnv {
     return buf;
   }
 };
+
+/// Live Prometheus streamer installed by ParseEnv when --prom-stream-ms is
+/// set (null otherwise); EmitProm feeds it the accumulated run stats so every
+/// rewrite embeds them next to the stream-derived counters.
+inline obs::PrometheusStreamer*& PromStreamer() {
+  static obs::PrometheusStreamer* streamer = nullptr;
+  return streamer;
+}
 
 inline BenchEnv ParseEnv(int argc, char** argv) {
   BenchEnv env;
@@ -124,8 +137,10 @@ inline BenchEnv ParseEnv(int argc, char** argv) {
   env.no_durability = env.cfg.GetBool("no-durability", false);
   env.trace_file = env.cfg.GetString("trace", "");
   env.prom_file = env.cfg.GetString("prom", "");
+  env.prom_stream_ms =
+      static_cast<uint32_t>(env.cfg.GetInt("prom-stream-ms", 0));
   env.obs = env.cfg.GetBool("obs", false) || !env.trace_file.empty() ||
-            !env.prom_file.empty();
+            !env.prom_file.empty() || env.prom_stream_ms > 0;
   env.obs_sample =
       static_cast<uint32_t>(env.cfg.GetInt("obs-sample", env.obs_sample));
   env.obs_ring = static_cast<uint32_t>(env.cfg.GetInt("obs-ring", env.obs_ring));
@@ -148,6 +163,23 @@ inline BenchEnv ParseEnv(int argc, char** argv) {
       });
       obs::InstallSignalDump(trace_path);
     }
+    if (env.prom_stream_ms > 0) {
+      if (env.prom_file.empty()) {
+        std::fprintf(stderr,
+                     "warning: --prom-stream-ms needs --prom FILE; live "
+                     "streaming disabled\n");
+      } else {
+        obs::PrometheusStreamer::Options so;
+        so.path = env.prom_file;
+        so.labels = "binary=\"" + env.binary + "\"";
+        so.interval_ms = env.prom_stream_ms;
+        // Static for the same lifetime reason as the recorder above; declared
+        // after it, so it is destroyed (and stops its thread) first.
+        static obs::PrometheusStreamer streamer(so, obs::Recorder());
+        PromStreamer() = &streamer;
+        streamer.Start();
+      }
+    }
   }
   return env;
 }
@@ -160,6 +192,13 @@ inline void EmitProm(const BenchEnv& env, const TxnStats& stats) {
   static TxnStats accumulated;
   accumulated.Merge(stats);
   const std::string labels = "binary=\"" + env.binary + "\"";
+  if (PromStreamer() != nullptr) {
+    // Streaming mode: the streamer owns the file; hand it the stats and let
+    // one immediate collection fold in whatever the rings hold right now.
+    PromStreamer()->UpdateStats(accumulated);
+    PromStreamer()->CollectOnce();
+    return;
+  }
   if (!obs::WritePrometheusSnapshot(accumulated, labels,
                                     env.prom_file.c_str())) {
     std::fprintf(stderr, "warning: cannot write %s for Prometheus output\n",

@@ -1,0 +1,174 @@
+// Multi-version snapshot-scan A/B: read-only bulk scans with and without the
+// multi-version row store.
+//
+// Two cells run the same composite hybrid-YCSB workload — Zipfian point
+// updates plus read-only range scans of --scan-len keys (default 100, the
+// regime where single-version validation aborts roughly half the scans):
+//
+//   sv   rocc, single-version: read-only scans take the ordinary validated
+//        scan path and abort whenever a point writer commits into the
+//        scanned span between read and validation
+//   mv   rocc + multi-version row store: the same scans resolve every row
+//        against a frozen snapshot and can never validate-abort
+//
+// Cells are interleaved within each repetition so ambient drift cancels out
+// of the paired deltas (same methodology as bench_obs_overhead). Reported
+// figures are medians across repetitions; the point-throughput comparison is
+// the median of per-rep PAIRED deltas.
+//
+// The binary exits nonzero when:
+//   - the mv cell's median scan abort rate >= --max-scan-abort (pct, def. 1)
+//   - the median paired point-txn throughput delta of mv vs sv exceeds
+//     --point-tol percent (default 3) — versioning must not tax OLTP
+//   - any run dropped transactions (give_ups != 0)
+//   - version nodes survive GcQuiesce (chain leak)
+//
+// Extra flags: --ab (9 repetitions instead of 3), --reps N (override),
+// --scan-len N, --scan-frac F (default 0.1), --max-scan-abort P,
+// --point-tol P.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "mv/version_store.h"
+
+using namespace rocc;        // NOLINT
+using namespace rocc::bench; // NOLINT
+
+namespace {
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+double PointTps(const RunResult& r) {
+  return r.seconds > 0
+             ? static_cast<double>(r.stats.commits - r.stats.scan_txn_commits) /
+                   r.seconds
+             : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchEnv env = ParseEnv(argc, argv);
+  if (!env.cfg.Has("threads")) env.threads = 8;
+  if (!env.cfg.Has("rows")) env.rows = 200'000;
+  if (!env.cfg.Has("txns")) env.txns_per_thread = 500;
+  if (!env.cfg.Has("warmup")) env.warmup = 50;
+  const bool ab = env.cfg.GetBool("ab", false);
+  const int reps = static_cast<int>(env.cfg.GetInt("reps", ab ? 9 : 3));
+  const uint64_t scan_len = static_cast<uint64_t>(env.cfg.GetInt("scan-len", 100));
+  const double scan_frac = env.cfg.GetDouble("scan-frac", 0.1);
+  const double max_scan_abort = env.cfg.GetDouble("max-scan-abort", 1.0);
+  const double point_tol = env.cfg.GetDouble("point-tol", 3.0);
+  PrintBanner("Snapshot scans vs validated scans (read-only bulk, composite load)",
+              env.Describe());
+
+  YcsbOptions base;
+  base.scan_length = scan_len;
+  base.scan_txn_fraction = scan_frac;
+  base.read_only_scans = true;  // both cells: pure range reads
+  YcsbBench bench(env, base);
+
+  YcsbOptions sv_opts = bench.options();
+  YcsbOptions mv_opts = sv_opts;
+  mv_opts.snapshot_scans = true;
+
+  std::vector<double> sv_scan_abort, mv_scan_abort;
+  std::vector<double> sv_point_tps, mv_point_tps, point_delta_pct;
+  std::vector<double> sv_tps, mv_tps;
+  uint64_t live_bytes_peak = 0;
+  uint64_t leaked_nodes = 0;
+  uint64_t give_ups = 0;
+  uint64_t mv_scans_total = 0, mv_chain_reads_total = 0;
+
+  for (int rep = 0; rep < reps; rep++) {
+    // --- sv cell: single-version, validated read-only scans ---
+    bench.Reconfigure(sv_opts);
+    RunResult sv = bench.Run("rocc");
+    sv_scan_abort.push_back(sv.stats.ScanAbortRate() * 100.0);
+    sv_point_tps.push_back(PointTps(sv));
+    sv_tps.push_back(sv.Throughput());
+    give_ups += sv.stats.give_ups;
+
+    // --- mv cell: snapshot scans against the version store ---
+    bench.Reconfigure(mv_opts);
+    auto cc = CreateProtocol("rocc+mv", bench.db(), bench.workload(),
+                             env.threads);
+    RunResult mv = bench.RunWith(cc.get());
+    mv_scan_abort.push_back(mv.stats.ScanAbortRate() * 100.0);
+    mv_point_tps.push_back(PointTps(mv));
+    mv_tps.push_back(mv.Throughput());
+    give_ups += mv.stats.give_ups;
+    mv_scans_total += mv.stats.mv_snapshot_scans;
+    mv_chain_reads_total += mv.stats.mv_chain_reads;
+    if (sv_point_tps.back() > 0) {
+      point_delta_pct.push_back((sv_point_tps.back() - mv_point_tps.back()) /
+                                sv_point_tps.back() * 100.0);
+    }
+
+    // Version memory must be bounded while running and empty once quiesced.
+    mv::VersionStore* vs = cc->version_store();
+    live_bytes_peak = std::max(live_bytes_peak, vs->Telemetry().live_bytes());
+    vs->GcQuiesce(bench.db());
+    leaked_nodes += vs->Telemetry().live_nodes();
+
+    std::printf(
+        "  [rep %d] sv scan_abort=%.1f%% point=%.0f | mv scan_abort=%.2f%% "
+        "point=%.0f (paired delta %+.2f%%)\n",
+        rep, sv_scan_abort.back(), sv_point_tps.back(), mv_scan_abort.back(),
+        mv_point_tps.back(),
+        point_delta_pct.empty() ? 0.0 : -point_delta_pct.back());
+  }
+
+  ReportTable table({"cell", "median_tps", "median_point_tps",
+                     "median_scan_abort_pct", "point_delta_pct",
+                     "live_version_mib_peak", "leaked_nodes"});
+  table.AddRow({"sv", F(Median(sv_tps), 0), F(Median(sv_point_tps), 0),
+                F(Median(sv_scan_abort), 2), "0", "0", "0"});
+  table.AddRow({"mv", F(Median(mv_tps), 0), F(Median(mv_point_tps), 0),
+                F(Median(mv_scan_abort), 2), F(-Median(point_delta_pct), 2),
+                F(static_cast<double>(live_bytes_peak) / (1 << 20), 2),
+                F(leaked_nodes)});
+  Emit(env, table, "mvcc_ab");
+  std::printf("snapshot scans: %llu, chain reads: %llu\n",
+              static_cast<unsigned long long>(mv_scans_total),
+              static_cast<unsigned long long>(mv_chain_reads_total));
+
+  int rc = 0;
+  const double mv_abort = Median(mv_scan_abort);
+  if (mv_abort >= max_scan_abort) {
+    std::fprintf(stderr,
+                 "ERROR: snapshot scans aborted %.2f%% of the time (budget "
+                 "%.2f%%; single-version baseline %.1f%%)\n",
+                 mv_abort, max_scan_abort, Median(sv_scan_abort));
+    rc = 1;
+  }
+  const double point_cost = Median(point_delta_pct);
+  if (point_cost > point_tol) {
+    std::fprintf(stderr,
+                 "ERROR: version maintenance costs %.2f%% point throughput "
+                 "(tolerance %.2f%%)\n",
+                 point_cost, point_tol);
+    rc = 1;
+  }
+  if (give_ups != 0) {
+    std::fprintf(stderr,
+                 "ERROR: %llu logical transactions dropped (give_ups != 0)\n",
+                 static_cast<unsigned long long>(give_ups));
+    rc = 1;
+  }
+  if (leaked_nodes != 0) {
+    std::fprintf(stderr,
+                 "ERROR: %llu version nodes survived GcQuiesce (chain leak)\n",
+                 static_cast<unsigned long long>(leaked_nodes));
+    rc = 1;
+  }
+  if (rc == 0) std::printf("mvcc budgets OK\n");
+  return rc;
+}

@@ -9,6 +9,7 @@
 #include "common/timer.h"
 #include "harness/contention.h"
 #include "log/log_manager.h"
+#include "mv/version_store.h"
 
 namespace rocc {
 
@@ -37,6 +38,10 @@ OccBase::OccBase(Database* db, uint32_t num_threads)
 }
 
 OccBase::~OccBase() {
+  // Sever every Row::versions pointer before the version arenas die: the
+  // Database outlives this protocol instance, and the next protocol bound to
+  // it must not inherit dangling chains.
+  if (mv_ != nullptr) mv_->GcQuiesce(db_);
   for (auto& ctx : ctxs_) {
     ctx->retired.Reclaim(~0ULL, [&](TxnDescriptor* d) { delete d; });
     for (TxnDescriptor* d : ctx->free_list) delete d;
@@ -56,10 +61,25 @@ void OccBase::AttachThread(uint32_t thread_id, TxnStats* sink) {
   contention_->AttachThread(thread_id, sink);
 }
 
+bool OccBase::EnableMvcc() {
+  if (mv_ == nullptr) {
+    mv_ = std::make_unique<mv::VersionStore>(
+        &clock_, &epoch_, static_cast<uint32_t>(ctxs_.size()));
+  }
+  return true;
+}
+
 TxnDescriptor* OccBase::Begin(uint32_t thread_id) {
   ThreadCtx& ctx = *ctxs_[thread_id];
-  ctx.retired.Reclaim(epoch_.MinActive(),
+  const uint64_t min_active = epoch_.MinActive();
+  ctx.retired.Reclaim(min_active,
                       [&](TxnDescriptor* d) { ctx.free_list.push_back(d); });
+  if (mv_ != nullptr) {
+    const uint64_t freed = mv_->ReclaimWorker(thread_id, min_active);
+    if (freed > 0 && obs::Enabled()) {
+      obs::WorkerEvent(thread_id, obs::EventType::kVersionGc, 0, freed, 0);
+    }
+  }
   TxnDescriptor* t;
   if (!ctx.free_list.empty()) {
     t = ctx.free_list.back();
@@ -89,9 +109,14 @@ Status OccBase::Read(TxnDescriptor* t, uint32_t table_id, uint64_t key, void* ou
         have_base = true;
         break;
       case ReadResult::kLocked:
-      case ReadResult::kContended:
         NoteAbortCause(t->thread_id, AbortReason::kDirtyRead);
         return Status::Aborted("dirty read");
+      case ReadResult::kContended:
+        // The record is not dirty — it kept CHANGING past the retry budget.
+        // Account it as unresolved contention, not as a missing/locked row,
+        // so the retry policy and the abort-cause table see the truth.
+        NoteAbortCause(t->thread_id, AbortReason::kUnresolved);
+        return Status::Aborted("contended read");
       case ReadResult::kAbsent:
         break;
     }
@@ -113,6 +138,9 @@ Status OccBase::Read(TxnDescriptor* t, uint32_t table_id, uint64_t key, void* ou
 
 Status OccBase::Update(TxnDescriptor* t, uint32_t table_id, uint64_t key,
                        const void* data, uint32_t size, uint32_t field_offset) {
+  if (t->snapshot_ts != 0) {
+    return Status::InvalidArgument("snapshot transaction is read-only");
+  }
   const Table* tab = db_->GetTable(table_id);
   if (field_offset + size > tab->row_size()) {
     return Status::InvalidArgument("update exceeds row payload");
@@ -141,6 +169,9 @@ Status OccBase::Update(TxnDescriptor* t, uint32_t table_id, uint64_t key,
 
 Status OccBase::Insert(TxnDescriptor* t, uint32_t table_id, uint64_t key,
                        const void* payload) {
+  if (t->snapshot_ts != 0) {
+    return Status::InvalidArgument("snapshot transaction is read-only");
+  }
   if (t->FindWrite(table_id, key) >= 0) return Status::KeyExists();
   Row* existing = db_->GetIndex(table_id)->Get(key);
   if (existing != nullptr && !existing->IsAbsent()) return Status::KeyExists();
@@ -159,6 +190,9 @@ Status OccBase::Insert(TxnDescriptor* t, uint32_t table_id, uint64_t key,
 }
 
 Status OccBase::Remove(TxnDescriptor* t, uint32_t table_id, uint64_t key) {
+  if (t->snapshot_ts != 0) {
+    return Status::InvalidArgument("snapshot transaction is read-only");
+  }
   Row* row = nullptr;
   const int wi = t->FindWrite(table_id, key);
   if (wi >= 0) {
@@ -245,11 +279,16 @@ Status OccBase::ScanRecords(TxnDescriptor* t, uint32_t table_id, uint64_t start_
           case ReadResult::kAbsent:
             return true;  // tombstone: skip
           case ReadResult::kLocked:
-          case ReadResult::kContended:
             // Per the paper, a scanned record locked by a committing writer
             // is dirty and the scanning transaction aborts immediately.
             NoteAbortCause(t->thread_id, AbortReason::kDirtyRead);
             result = Status::Aborted("dirty scan");
+            return false;
+          case ReadResult::kContended:
+            // Unlocked but changing past the retry budget: unresolved
+            // contention, distinct from a dirty (locked) record.
+            NoteAbortCause(t->thread_id, AbortReason::kUnresolved);
+            result = Status::Aborted("contended scan");
             return false;
           case ReadResult::kOk:
             break;
@@ -362,9 +401,14 @@ void OccBase::UnlockWriteSet(TxnDescriptor* t) {
   for (WriteEntry& we : t->write_set) {
     if (!we.locked) continue;
     we.locked = false;
-    if (we.kind == WriteEntry::Kind::kInsert) {
-      // Hide the placeholder, then unlink it. A racing reader that still
-      // holds the pointer sees absent+unlocked and skips it.
+    if (we.kind == WriteEntry::Kind::kInsert &&
+        TidWord::Version(we.row->tid.load(std::memory_order_relaxed)) == 0) {
+      // Fresh placeholder: hide it, then unlink it. A racing reader that
+      // still holds the pointer sees absent+unlocked and skips it. A
+      // RESURRECTED tombstone (version > 0) is instead restored by a plain
+      // unlock — with versions on its chain must stay index-reachable for
+      // older snapshots, and either way its delete version is not ours to
+      // erase.
       we.row->tid.store(TidWord::kAbsentBit, std::memory_order_release);
       db_->GetIndex(we.table_id)->Remove(we.key);
     } else {
@@ -403,6 +447,23 @@ void OccBase::AwaitDurable(uint64_t ticket, uint64_t begin_nanos,
 }
 
 uint64_t OccBase::ApplyWritesAndUnlock(TxnDescriptor* t, uint64_t commit_ts) {
+  // MVCC pre-pass: link the pre-image of every locked row BEFORE any payload
+  // byte changes, then fence (ReadAtSnapshot's locked-row handshake relies
+  // on install-before-apply). The chronologically-first write entry of each
+  // key (prev < 0) identifies its row exactly once.
+  if (mv_ != nullptr) {
+    TxnStats& s = stats(t->thread_id);
+    const uint64_t before = s.mv_versions_installed;
+    for (const WriteEntry& we : t->write_set) {
+      if (we.prev >= 0 || we.row == nullptr) continue;
+      mv_->InstallPredecessor(t->thread_id, we.row, &s);
+    }
+    mv::VersionStore::PublishFence();
+    const uint64_t installed = s.mv_versions_installed - before;
+    if (installed > 0 && obs::Enabled()) {
+      obs::VersionInstall(t->thread_id, NowNanos(), installed);
+    }
+  }
   // Apply after-images in chronological order (multiple partial updates of
   // one row compose left to right).
   for (const WriteEntry& we : t->write_set) {
@@ -424,7 +485,12 @@ uint64_t OccBase::ApplyWritesAndUnlock(TxnDescriptor* t, uint64_t commit_ts) {
     // chain — or an update-then-delete chain would commit as a live update.
     const int li = t->FindWrite(we.table_id, we.key);
     if (li >= 0 && t->write_set[li].kind == WriteEntry::Kind::kDelete) {
-      db_->GetIndex(we.table_id)->Remove(we.key);
+      // With versions on, the tombstone must STAY indexed: a snapshot older
+      // than this delete still resolves the row through its chain, and an
+      // unindexed row is unreachable. GcQuiesce unindexes it once no
+      // snapshot can need it. (The resurrect path in LockWriteSet already
+      // handles indexed tombstones.)
+      if (mv_ == nullptr) db_->GetIndex(we.table_id)->Remove(we.key);
       we.row->UnlockAsDeleted(commit_ts);
     } else {
       we.row->UnlockWithVersion(commit_ts);
@@ -437,6 +503,9 @@ void OccBase::FinishTxn(TxnDescriptor* t, TxnState final_state) {
   t->state.store(final_state, std::memory_order_release);
   ThreadCtx& ctx = *ctxs_[t->thread_id];
   const uint32_t thread_id = t->thread_id;
+  if (mv_ != nullptr && t->snapshot_ts != 0) {
+    mv_->ReleaseSnapshot(thread_id);
+  }
   ctx.retired.Retire(t, epoch_.Current());
   epoch_.Exit(thread_id);
 }
@@ -452,6 +521,9 @@ Status OccBase::Commit(TxnDescriptor* t) {
   t->state.store(TxnState::kValidating, std::memory_order_release);
   bool ok = true;
   uint64_t cts = 0;
+  // Writers announce their commit window to the watermark so snapshot
+  // acquirers can prove every in-flight cts exceeds their snapshot.
+  const bool mv_window = mv_ != nullptr && t->HasWrites();
   if (t->HasWrites()) {
     ok = LockWriteSet(t);
     if (ok) {
@@ -464,6 +536,8 @@ Status OccBase::Commit(TxnDescriptor* t) {
     }
   }
   if (ok) {
+    // Slot publish must precede the timestamp draw (clock.h, invariant i).
+    if (mv_window) mv_->BeginCommit(tid);
     cts = clock_.Next();  // step 5: serialization point
     t->commit_ts.store(cts, std::memory_order_release);
     if (!ValidateReadSet(t)) {
@@ -478,6 +552,10 @@ Status OccBase::Commit(TxnDescriptor* t) {
   if (ok) {
     uint64_t log_ticket = 0;
     if (t->HasWrites()) log_ticket = ApplyWritesAndUnlock(t, cts);
+    // Slot clears only after every write is applied and every lock dropped:
+    // once the watermark passes cts, readers at snapshots >= cts must find
+    // the new versions in place.
+    if (mv_window) mv_->EndCommit(tid);
     FinishTxn(t, TxnState::kCommitted);
     const uint64_t end = NowNanos();
     s.validation_ns += validation_end - commit_start;
@@ -507,6 +585,9 @@ Status OccBase::Commit(TxnDescriptor* t) {
   }
 
   UnlockWriteSet(t);
+  // The slot was only occupied if the timestamp draw happened; clear it
+  // after the locks drop, same as the commit path.
+  if (mv_window && cts != 0) mv_->EndCommit(tid);
   FinishTxn(t, TxnState::kAborted);
   const uint64_t end = NowNanos();
   s.abort_ns += end - begin_nanos;
@@ -521,6 +602,54 @@ Status OccBase::Commit(TxnDescriptor* t) {
                   ctx.last_conflict_range);
   }
   return Status::Aborted();
+}
+
+Status OccBase::SnapshotScan(TxnDescriptor* t, uint32_t table_id,
+                             uint64_t start_key, uint64_t end_key,
+                             uint64_t limit, ScanConsumer* consumer) {
+  // A snapshot cannot overlay this transaction's own uncommitted writes;
+  // such transactions take the validating scan path instead (and MVCC-off
+  // protocols always do).
+  if (mv_ == nullptr || t->HasWrites()) {
+    return Scan(t, table_id, start_key, end_key, limit, consumer);
+  }
+  if (t->snapshot_ts == 0) {
+    t->snapshot_ts = mv_->AcquireSnapshot(t->thread_id);
+  }
+  const uint64_t snapshot = t->snapshot_ts;
+  ThreadCtx& ctx = *ctxs_[t->thread_id];
+  char* buf = ctx.scratch.data();
+  TxnStats& s = stats(t->thread_id);
+  const uint64_t chain_reads_before = s.mv_chain_reads;
+  const uint64_t start_ns = obs::Sampled(t->thread_id) ? NowNanos() : 0;
+  uint64_t n = 0;
+  const uint64_t effective_end = end_key == 0 ? ~0ULL : end_key;
+  // No read set, no predicates, no locks: every row resolves to its newest
+  // version <= snapshot, so there is nothing to validate at commit and the
+  // scan can never abort — regardless of concurrent writers.
+  db_->GetIndex(table_id)->ScanRange(
+      start_key, effective_end, [&](uint64_t key, Row* row) -> bool {
+        switch (mv_->ReadAtSnapshot(row, snapshot, buf, &s)) {
+          case mv::SnapshotRead::kInvisible:
+            return true;
+          case mv::SnapshotRead::kCurrent:
+          case mv::SnapshotRead::kChain:
+            break;
+        }
+        n++;
+        const bool want_more = consumer == nullptr || consumer->OnRecord(key, buf);
+        if (!want_more) return false;
+        return !(limit != 0 && n >= limit);
+      });
+  s.scanned_records += n;
+  s.mv_snapshot_scans++;
+  s.mv_snapshot_records += n;
+  if (start_ns != 0) {
+    obs::SnapshotScan(t->thread_id, start_ns, NowNanos(), n,
+                      static_cast<uint32_t>(s.mv_chain_reads -
+                                            chain_reads_before));
+  }
+  return Status::Ok();
 }
 
 void OccBase::Abort(TxnDescriptor* t) {

@@ -18,6 +18,10 @@ namespace rocc {
 class ContentionManager;
 class LogManager;
 
+namespace mv {
+class VersionStore;
+}  // namespace mv
+
 /// Receiver for records produced by a range scan. Return false to stop the
 /// scan early. `payload` points into a transaction-local scratch buffer valid
 /// only for the duration of the call.
@@ -71,6 +75,26 @@ class ConcurrencyControl {
   /// `limit` records when limit > 0 or when the consumer returns false.
   virtual Status Scan(TxnDescriptor* t, uint32_t table_id, uint64_t start_key,
                       uint64_t end_key, uint64_t limit, ScanConsumer* consumer) = 0;
+
+  /// Forward key-range scan at a frozen snapshot timestamp: read-only bulk
+  /// scans resolved through the multi-version row store never observe a
+  /// committing writer and never validate-abort. Falls back to the plain
+  /// Scan when the protocol has no version store, or when the transaction
+  /// already has writes (a snapshot cannot overlay them). The first
+  /// SnapshotScan freezes t->snapshot_ts; from then on the transaction is
+  /// read-only (write operations return InvalidArgument).
+  virtual Status SnapshotScan(TxnDescriptor* t, uint32_t table_id,
+                              uint64_t start_key, uint64_t end_key,
+                              uint64_t limit, ScanConsumer* consumer) {
+    return Scan(t, table_id, start_key, end_key, limit, consumer);
+  }
+
+  /// Turn on the multi-version row store (call once, before any worker
+  /// begins). Returns false when the protocol does not support it.
+  virtual bool EnableMvcc() { return false; }
+
+  /// The protocol's version store; null when MVCC is off or unsupported.
+  virtual mv::VersionStore* version_store() { return nullptr; }
 
   /// Validate and apply. Returns Ok on commit, Aborted on validation failure;
   /// the descriptor is retired either way.
@@ -128,6 +152,12 @@ class OccBase : public ConcurrencyControl {
   Status Remove(TxnDescriptor* t, uint32_t table_id, uint64_t key) override;
   Status Commit(TxnDescriptor* t) override;
   void Abort(TxnDescriptor* t) override;
+
+  Status SnapshotScan(TxnDescriptor* t, uint32_t table_id, uint64_t start_key,
+                      uint64_t end_key, uint64_t limit,
+                      ScanConsumer* consumer) override;
+  bool EnableMvcc() override;
+  mv::VersionStore* version_store() override { return mv_.get(); }
 
   Database* db() { return db_; }
   GlobalClock& clock() { return clock_; }
@@ -238,6 +268,10 @@ class OccBase : public ConcurrencyControl {
   Database* db_;
   GlobalClock clock_;
   EpochManager epoch_;
+  /// Multi-version row store; null until EnableMvcc(). The destructor runs
+  /// a full GcQuiesce so no Row::versions pointer outlives the store's
+  /// arenas (protocol instances over one Database are sequential).
+  std::unique_ptr<mv::VersionStore> mv_;
   LogManager* log_ = nullptr;  // not owned; nullptr = durability off
   std::unique_ptr<ContentionManager> contention_;
   std::vector<std::unique_ptr<ThreadCtx>> ctxs_;

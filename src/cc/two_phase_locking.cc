@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/timer.h"
+#include "mv/version_store.h"
 
 namespace rocc {
 
@@ -44,6 +45,9 @@ Status TplNoWait::Read(TxnDescriptor* t, uint32_t table_id, uint64_t key, void* 
 
 Status TplNoWait::Update(TxnDescriptor* t, uint32_t table_id, uint64_t key,
                          const void* data, uint32_t size, uint32_t field_offset) {
+  if (t->snapshot_ts != 0) {
+    return Status::InvalidArgument("snapshot transaction is read-only");
+  }
   const int wi = t->FindWrite(table_id, key);
   if (wi >= 0 && t->write_set[wi].kind == WriteEntry::Kind::kDelete) {
     return Status::NotFound();  // updating a row this txn already deleted
@@ -67,20 +71,36 @@ Status TplNoWait::Update(TxnDescriptor* t, uint32_t table_id, uint64_t key,
 
 Status TplNoWait::Insert(TxnDescriptor* t, uint32_t table_id, uint64_t key,
                          const void* payload) {
+  if (t->snapshot_ts != 0) {
+    return Status::InvalidArgument("snapshot transaction is read-only");
+  }
   Table* tab = db_->GetTable(table_id);
   OrderedIndex* idx = db_->GetIndex(table_id);
   Row* placeholder = tab->CreatePlaceholderRow(key);  // locked + absent
   Status st = idx->Insert(key, placeholder);
+  Row* target = placeholder;
   if (!st.ok()) {
-    // Write-write race on the key: same no-wait conflict class as TryLock.
-    NoteAbortCause(t->thread_id, AbortReason::kLockFail);
-    return Status::Aborted("duplicate key");
+    // The key is already indexed. A live row — or one locked by another
+    // transaction — is a no-wait conflict; an unlocked tombstone is
+    // resurrected in place (with versions on, deleted rows stay indexed
+    // until GC, so this path is the normal reinsert route).
+    Row* existing = idx->Get(key);
+    if (existing == nullptr || !existing->TryLock()) {
+      NoteAbortCause(t->thread_id, AbortReason::kLockFail);
+      return Status::Aborted("duplicate key");
+    }
+    if (!existing->IsAbsent()) {
+      existing->Unlock();
+      NoteAbortCause(t->thread_id, AbortReason::kLockFail);
+      return Status::Aborted("duplicate key");
+    }
+    target = existing;
   }
-  t->lock_index.Put(reinterpret_cast<uintptr_t>(placeholder), 0,
+  t->lock_index.Put(reinterpret_cast<uintptr_t>(target), 0,
                     static_cast<int32_t>(t->read_set.size()));
-  t->read_set.push_back({placeholder, 0});  // we hold its lock
+  t->read_set.push_back({target, 0});  // we hold its lock
   WriteEntry we;
-  we.row = placeholder;
+  we.row = target;
   we.key = key;
   we.table_id = table_id;
   we.kind = WriteEntry::Kind::kInsert;
@@ -93,6 +113,9 @@ Status TplNoWait::Insert(TxnDescriptor* t, uint32_t table_id, uint64_t key,
 }
 
 Status TplNoWait::Remove(TxnDescriptor* t, uint32_t table_id, uint64_t key) {
+  if (t->snapshot_ts != 0) {
+    return Status::InvalidArgument("snapshot transaction is read-only");
+  }
   const int wi = t->FindWrite(table_id, key);
   if (wi >= 0 && t->write_set[wi].kind == WriteEntry::Kind::kDelete) {
     return Status::NotFound();  // already deleted by this txn
@@ -155,7 +178,12 @@ void TplNoWait::ReleaseAll(TxnDescriptor* t, uint64_t commit_ts, bool committed)
       // Abort: the oldest entry for the row says what placeholder cleanup
       // (if any) is needed.
       const int wi = t->FindWriteByRow(row);
-      if (wi >= 0 && t->write_set[wi].kind == WriteEntry::Kind::kInsert) {
+      if (wi >= 0 && t->write_set[wi].kind == WriteEntry::Kind::kInsert &&
+          TidWord::Version(row->tid.load(std::memory_order_relaxed)) == 0) {
+        // Fresh placeholder this transaction created: hide and unlink it. A
+        // resurrected tombstone (version > 0) instead falls through to a
+        // plain unlock, restoring the delete marker — and, with versions
+        // on, keeping its chain reachable for older snapshots.
         row->tid.store(TidWord::kAbsentBit, std::memory_order_release);
         db_->GetIndex(t->write_set[wi].table_id)->Remove(t->write_set[wi].key);
       } else {
@@ -169,7 +197,11 @@ void TplNoWait::ReleaseAll(TxnDescriptor* t, uint64_t commit_ts, bool committed)
     if (wi < 0) {
       row->Unlock();  // read-only lock
     } else if (t->write_set[wi].kind == WriteEntry::Kind::kDelete) {
-      db_->GetIndex(t->write_set[wi].table_id)->Remove(t->write_set[wi].key);
+      // With versions on, the tombstone stays indexed so older snapshots
+      // can still reach its chain; GcQuiesce unindexes it later.
+      if (mv_ == nullptr) {
+        db_->GetIndex(t->write_set[wi].table_id)->Remove(t->write_set[wi].key);
+      }
       row->UnlockAsDeleted(commit_ts);
     } else {
       row->UnlockWithVersion(commit_ts);
@@ -185,8 +217,20 @@ Status TplNoWait::Commit(TxnDescriptor* t) {
   const uint64_t begin_nanos = t->begin_nanos;
   const uint64_t commit_start = NowNanos();
 
+  // Same watermark discipline as OccBase: announce the commit window before
+  // drawing the timestamp, clear it after the shrink phase drops the locks.
+  const bool mv_window = mv_ != nullptr && t->HasWrites();
+  if (mv_window) mv_->BeginCommit(tid);
   const uint64_t cts = clock_.Next();
   t->commit_ts.store(cts, std::memory_order_release);
+  // MVCC pre-pass: pre-images link before any payload write (see OccBase).
+  if (mv_ != nullptr) {
+    for (const WriteEntry& we : t->write_set) {
+      if (we.prev >= 0 || we.row == nullptr) continue;
+      mv_->InstallPredecessor(tid, we.row, &s);
+    }
+    mv::VersionStore::PublishFence();
+  }
   // Locks were all acquired during the growing phase; apply and shrink.
   for (const WriteEntry& we : t->write_set) {
     if (we.kind == WriteEntry::Kind::kDelete) continue;
@@ -198,6 +242,7 @@ Status TplNoWait::Commit(TxnDescriptor* t) {
   // in-memory commit is published.
   const uint64_t log_ticket = LogWrites(t, cts);
   ReleaseAll(t, cts, /*committed=*/true);
+  if (mv_window) mv_->EndCommit(tid);
   FinishTxn(t, TxnState::kCommitted);
 
   const uint64_t end = NowNanos();

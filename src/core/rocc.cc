@@ -77,6 +77,12 @@ Status Rocc::Commit(TxnDescriptor* t) {
 
 Status Rocc::Scan(TxnDescriptor* t, uint32_t table_id, uint64_t start_key,
                   uint64_t end_key, uint64_t limit, ScanConsumer* consumer) {
+  // Read-only bulk scans opt out of range validation entirely: resolve
+  // against the multi-version store at a frozen snapshot instead of fencing
+  // predicates against writer rings. Such a scan can never validate-abort.
+  if (t->snapshot_reads && !t->HasWrites() && version_store() != nullptr) {
+    return SnapshotScan(t, table_id, start_key, end_key, limit, consumer);
+  }
   RangeManager* rm = managers_[table_id].get();
   // One table snapshot per scan: every predicate of this scan is built
   // against it, and records which table version it fenced (§III-C2 +

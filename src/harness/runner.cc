@@ -164,26 +164,39 @@ RunResult RunExperiment(ConcurrencyControl* cc, Workload* workload,
 }
 
 std::unique_ptr<ConcurrencyControl> CreateProtocol(
-    const std::string& name, Database* db, const Workload& workload,
+    const std::string& name_in, Database* db, const Workload& workload,
     uint32_t num_threads, uint32_t ranges_hint, uint32_t ring_capacity,
-    bool rocc_register_writes, bool adaptive) {
+    bool rocc_register_writes, bool adaptive, bool mvcc) {
+  std::string name = name_in;
+  if (name.size() > 3 && name.compare(name.size() - 3, 3, "+mv") == 0) {
+    mvcc = true;
+    name.resize(name.size() - 3);
+  }
+  const auto finish = [mvcc](std::unique_ptr<ConcurrencyControl> cc) {
+    if (mvcc && !cc->EnableMvcc()) {
+      std::fprintf(stderr,
+                   "warning: protocol does not support the multi-version row "
+                   "store; snapshot scans fall back to ordinary scans\n");
+    }
+    return cc;
+  };
   if (name == "lrv" || name == "LRV" || name == "silo") {
-    return std::make_unique<SiloLrv>(db, num_threads);
+    return finish(std::make_unique<SiloLrv>(db, num_threads));
   }
   if (name == "gwv" || name == "GWV" || name == "hyper") {
     GwvOptions opts;
     opts.global_ring_capacity = std::max<uint32_t>(ring_capacity, 1u << 16);
-    return std::make_unique<HyperGwv>(db, num_threads, opts);
+    return finish(std::make_unique<HyperGwv>(db, num_threads, opts));
   }
   if (name == "mvrcc" || name == "MVRCC") {
     RoccOptions opts;
     opts.tables = workload.RangeConfigs(ranges_hint, ring_capacity);
     opts.default_ring_capacity = ring_capacity;
     opts.tuner.enabled = adaptive;
-    return std::make_unique<Mvrcc>(db, num_threads, std::move(opts));
+    return finish(std::make_unique<Mvrcc>(db, num_threads, std::move(opts)));
   }
   if (name == "2pl" || name == "tpl") {
-    return std::make_unique<TplNoWait>(db, num_threads);
+    return finish(std::make_unique<TplNoWait>(db, num_threads));
   }
   // Default: the paper's contribution.
   RoccOptions opts;
@@ -191,7 +204,7 @@ std::unique_ptr<ConcurrencyControl> CreateProtocol(
   opts.default_ring_capacity = ring_capacity;
   opts.register_writes = rocc_register_writes;
   opts.tuner.enabled = adaptive;
-  return std::make_unique<Rocc>(db, num_threads, std::move(opts));
+  return finish(std::make_unique<Rocc>(db, num_threads, std::move(opts)));
 }
 
 }  // namespace rocc

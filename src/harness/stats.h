@@ -95,6 +95,16 @@ struct TxnStats {
   uint64_t abort_unresolved = 0;       ///< writer commit ts unresolved in time
   uint64_t abort_explicit = 0;         ///< workload-initiated abort, no conflict
 
+  // Multi-version row store (populated only when MVCC is enabled).
+  // These are rate counters merged across workers; live-memory gauges come
+  // from mv::VersionStore::Telemetry() instead, because the harness swaps
+  // warm-up and measured sinks and a gauge split across sinks goes negative.
+  uint64_t mv_versions_installed = 0;  ///< predecessor nodes linked at commit
+  uint64_t mv_version_bytes_installed = 0;  ///< node + payload bytes installed
+  uint64_t mv_snapshot_scans = 0;      ///< SnapshotScan operator invocations
+  uint64_t mv_snapshot_records = 0;    ///< records returned by snapshot scans
+  uint64_t mv_chain_reads = 0;         ///< snapshot reads resolved off-row
+
   // Retry-layer accounting (populated by the ContentionManager).
   uint64_t give_ups = 0;           ///< logical txns dropped: retry budget spent
   uint64_t escalations = 0;        ///< entries into protected (escalated) retry
@@ -108,6 +118,7 @@ struct TxnStats {
   Histogram latency_durable;  ///< begin -> durable-acknowledge latency
   Histogram attempts_per_commit;  ///< attempts per committed logical txn (1 = first try)
   Histogram backoff_time;         ///< per-abort adaptive backoff duration (ns)
+  Histogram mv_chain_length;      ///< version-chain length after install+prune
 
   // Per-phase latency of committed attempts; populated only while the flight
   // recorder is installed (obs::Enabled()), using timestamps the commit path
@@ -140,6 +151,11 @@ struct TxnStats {
     abort_ring_lost += o.abort_ring_lost;
     abort_unresolved += o.abort_unresolved;
     abort_explicit += o.abort_explicit;
+    mv_versions_installed += o.mv_versions_installed;
+    mv_version_bytes_installed += o.mv_version_bytes_installed;
+    mv_snapshot_scans += o.mv_snapshot_scans;
+    mv_snapshot_records += o.mv_snapshot_records;
+    mv_chain_reads += o.mv_chain_reads;
     give_ups += o.give_ups;
     escalations += o.escalations;
     protected_commits += o.protected_commits;
@@ -151,6 +167,7 @@ struct TxnStats {
     latency_durable.Merge(o.latency_durable);
     attempts_per_commit.Merge(o.attempts_per_commit);
     backoff_time.Merge(o.backoff_time);
+    mv_chain_length.Merge(o.mv_chain_length);
     phase_execute.Merge(o.phase_execute);
     phase_validate.Merge(o.phase_validate);
     phase_apply.Merge(o.phase_apply);

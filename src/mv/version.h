@@ -1,0 +1,46 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "storage/row.h"
+
+namespace rocc {
+namespace mv {
+
+/// One superseded row state, hanging off Row::versions newest-first.
+///
+/// A node is immutable after publication except for `next`, which pruning may
+/// truncate to nullptr. `tid_word` is the full TID word (version + absent
+/// bit, lock bit stripped) the row carried while this payload was current, so
+/// the node serves exactly the snapshot interval
+///
+///     [Version(tid_word), Version(successor))
+///
+/// where the successor is the next-newer node, or the row's current version
+/// for the chain head. Tombstone states (absent bit set) are preserved as
+/// payload-less markers so a snapshot between a delete and a later
+/// re-insert correctly sees the key as absent.
+///
+/// Nodes are allocated from a per-worker arena, recycled through size-keyed
+/// free lists, and freed only after an epoch grace period (see VersionStore).
+struct Version {
+  std::atomic<Version*> next{nullptr};  ///< next-older version, nullptr = end
+  uint64_t tid_word = 0;     ///< version + absent bit of the superseded state
+  uint32_t payload_size = 0; ///< payload capacity (free-list key)
+  uint32_t reserved = 0;
+  // Payload bytes follow the struct inline (undefined for tombstone nodes).
+
+  char* Data() { return reinterpret_cast<char*>(this + 1); }
+  const char* Data() const { return reinterpret_cast<const char*>(this + 1); }
+
+  bool absent() const { return TidWord::IsAbsent(tid_word); }
+  uint64_t version() const { return TidWord::Version(tid_word); }
+
+  static size_t AllocSize(uint32_t payload_size) {
+    return sizeof(Version) + payload_size;
+  }
+};
+
+}  // namespace mv
+}  // namespace rocc

@@ -1,0 +1,321 @@
+#include "mv/version_store.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/fiber.h"
+#include "common/tsan.h"
+#include "index/index.h"
+#include "storage/database.h"
+
+namespace rocc {
+namespace mv {
+
+namespace {
+/// Locked-row handshake: spin this many times against an in-flight committer
+/// before yielding (fibers must yield or the committer never runs).
+constexpr int kHandshakeSpinsPerYield = 64;
+}  // namespace
+
+VersionStore::VersionStore(GlobalClock* clock, EpochManager* epoch,
+                           uint32_t num_threads, MvOptions options)
+    : clock_(clock),
+      epoch_(epoch),
+      num_threads_(num_threads),
+      options_(options),
+      watermark_(clock, num_threads),
+      snapshots_(num_threads) {
+  for (auto& s : snapshots_) {
+    s->store(CommitWatermark::kIdle, std::memory_order_relaxed);
+  }
+  workers_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; i++) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+}
+
+// Row::versions pointers into the per-worker arenas must be severed before
+// destruction (OccBase runs GcQuiesce in its destructor); nothing to do here
+// beyond letting the arenas go.
+VersionStore::~VersionStore() = default;
+
+uint64_t VersionStore::AcquireSnapshot(uint32_t thread_id) {
+  // Publish-then-revalidate. The published value pins pruning; the RETURNED
+  // value is re-read after the publish so that any pruner that missed the
+  // slot is ordered (by the monotone fold in SafeSnapshot) before this
+  // second read and therefore used a floor <= the returned snapshot.
+  const uint64_t pin = watermark_.SafeSnapshot();
+  snapshots_[thread_id]->store(pin, std::memory_order_seq_cst);
+  const uint64_t snap = watermark_.SafeSnapshot();  // >= pin (monotone)
+  return snap;
+}
+
+void VersionStore::ReleaseSnapshot(uint32_t thread_id) {
+  snapshots_[thread_id]->store(CommitWatermark::kIdle,
+                               std::memory_order_release);
+}
+
+uint64_t VersionStore::MinSnapshot() const {
+  // SafeSnapshot FIRST, then the slots: a concurrent acquirer either shows
+  // up in a slot here, or published after our fold position — in which case
+  // its returned snapshot is >= this result (see AcquireSnapshot).
+  uint64_t m = watermark_.SafeSnapshot();
+  for (uint32_t i = 0; i < num_threads_; i++) {
+    const uint64_t v = snapshots_[i]->load(std::memory_order_seq_cst);
+    if (v != CommitWatermark::kIdle && v < m) m = v;
+  }
+  return m;
+}
+
+Version* VersionStore::AllocNode(Worker& w, uint32_t payload_size) {
+  for (FreeBin& bin : w.free_bins) {
+    if (bin.payload_size == payload_size && !bin.nodes.empty()) {
+      Version* n = bin.nodes.back();
+      bin.nodes.pop_back();
+      return n;
+    }
+  }
+  void* mem = w.arena.Allocate(Version::AllocSize(payload_size),
+                               alignof(Version));
+  return new (mem) Version();
+}
+
+void VersionStore::FreeNode(Worker& w, Version* node) {
+  for (FreeBin& bin : w.free_bins) {
+    if (bin.payload_size == node->payload_size) {
+      bin.nodes.push_back(node);
+      w.freed.fetch_add(1, std::memory_order_relaxed);
+      w.freed_bytes.fetch_add(Version::AllocSize(node->payload_size),
+                              std::memory_order_relaxed);
+      return;
+    }
+  }
+  w.free_bins.push_back({node->payload_size, {node}});
+  w.freed.fetch_add(1, std::memory_order_relaxed);
+  w.freed_bytes.fetch_add(Version::AllocSize(node->payload_size),
+                          std::memory_order_relaxed);
+}
+
+uint32_t VersionStore::PruneLocked(Worker& w, Row* row, uint64_t upper,
+                                   uint64_t floor) {
+  Version* head = row->versions.load(std::memory_order_relaxed);
+  uint32_t kept = 0;
+  Version* last_kept = nullptr;
+  Version* n = head;
+  uint64_t bound = upper;  // upper end of n's interval [n.version, bound)
+  while (n != nullptr && bound > floor) {
+    kept++;
+    last_kept = n;
+    bound = n->version();
+    n = n->next.load(std::memory_order_relaxed);
+  }
+  if (n == nullptr) return kept;  // the whole chain is still resolvable
+  // n's interval [n.version, bound) has bound <= floor, so no active or
+  // future snapshot (all >= floor) can resolve to n or anything older.
+  // Unlink the suffix and retire it; the dropped nodes stay intact (readers
+  // inside the grace period may still be walking them) until MinActive
+  // passes the retire epoch.
+  if (last_kept == nullptr) {
+    row->versions.store(nullptr, std::memory_order_release);
+  } else {
+    last_kept->next.store(nullptr, std::memory_order_release);
+  }
+  const uint64_t retire_epoch = epoch_->Current();
+  for (Version* d = n; d != nullptr;
+       d = d->next.load(std::memory_order_relaxed)) {
+    w.retired.Retire(d, retire_epoch);
+    w.retired_count.fetch_add(1, std::memory_order_relaxed);
+    w.retired_bytes.fetch_add(Version::AllocSize(d->payload_size),
+                              std::memory_order_relaxed);
+  }
+  return kept;
+}
+
+void VersionStore::InstallPredecessor(uint32_t thread_id, Row* row,
+                                      TxnStats* stats) {
+  Worker& w = *workers_[thread_id];
+  const uint64_t word = row->tid.load(std::memory_order_relaxed);
+  assert(TidWord::IsLocked(word));
+  const uint64_t stripped = word & ~TidWord::kLockBit;
+  if (TidWord::IsAbsent(stripped) && TidWord::Version(stripped) == 0) {
+    // Fresh insert placeholder: the row never existed, no pre-image.
+    return;
+  }
+  const bool tombstone = TidWord::IsAbsent(stripped);
+  const uint32_t payload_size = tombstone ? 0 : row->payload_size;
+  Version* node = AllocNode(w, payload_size);
+  node->tid_word = stripped;
+  node->payload_size = payload_size;
+  if (!tombstone) std::memcpy(node->Data(), row->Data(), payload_size);
+  node->next.store(row->versions.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  row->versions.store(node, std::memory_order_release);
+
+  const uint64_t alloc = Version::AllocSize(payload_size);
+  w.installed.fetch_add(1, std::memory_order_relaxed);
+  w.installed_bytes.fetch_add(alloc, std::memory_order_relaxed);
+  if (stats != nullptr) {
+    stats->mv_versions_installed++;
+    stats->mv_version_bytes_installed += alloc;
+  }
+
+  if (w.installs_until_refresh == 0) {
+    w.floor = MinSnapshot();
+    w.installs_until_refresh = options_.prune_refresh_interval;
+  } else {
+    w.installs_until_refresh--;
+  }
+  // The new head serves [stripped.version, upcoming-cts); the upcoming cts
+  // is above every current snapshot (watermark argument), so the head is
+  // never prunable here — kVersionMask stands in for the unknown bound.
+  const uint32_t kept = PruneLocked(w, row, TidWord::kVersionMask, w.floor);
+  if (stats != nullptr) stats->mv_chain_length.Record(kept);
+}
+
+SnapshotRead VersionStore::ReadChain(const Version* head, uint64_t snapshot,
+                                     void* out, uint32_t payload_size,
+                                     TxnStats* stats) const {
+  if (stats != nullptr) stats->mv_chain_reads++;
+  for (const Version* n = head; n != nullptr;
+       n = n->next.load(std::memory_order_acquire)) {
+    if (n->version() <= snapshot) {
+      if (n->absent()) return SnapshotRead::kInvisible;
+      // Node payloads are immutable from publish until reuse, and reuse
+      // waits out the epoch grace period — a plain copy is race-free.
+      std::memcpy(out, n->Data(), payload_size);
+      return SnapshotRead::kChain;
+    }
+  }
+  return SnapshotRead::kInvisible;  // the row did not exist at the snapshot
+}
+
+SnapshotRead VersionStore::ReadAtSnapshot(const Row* row, uint64_t snapshot,
+                                          void* out, TxnStats* stats) const {
+  int spins = 0;
+  for (;;) {
+    const uint64_t w = row->tid.load(std::memory_order_acquire);
+    const uint64_t v = TidWord::Version(w);
+    if (!TidWord::IsLocked(w)) {
+      if (v > snapshot) {
+        return ReadChain(row->versions.load(std::memory_order_acquire),
+                         snapshot, out, row->payload_size, stats);
+      }
+      if (TidWord::IsAbsent(w)) return SnapshotRead::kInvisible;
+      // The in-place payload IS the version at the snapshot; seqlock copy.
+      TsanIgnoreReadsBegin();
+      std::memcpy(out, row->Data(), row->payload_size);
+      TsanIgnoreReadsEnd();
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (row->tid.load(std::memory_order_acquire) == w) {
+        return SnapshotRead::kCurrent;
+      }
+      continue;  // superseded mid-copy; the pre-image is now on the chain
+    }
+    // Locked. The holder's commit timestamp is provably > snapshot
+    // (CommitWatermark), so the answer is the row's pre-apply state.
+    if (v > snapshot) {
+      // Every version the snapshot could need is already chained (a node is
+      // installed by the commit that SUPERSEDES it, and v was published
+      // unlocked before this holder locked the row).
+      return ReadChain(row->versions.load(std::memory_order_acquire),
+                       snapshot, out, row->payload_size, stats);
+    }
+    if (TidWord::IsAbsent(w)) {
+      // Insert placeholder (v == 0) or a deleted row being resurrected:
+      // either way, absent at every timestamp <= v <= snapshot.
+      return SnapshotRead::kInvisible;
+    }
+    // Live at v <= snapshot: the current payload is the answer, but the
+    // holder may be overwriting it. Handshake with the install protocol:
+    // the holder links the pre-image node (version == v) and fences BEFORE
+    // its first payload write (PublishFence), so either we see that node —
+    // immutable, safe to copy — or our copy finished before any payload
+    // byte changed.
+    const Version* head = row->versions.load(std::memory_order_acquire);
+    if (head != nullptr && head->version() == v) {
+      if (head->absent()) return SnapshotRead::kInvisible;
+      std::memcpy(out, head->Data(), row->payload_size);
+      if (stats != nullptr) stats->mv_chain_reads++;
+      return SnapshotRead::kChain;
+    }
+    TsanIgnoreReadsBegin();
+    std::memcpy(out, row->Data(), row->payload_size);
+    TsanIgnoreReadsEnd();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const Version* head2 = row->versions.load(std::memory_order_seq_cst);
+    const bool installed = head2 != nullptr && head2->version() == v;
+    if (row->tid.load(std::memory_order_acquire) == w && !installed) {
+      return SnapshotRead::kCurrent;
+    }
+    // The holder advanced mid-copy (installed the pre-image or unlocked);
+    // retry — bounded by the holder's progress. Yield so a fiber-scheduled
+    // committer can actually make that progress.
+    if (++spins >= kHandshakeSpinsPerYield) {
+      spins = 0;
+      CooperativeYield();
+    } else {
+      CpuRelax();
+    }
+  }
+}
+
+uint64_t VersionStore::ReclaimWorker(uint32_t thread_id, uint64_t min_active) {
+  Worker& w = *workers_[thread_id];
+  uint64_t freed = 0;
+  w.retired.Reclaim(min_active, [&](Version* node) {
+    FreeNode(w, node);
+    freed++;
+  });
+  return freed;
+}
+
+uint64_t VersionStore::GcQuiesce(Database* db) {
+  assert(!epoch_->AnyActive());
+  const uint64_t floor = MinSnapshot();
+  // Single-threaded pass; charge all GC work to worker 0's lists (owner-only
+  // rules are moot while quiesced).
+  Worker& w = *workers_[0];
+  std::vector<uint64_t> dead_keys;
+  for (uint32_t t = 0; t < db->NumTables(); t++) {
+    OrderedIndex* idx = db->GetIndex(t);
+    dead_keys.clear();
+    idx->ScanFrom(0, [&](uint64_t key, Row* row) {
+      if (!row->TryLock()) return true;  // orphaned placeholder; no chain
+      const uint64_t word =
+          row->tid.load(std::memory_order_relaxed) & ~TidWord::kLockBit;
+      PruneLocked(w, row, TidWord::Version(word), floor);
+      // Quiesced, floor >= every published version, so surviving chains are
+      // empty; a tombstone row whose removal the MVCC commit path deferred
+      // (snapshot completeness) can now leave the index for real.
+      const bool dead = TidWord::IsAbsent(word) && TidWord::Version(word) > 0 &&
+                        row->versions.load(std::memory_order_relaxed) == nullptr;
+      row->Unlock();
+      if (dead) dead_keys.push_back(key);
+      return true;
+    });
+    for (uint64_t key : dead_keys) idx->Remove(key);
+  }
+  // Everyone is idle, so one TryAdvance moves the global epoch past every
+  // retire epoch used above, and MinActive() (== the new global) releases
+  // the whole backlog on every worker.
+  epoch_->TryAdvance();
+  const uint64_t min_active = epoch_->MinActive();
+  for (uint32_t i = 0; i < num_threads_; i++) ReclaimWorker(i, min_active);
+  return floor;
+}
+
+MvTelemetry VersionStore::Telemetry() const {
+  MvTelemetry t;
+  for (const auto& w : workers_) {
+    t.installed += w->installed.load(std::memory_order_relaxed);
+    t.installed_bytes += w->installed_bytes.load(std::memory_order_relaxed);
+    t.retired += w->retired_count.load(std::memory_order_relaxed);
+    t.retired_bytes += w->retired_bytes.load(std::memory_order_relaxed);
+    t.freed += w->freed.load(std::memory_order_relaxed);
+    t.freed_bytes += w->freed_bytes.load(std::memory_order_relaxed);
+  }
+  return t;
+}
+
+}  // namespace mv
+}  // namespace rocc

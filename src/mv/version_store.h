@@ -1,0 +1,222 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/cacheline.h"
+#include "harness/stats.h"
+#include "mv/version.h"
+#include "txn/clock.h"
+#include "txn/epoch.h"
+
+namespace rocc {
+
+class Database;
+
+namespace mv {
+
+/// Tuning knobs for the version store.
+struct MvOptions {
+  /// A committing worker refreshes its cached prune floor (MinSnapshot) once
+  /// per this many installs; between refreshes it prunes against the stale —
+  /// and therefore conservative — floor. 0 means refresh on every install.
+  uint32_t prune_refresh_interval = 32;
+};
+
+/// Aggregated live-memory telemetry (sum over workers). `installed - freed`
+/// is the number of version nodes currently allocated: linked into a chain,
+/// awaiting their grace period, or parked on a free list does not count as
+/// freed until the node is actually reusable. The chain-leak check in CI
+/// asserts live_nodes() returns to zero after GcQuiesce.
+struct MvTelemetry {
+  uint64_t installed = 0;
+  uint64_t installed_bytes = 0;
+  uint64_t retired = 0;        ///< unlinked by prune, grace period pending
+  uint64_t retired_bytes = 0;
+  uint64_t freed = 0;          ///< grace period passed; node reusable
+  uint64_t freed_bytes = 0;
+
+  uint64_t live_nodes() const { return installed - freed; }
+  uint64_t live_bytes() const { return installed_bytes - freed_bytes; }
+};
+
+/// Outcome of a snapshot-timestamp read of one row.
+enum class SnapshotRead : uint8_t {
+  kCurrent,    ///< the row's in-place payload was the version at the snapshot
+  kChain,      ///< resolved from a superseded version node
+  kInvisible,  ///< the row did not exist (or was deleted) at the snapshot
+};
+
+/// Multi-version row store: per-row chains of superseded versions, a safe
+/// snapshot-timestamp source, and epoch-based node reclamation (DESIGN.md
+/// §12). The single-version OCC fast path is untouched — versions exist only
+/// so READ-ONLY bulk scans can run at a frozen timestamp and never
+/// validate-abort.
+///
+/// # Version layout
+///
+/// `Row::versions` heads a newest-first singly-linked chain. Each node
+/// carries the full TID word it superseded (lock bit stripped), so node `n`
+/// with successor-in-time version `u` (the previous node's version, or the
+/// row's current version for the head) serves the half-open timestamp
+/// interval [n.version, u). Delete pre-images are payload-less tombstone
+/// markers (absent bit set). The row itself serves [row.version, +inf).
+///
+/// # Snapshot rule
+///
+/// A timestamp S is a safe snapshot iff every commit with cts <= S has fully
+/// applied its writes and released its locks... except that full strictness
+/// is unnecessary: it suffices that any STILL-RUNNING commit will publish
+/// cts > S, which CommitWatermark guarantees (see its class comment). A
+/// reader at S resolves each row to the newest version <= S; locked rows are
+/// handled by the install handshake in ReadAtSnapshot (the in-flight writer's
+/// cts is provably > S, so the pre-image is the right answer — the only
+/// question is whether the in-place payload is still clean).
+///
+/// # Reclamation
+///
+/// Prune floor M = MinSnapshot() (<= every active and every future snapshot,
+/// by the monotone-watermark argument in clock.h). A node whose interval's
+/// upper bound is <= M can never be resolved again; the committer that
+/// notices this (while holding the row lock) unlinks the suffix and retires
+/// each node at the current epoch. The node's memory is recycled onto the
+/// owning worker's free list once EpochManager::MinActive() passes the
+/// retire epoch — the same grace-period argument the range-ring descriptors
+/// use (epoch.h).
+///
+/// Thread model: Install/Reclaim/free lists are per-worker (owner-only);
+/// chain reads are lock-free from any worker; GcQuiesce is single-threaded
+/// and asserts quiescence.
+class VersionStore {
+ public:
+  VersionStore(GlobalClock* clock, EpochManager* epoch, uint32_t num_threads,
+               MvOptions options = {});
+  ~VersionStore();
+
+  VersionStore(const VersionStore&) = delete;
+  VersionStore& operator=(const VersionStore&) = delete;
+
+  // --- Commit watermark (delegates to CommitWatermark; see clock.h) ---
+
+  /// Publish intent-to-commit BEFORE drawing the commit timestamp.
+  void BeginCommit(uint32_t thread_id) { watermark_.BeginCommit(thread_id); }
+
+  /// Clear the slot AFTER all writes are applied and locks released.
+  void EndCommit(uint32_t thread_id) { watermark_.EndCommit(thread_id); }
+
+  // --- Snapshots ---
+
+  /// Acquire a snapshot timestamp for `thread_id` and pin it against pruning
+  /// until ReleaseSnapshot. Publish-then-revalidate: the returned value is a
+  /// second SafeSnapshot() taken after the slot publish, which the monotone
+  /// fold guarantees is >= the published value — so every pruner either sees
+  /// the slot or computes a floor <= the returned snapshot (proof in
+  /// DESIGN.md §12.3).
+  uint64_t AcquireSnapshot(uint32_t thread_id);
+
+  /// Unpin `thread_id`'s snapshot. Idempotent.
+  void ReleaseSnapshot(uint32_t thread_id);
+
+  /// Prune floor: no active (or future) snapshot is below this.
+  uint64_t MinSnapshot() const;
+
+  // --- Commit-time version install ---
+
+  /// Link the pre-image of `row` (which the caller holds LOCKED and has not
+  /// yet overwritten) onto its version chain, then prune the chain against
+  /// the cached floor. No-op for fresh insert placeholders (absent, version
+  /// 0): there is no pre-image to preserve. A deleted row being resurrected
+  /// installs a payload-less tombstone marker.
+  ///
+  /// Call once per distinct row per commit, before ANY payload byte of ANY
+  /// row in the write set is modified, and issue PublishFence() between the
+  /// last install and the first payload write (ReadAtSnapshot's locked-row
+  /// handshake depends on that ordering).
+  void InstallPredecessor(uint32_t thread_id, Row* row, TxnStats* stats);
+
+  /// Writer-side half of the locked-row handshake: orders the install
+  /// stores before the apply loop's payload writes.
+  static void PublishFence() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  // --- Snapshot reads ---
+
+  /// Resolve `row` at snapshot `snapshot` and copy the payload version into
+  /// `out` (capacity >= row->payload_size) unless kInvisible. Never aborts;
+  /// may spin briefly against an in-flight committer (yields to fibers).
+  SnapshotRead ReadAtSnapshot(const Row* row, uint64_t snapshot, void* out,
+                              TxnStats* stats) const;
+
+  // --- Reclamation ---
+
+  /// Owner-thread: recycle retired nodes whose grace period has passed
+  /// (retire epoch < min_active) onto the worker's free list. Returns the
+  /// number of nodes freed.
+  uint64_t ReclaimWorker(uint32_t thread_id, uint64_t min_active);
+
+  /// Single-threaded full GC: requires no thread be inside a transaction
+  /// (asserts !epoch->AnyActive()). Prunes every chain against the current
+  /// floor (which, quiesced, is >= every row version, so chains empty),
+  /// physically unindexes tombstone rows whose removal the MVCC commit path
+  /// deferred, advances the epoch, and drains every worker's retire list.
+  /// Returns the floor used.
+  uint64_t GcQuiesce(Database* db);
+
+  /// Sum of per-worker counters; safe to call concurrently (gauge accuracy,
+  /// not a barrier).
+  MvTelemetry Telemetry() const;
+
+  const MvOptions& options() const { return options_; }
+  uint32_t num_threads() const { return num_threads_; }
+
+ private:
+  struct FreeBin {
+    uint32_t payload_size;
+    std::vector<Version*> nodes;
+  };
+
+  /// Per-worker allocation and reclamation state; owner-thread only except
+  /// the telemetry counters (read by Telemetry()).
+  struct alignas(kCacheLineSize) Worker {
+    Arena arena{1 << 20};
+    std::vector<FreeBin> free_bins;  ///< size-keyed free lists (few sizes)
+    RetireList<Version> retired;
+    uint64_t floor = 0;              ///< cached MinSnapshot for pruning
+    uint32_t installs_until_refresh = 0;
+
+    std::atomic<uint64_t> installed{0};
+    std::atomic<uint64_t> installed_bytes{0};
+    std::atomic<uint64_t> retired_count{0};
+    std::atomic<uint64_t> retired_bytes{0};
+    std::atomic<uint64_t> freed{0};
+    std::atomic<uint64_t> freed_bytes{0};
+  };
+
+  Version* AllocNode(Worker& w, uint32_t payload_size);
+  void FreeNode(Worker& w, Version* node);
+
+  /// Unlink every node at/below the floor from `row`'s chain (caller holds
+  /// the row lock; `upper` is the version bound of the newest chain node)
+  /// and retire the suffix on worker `w`. Returns the surviving chain length.
+  uint32_t PruneLocked(Worker& w, Row* row, uint64_t upper, uint64_t floor);
+
+  SnapshotRead ReadChain(const Version* head, uint64_t snapshot, void* out,
+                         uint32_t payload_size, TxnStats* stats) const;
+
+  GlobalClock* const clock_;
+  EpochManager* const epoch_;
+  const uint32_t num_threads_;
+  const MvOptions options_;
+  CommitWatermark watermark_;
+  /// Active snapshot per thread (CommitWatermark::kIdle when none).
+  std::vector<CachePadded<std::atomic<uint64_t>>> snapshots_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace mv
+}  // namespace rocc

@@ -120,6 +120,22 @@ void EmitEvent(FdWriter& w, const TraceEvent& e, uint64_t base_ns, bool* first) 
           tid, ts_us, static_cast<double>(e.dur_ns) / 1e3,
           static_cast<unsigned long long>(e.a), e.b);
       break;
+    case EventType::kSnapshotScan:
+      w.Printf(
+          "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"snapshot_scan\","
+          "\"cat\":\"mv\",\"ts\":%.3f,\"dur\":%.3f,"
+          "\"args\":{\"records\":%llu,\"chain_reads\":%u}}",
+          tid, ts_us, static_cast<double>(e.dur_ns) / 1e3,
+          static_cast<unsigned long long>(e.a), e.b);
+      break;
+    case EventType::kVersionInstall:
+    case EventType::kVersionGc:
+      w.Printf(
+          "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
+          "\"cat\":\"mv\",\"ts\":%.3f,\"args\":{\"a\":%llu,\"b\":%u}}",
+          tid, EventTypeName(static_cast<EventType>(e.type)), ts_us,
+          static_cast<unsigned long long>(e.a), e.b);
+      break;
     case EventType::kRangePublish:
     case EventType::kRangeSplit:
     case EventType::kRangeMerge:

@@ -31,6 +31,9 @@ const char* EventTypeName(EventType t) {
     case EventType::kWalFlush: return "wal_flush";
     case EventType::kGateEnter: return "gate_enter";
     case EventType::kGateExit: return "gate_exit";
+    case EventType::kVersionInstall: return "version_install";
+    case EventType::kVersionGc: return "version_gc";
+    case EventType::kSnapshotScan: return "snapshot_scan";
   }
   return "unknown";
 }

@@ -41,6 +41,9 @@ enum class EventType : uint8_t {
   kWalFlush,      ///< group-commit batch; a = bytes written, b = epoch
   kGateEnter,     ///< protected-retry gate acquired; a = holder thread id
   kGateExit,      ///< protected-retry gate released; a = holder thread id
+  kVersionInstall,  ///< MVCC pre-images linked at commit; a = node count
+  kVersionGc,     ///< MVCC reclaim pass freed nodes; a = nodes, b = pending
+  kSnapshotScan,  ///< snapshot scan finished; a = records, b = chain reads
 };
 
 const char* EventTypeName(EventType t);
@@ -107,6 +110,22 @@ class TraceRing {
     const uint64_t h = head_.load(std::memory_order_acquire);
     const uint64_t lo = h > mask_ + 1 ? h - (mask_ + 1) : 0;
     for (uint64_t seq = lo; seq < h; seq++) fn(slots[seq & mask_]);
+  }
+
+  /// Incremental visit for streaming consumers: deliver events with sequence
+  /// number >= `from` that are still in the live window, oldest first, and
+  /// return the cursor to pass next time (the current head). Events that
+  /// fell out of the window between calls are skipped — the caller can
+  /// detect the gap as `returned_cursor - from - delivered`.
+  template <typename Fn>
+  uint64_t ForEachFrom(uint64_t from, Fn&& fn) const {
+    const TraceEvent* slots = events_.load(std::memory_order_acquire);
+    if (slots == nullptr) return from;
+    const uint64_t h = head_.load(std::memory_order_acquire);
+    uint64_t lo = h > mask_ + 1 ? h - (mask_ + 1) : 0;
+    if (from > lo) lo = from;
+    for (uint64_t seq = lo; seq < h; seq++) fn(slots[seq & mask_]);
+    return h;
   }
 
   void Reset() { head_.store(0, std::memory_order_release); }
@@ -289,6 +308,25 @@ inline void ServiceEvent(EventType type, uint8_t detail, uint64_t ts_ns,
                          uint64_t dur_ns, uint64_t a, uint32_t b) {
   FlightRecorder* r = Recorder();
   if (r != nullptr) r->EmitService(type, detail, ts_ns, dur_ns, a, b);
+}
+
+/// MVCC pre-image installs of one commit; rides the transaction's sampling
+/// decision like the other per-txn events.
+inline void VersionInstall(uint32_t tid, uint64_t ts_ns, uint64_t nodes) {
+  FlightRecorder* r = Recorder();
+  if (r != nullptr && r->IsSampled(tid)) {
+    r->Emit(tid, EventType::kVersionInstall, 0, ts_ns, 0, nodes, 0);
+  }
+}
+
+/// Snapshot-scan completion (records delivered, chain resolutions); sampled.
+inline void SnapshotScan(uint32_t tid, uint64_t start_ns, uint64_t end_ns,
+                         uint64_t records, uint32_t chain_reads) {
+  FlightRecorder* r = Recorder();
+  if (r != nullptr && r->IsSampled(tid)) {
+    r->Emit(tid, EventType::kSnapshotScan, 0, start_ns,
+            end_ns > start_ns ? end_ns - start_ns : 0, records, chain_reads);
+  }
 }
 
 /// RAII phase timer for sites without pre-existing timestamps. When the

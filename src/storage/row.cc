@@ -6,22 +6,27 @@ namespace {
 constexpr int kReadSpins = 1024;
 }
 
-bool Row::ReadConsistent(void* out, uint64_t* version_out) const {
+RowRead Row::ReadConsistent(void* out, uint64_t* version_out) const {
   for (int attempt = 0; attempt < kReadSpins; attempt++) {
     const uint64_t v1 = tid.load(std::memory_order_acquire);
     if (TidWord::IsLocked(v1)) {
       CpuRelax();
       continue;
     }
+    if (TidWord::IsAbsent(v1)) {
+      // A tombstone's payload is undefined; report the stable word only.
+      *version_out = v1;
+      return RowRead::kAbsent;
+    }
     std::memcpy(out, Data(), payload_size);
     std::atomic_thread_fence(std::memory_order_acquire);
     const uint64_t v2 = tid.load(std::memory_order_acquire);
     if (v1 == v2) {
-      *version_out = v1;  // full word: version + absent bit
-      return true;
+      *version_out = v1;
+      return RowRead::kOk;
     }
   }
-  return false;
+  return RowRead::kBusy;
 }
 
 bool Row::ReadVersion(uint64_t* version_out) const {
@@ -66,6 +71,7 @@ Row* Row::Init(void* mem, uint32_t table_id, uint64_t key, uint32_t payload_size
   const uint64_t w = visible ? (version & TidWord::kVersionMask)
                              : (TidWord::kLockBit | TidWord::kAbsentBit);
   new (&r->tid) std::atomic<uint64_t>(w);
+  new (&r->versions) std::atomic<mv::Version*>(nullptr);
   r->key = key;
   r->table_id = table_id;
   r->payload_size = payload_size;

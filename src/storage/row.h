@@ -8,6 +8,10 @@
 
 namespace rocc {
 
+namespace mv {
+struct Version;
+}  // namespace mv
+
 /// Silo-style TID word packed into one atomic 64-bit header per record.
 ///
 /// Layout:
@@ -29,12 +33,29 @@ class TidWord {
   static uint64_t MakeLocked(uint64_t w) { return w | kLockBit; }
 };
 
+/// Outcome of a stable-read attempt (Row::ReadConsistent). kBusy is distinct
+/// from kAbsent on purpose: a record that stayed locked or kept changing past
+/// the spin budget is CONTENDED, not missing, and callers must not conflate
+/// the two (the old boolean API made that conflation easy). Contention
+/// surfaces under the kUnresolved abort reason in transactional callers.
+enum class RowRead : uint8_t {
+  kOk,      ///< stable live copy obtained; the word is in `version_out`
+  kAbsent,  ///< stable word observed but the row is deleted / a placeholder
+  kBusy,    ///< locked or changing past the spin budget; nothing copied
+};
+
 /// An in-memory record: header + primary key + inline fixed-size payload.
 ///
 /// Rows are allocated from their table's arena and are never moved; index
 /// entries and transaction read/write sets hold stable `Row*` pointers.
 struct Row {
   std::atomic<uint64_t> tid;
+  /// Newest-first chain of superseded versions (null when the row has never
+  /// been overwritten, or multi-versioning is off). Committers link the
+  /// pre-image here — under the row lock, before overwriting the payload —
+  /// so snapshot readers can resolve the row at any safe timestamp
+  /// (mv::VersionStore, DESIGN.md §12).
+  std::atomic<mv::Version*> versions;
   uint64_t key;
   uint32_t table_id;
   uint32_t payload_size;
@@ -43,10 +64,10 @@ struct Row {
   char* Data() { return reinterpret_cast<char*>(this + 1); }
   const char* Data() const { return reinterpret_cast<const char*>(this + 1); }
 
-  /// Copy the payload into `out` only if a stable (unlocked, unchanged)
-  /// version was observed; returns that version through `version_out`.
-  /// Returns false if the record stayed locked past the spin budget.
-  bool ReadConsistent(void* out, uint64_t* version_out) const;
+  /// Copy the payload into `out` only if a stable (unlocked, unchanged) live
+  /// version was observed; returns that word through `version_out` (also set
+  /// for kAbsent). kBusy when the record stayed locked past the spin budget.
+  RowRead ReadConsistent(void* out, uint64_t* version_out) const;
 
   /// Read only the version without copying data; returns false when locked.
   bool ReadVersion(uint64_t* version_out) const;

@@ -1,4 +1,28 @@
 #include "txn/clock.h"
 
 // GlobalClock is header-only; this translation unit anchors the header in the
-// library so missing-include errors surface at library build time.
+// library and implements the CommitWatermark cold path.
+
+namespace rocc {
+
+uint64_t CommitWatermark::SafeSnapshot() const {
+  // Clock first, then slots — the order the visibility argument in the class
+  // comment depends on. seq_cst keeps these reads, the slot publishes, and
+  // the high-watermark folds in one total order.
+  uint64_t s = clock_->Current();
+  for (uint32_t i = 0; i < num_threads_; i++) {
+    const uint64_t v = slots_[i]->load(std::memory_order_seq_cst);
+    if (v != kIdle && v < s) s = v;
+  }
+  // Monotone fold: concurrent callers return values ordered by their RMW
+  // position, so a later caller never observes a smaller safe snapshot.
+  uint64_t cur = high_->load(std::memory_order_seq_cst);
+  while (cur < s) {
+    if (high_->compare_exchange_weak(cur, s, std::memory_order_seq_cst)) {
+      return s;
+    }
+  }
+  return cur;
+}
+
+}  // namespace rocc

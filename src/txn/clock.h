@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "common/cacheline.h"
 
@@ -35,6 +36,65 @@ class GlobalClock {
 
  private:
   CachePadded<std::atomic<uint64_t>> counter_{{kInitialVersion}};
+};
+
+/// Snapshot-timestamp source derived from the commit clock (DESIGN.md §12).
+///
+/// A committing writer publishes the clock value it observed into its
+/// per-thread slot (BeginCommit) BEFORE drawing its commit timestamp, and
+/// clears the slot (EndCommit) only after its writes are fully applied and
+/// its locks released. Because a writer's commit timestamp is strictly
+/// greater than the clock value it published, SafeSnapshot() — the minimum
+/// over active slots, or the current clock when none are active — returns a
+/// timestamp S such that every transaction with commit timestamp <= S has
+/// fully applied its writes, and every in-flight or future commit lands
+/// strictly above S. The set of versions <= S is therefore immutable: a
+/// consistent snapshot, valid forever.
+///
+/// Why the returned value cannot miss a low writer: SafeSnapshot reads the
+/// clock FIRST, then the slots. If its clock read observed a writer's
+/// timestamp draw (an acq_rel RMW), it synchronizes with the draw and the
+/// later slot reads must see that writer's earlier slot store (or its even
+/// later EndCommit, which means the writes are applied). A writer whose slot
+/// store is not yet visible must draw its timestamp after our clock read, so
+/// its commit timestamp exceeds our clock value and cannot invalidate S.
+///
+/// Raw per-call results can regress (a writer may publish a stale clock value
+/// late), so SafeSnapshot folds results through a monotone high-watermark:
+/// results are totally ordered and non-decreasing, which the version pruner's
+/// safety argument relies on (see mv::VersionStore::MinSnapshot).
+class CommitWatermark {
+ public:
+  static constexpr uint64_t kIdle = ~0ULL;
+
+  CommitWatermark(GlobalClock* clock, uint32_t num_threads)
+      : clock_(clock), num_threads_(num_threads), slots_(num_threads) {
+    for (auto& s : slots_) s->store(kIdle, std::memory_order_relaxed);
+  }
+
+  /// Enter the commit window: publish the pre-draw clock value. Must run
+  /// before the caller's GlobalClock::Next() so the drawn timestamp is
+  /// strictly greater than the published value.
+  void BeginCommit(uint32_t thread_id) {
+    slots_[thread_id]->store(clock_->Current(), std::memory_order_seq_cst);
+  }
+
+  /// Leave the commit window; call only after every write of the commit is
+  /// applied and every write lock released (commit or abort path alike).
+  void EndCommit(uint32_t thread_id) {
+    slots_[thread_id]->store(kIdle, std::memory_order_release);
+  }
+
+  /// Highest snapshot timestamp known to be consistent (see class comment).
+  /// Monotone non-decreasing across calls.
+  uint64_t SafeSnapshot() const;
+
+ private:
+  GlobalClock* clock_;
+  const uint32_t num_threads_;
+  std::vector<CachePadded<std::atomic<uint64_t>>> slots_;
+  /// Monotone fold of raw SafeSnapshot results (see class comment).
+  mutable CachePadded<std::atomic<uint64_t>> high_{{GlobalClock::kInitialVersion}};
 };
 
 }  // namespace rocc

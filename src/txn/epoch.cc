@@ -16,6 +16,13 @@ uint64_t EpochManager::MinActive() const {
   return min_epoch == kIdle ? Current() : min_epoch;
 }
 
+bool EpochManager::AnyActive() const {
+  for (uint32_t i = 0; i < num_threads_; i++) {
+    if (locals_[i]->load(std::memory_order_acquire) != kIdle) return true;
+  }
+  return false;
+}
+
 void EpochManager::TryAdvance() {
   const uint64_t g = global_.load(std::memory_order_acquire);
   for (uint32_t i = 0; i < num_threads_; i++) {

@@ -19,6 +19,12 @@ namespace rocc {
 /// `r` is safe to recycle once every thread is idle or running a transaction
 /// that entered at an epoch > `r`.
 ///
+/// The multi-version row store reuses the same window argument for version
+/// nodes: a snapshot reader only traverses chains between Enter and Exit, so
+/// a node unlinked (pruned) at epoch `r` cannot be reached by any transaction
+/// that enters at an epoch > `r` — MinActive() passing `r` is the grace
+/// period after which the node's memory may be recycled (DESIGN.md §12).
+///
 /// Threads call Enter at transaction begin and Exit at transaction end; Exit
 /// opportunistically advances the global epoch.
 class EpochManager {
@@ -43,6 +49,11 @@ class EpochManager {
   /// Minimum epoch over threads currently inside a transaction; the current
   /// global epoch when every thread is idle.
   uint64_t MinActive() const;
+
+  /// True while any thread is inside a transaction. Quiescent maintenance
+  /// passes (full version GC, shutdown) assert the negation before touching
+  /// owner-only structures.
+  bool AnyActive() const;
 
   /// Advance the global epoch if every active thread has caught up to it.
   void TryAdvance();

@@ -23,6 +23,8 @@ void TxnDescriptor::Reset(uint64_t id, uint32_t thread, uint64_t start) {
   start_ts = start;
   state.store(TxnState::kActive, std::memory_order_release);
   commit_ts.store(0, std::memory_order_release);
+  snapshot_reads = false;
+  snapshot_ts = 0;
   read_set.clear();
   write_set.clear();
   scan_records.clear();

@@ -255,6 +255,9 @@ class TxnDescriptor {
   uint64_t start_ts = 0;
   uint64_t begin_nanos = 0;  ///< wall-clock at Begin, for phase accounting
   bool is_scan_txn = false;  ///< workload marks bulk/scan transactions
+  bool snapshot_reads = false;  ///< route read-only scans through SnapshotScan
+  uint64_t snapshot_ts = 0;  ///< acquired snapshot (0 = none yet); freezes the
+                             ///< txn read-only once set
   std::atomic<TxnState> state{TxnState::kInactive};
   std::atomic<uint64_t> commit_ts{0};  ///< 0 = not yet assigned
 

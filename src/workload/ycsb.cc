@@ -71,8 +71,11 @@ std::vector<RangeConfig> YcsbWorkload::RangeConfigs(uint32_t ranges_hint,
 YcsbWorkload::Plan YcsbWorkload::GeneratePlan(Rng& rng) const {
   Plan plan;
   plan.is_scan = rng.NextDouble() < options_.scan_txn_fraction;
-  const uint32_t n_ops =
-      plan.is_scan ? options_.scan_txn_updates : options_.ops_per_txn;
+  const bool scan_reads_only =
+      options_.read_only_scans || options_.snapshot_scans;
+  const uint32_t n_ops = plan.is_scan
+                             ? (scan_reads_only ? 0 : options_.scan_txn_updates)
+                             : options_.ops_per_txn;
   plan.num_ops = std::min<uint32_t>(n_ops, 16);
   for (uint32_t i = 0; i < plan.num_ops; i++) {
     plan.ops[i].is_write =
@@ -106,8 +109,18 @@ Status YcsbWorkload::TryOnce(ConcurrencyControl* cc, uint32_t thread_id,
 
   if (plan.is_scan) {
     SumConsumer consumer;
-    Status st = cc->Scan(t, table_id_, plan.scan_start, /*end_key=*/0,
-                         options_.scan_length, &consumer);
+    Status st;
+    if (options_.snapshot_scans && plan.num_ops == 0) {
+      // Pure bulk read at a frozen snapshot. Marking the descriptor also
+      // lets protocols that route inside Scan (Rocc) pick the snapshot path
+      // for callers that never heard of SnapshotScan.
+      t->snapshot_reads = true;
+      st = cc->SnapshotScan(t, table_id_, plan.scan_start, /*end_key=*/0,
+                            options_.scan_length, &consumer);
+    } else {
+      st = cc->Scan(t, table_id_, plan.scan_start, /*end_key=*/0,
+                    options_.scan_length, &consumer);
+    }
     if (!st.ok()) {
       cc->Abort(t);
       return Status::Aborted();

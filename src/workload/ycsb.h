@@ -24,6 +24,14 @@ struct YcsbOptions {
   /// while point updates stay Zipfian — the false-sharing regime where cold
   /// scans and hot writers share coarse ranges.
   double scan_theta = -1.0;
+  /// Bulk transactions drop their update ops and become pure range reads —
+  /// the reporting-query shape that motivates snapshot scans.
+  bool read_only_scans = false;
+  /// Read-only bulk transactions request a frozen snapshot: the scan resolves
+  /// each row against the multi-version store and can never validate-abort.
+  /// Implies read_only_scans (a snapshot transaction rejects writes); falls
+  /// back to the protocol's ordinary scan when MVCC is not enabled.
+  bool snapshot_scans = false;
 
   uint32_t num_ranges = 0;     ///< logical ranges (0 = scale the paper's 16384)
   uint32_t max_retries = 1000;

@@ -119,8 +119,26 @@ TEST_F(RowTest, ReadConsistentSeesCommittedValue) {
   std::memset(r->Data(), 0x5a, kPayload);
   char buf[kPayload];
   uint64_t v = 0;
-  ASSERT_TRUE(r->ReadConsistent(buf, &v));
+  ASSERT_EQ(r->ReadConsistent(buf, &v), RowRead::kOk);
   for (char c : buf) ASSERT_EQ(c, 0x5a);
+}
+
+// The three ReadConsistent outcomes are distinguishable: a row whose lock
+// outlives the spin budget reports kBusy (caller should treat the writer's
+// commit timestamp as unresolved), not kAbsent — conflating them turned
+// contended reads into phantom deletes for MVCC fallback paths.
+TEST_F(RowTest, ReadConsistentTriState) {
+  Row* r = MakeRow(1);
+  char buf[kPayload];
+  uint64_t v = 0;
+  ASSERT_TRUE(r->TryLock());
+  EXPECT_EQ(r->ReadConsistent(buf, &v), RowRead::kBusy);
+  r->Unlock();
+  EXPECT_EQ(r->ReadConsistent(buf, &v), RowRead::kOk);
+  ASSERT_TRUE(r->TryLock());
+  r->UnlockAsDeleted(7);
+  EXPECT_EQ(r->ReadConsistent(buf, &v), RowRead::kAbsent);
+  EXPECT_EQ(TidWord::Version(v), 7u);
 }
 
 // A writer repeatedly locks, mutates the whole payload to a uniform value,
@@ -145,7 +163,7 @@ TEST_F(RowTest, ReadConsistentNeverTornUnderConcurrentWrites) {
     char buf[kPayload];
     uint64_t v;
     while (!stop.load()) {
-      if (!r->ReadConsistent(buf, &v)) continue;
+      if (r->ReadConsistent(buf, &v) != RowRead::kOk) continue;
       for (uint32_t j = 1; j < kPayload; j++) {
         if (buf[j] != buf[0]) {
           torn.store(true);
