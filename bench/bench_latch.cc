@@ -1,0 +1,185 @@
+// Latch microbenchmark: cas vs optiql on one hot VersionLatch.
+//
+// Sweeps thread count and write fraction over a single cache-line-aligned
+// latch — the distilled version of a hot B+Tree leaf header — and measures
+// operations per second for both lock implementations. Readers run the
+// optimistic snapshot/validate protocol (restarting on interference),
+// writers take the write lock and mutate a two-word payload whose invariant
+// (b == a + 1) is checked on every validated read; the final counter and
+// version are asserted after every cell, so a lost update or a missed
+// version bump fails the binary, not just the numbers.
+//
+// Flags (besides the standard set in bench_common.h):
+//   --ops N             lock operations per thread per cell (default 50000)
+//   --sweep-threads L   comma list of thread counts (default 1,2,4,8,16,40)
+//   --mixes L           comma list of write fractions (default
+//                       0.01,0.10,0.90 — read-mostly / 90-10 / write-heavy)
+//   --lock IMPL         restrict to one implementation (default: both)
+//
+// Threads here are real OS threads (no fiber simulation): the subject is the
+// lock word itself, and oversubscribed timeslicing is exactly the regime
+// where queue fairness matters. Expect optiql to shine as threads exceed
+// cores on write-heavy mixes and to match cas on read-mostly ones.
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "sync/optiql.h"
+
+namespace rocc {
+namespace bench {
+namespace {
+
+struct CellResult {
+  double seconds = 0;
+  uint64_t writes = 0;
+  uint64_t reads_validated = 0;
+  uint64_t read_restarts = 0;
+  bool invariant_ok = true;
+};
+
+/// One measured cell: `threads` workers each performing `ops` operations
+/// against one shared latch at the given write fraction.
+CellResult RunCell(sync::LockImpl impl, uint32_t threads, uint64_t ops,
+                   double write_frac) {
+  sync::SetLockImpl(impl);
+  struct alignas(kCacheLineSize) Shared {
+    sync::VersionLatch latch;
+  } shared;
+  // Payload guarded by the latch; atomic words keep unvalidated optimistic
+  // reads benign (same contract as the row seqlock, but TSan-clean).
+  struct alignas(kCacheLineSize) Payload {
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{1};
+  } payload;
+
+  std::atomic<uint32_t> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<uint64_t> writes(threads, 0);
+  std::vector<uint64_t> reads(threads, 0);
+  std::vector<uint64_t> restarts(threads, 0);
+  std::vector<bool> torn(threads, false);
+
+  const uint64_t write_threshold =
+      static_cast<uint64_t>(write_frac * 4294967296.0);
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (uint32_t t = 0; t < threads; t++) {
+    workers.emplace_back([&, t] {
+      Rng rng(0x9e3779b97f4a7c15ULL * (t + 1) + 1);
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) CpuRelax();
+      for (uint64_t i = 0; i < ops; i++) {
+        if ((rng.Next() & 0xffffffffu) < write_threshold) {
+          sync::VersionLatch::Guard g;
+          shared.latch.WriteLock(g);
+          const uint64_t a = payload.a.load(std::memory_order_relaxed) + 1;
+          payload.a.store(a, std::memory_order_relaxed);
+          payload.b.store(a + 1, std::memory_order_relaxed);
+          shared.latch.WriteUnlock(g);
+          writes[t]++;
+        } else {
+          for (;;) {
+            const uint64_t v = shared.latch.ReadLockOrRestart();
+            const uint64_t sa = payload.a.load(std::memory_order_relaxed);
+            const uint64_t sb = payload.b.load(std::memory_order_relaxed);
+            if (shared.latch.CheckOrRestart(v)) {
+              if (sb != sa + 1) torn[t] = true;
+              reads[t]++;
+              break;
+            }
+            restarts[t]++;
+          }
+        }
+      }
+    });
+  }
+
+  while (ready.load(std::memory_order_acquire) < threads) CpuRelax();
+  Stopwatch watch;
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  CellResult r;
+  r.seconds = watch.ElapsedSeconds();
+
+  for (uint32_t t = 0; t < threads; t++) {
+    r.writes += writes[t];
+    r.reads_validated += reads[t];
+    r.read_restarts += restarts[t];
+    if (torn[t]) r.invariant_ok = false;
+  }
+  // Lost-update / version-bump invariants: every write advanced the counter
+  // and the version by exactly one step.
+  if (payload.a.load(std::memory_order_relaxed) != r.writes) {
+    r.invariant_ok = false;
+  }
+  if (shared.latch.ReadLockOrRestart() != 2 * r.writes) r.invariant_ok = false;
+  return r;
+}
+
+int Main(int argc, char** argv) {
+  BenchEnv env = ParseEnv(argc, argv);
+  const uint64_t ops = static_cast<uint64_t>(env.cfg.GetInt("ops", 50000));
+  const std::vector<int64_t> thread_list =
+      env.cfg.GetIntList("sweep-threads", {1, 2, 4, 8, 16, 40});
+  const std::vector<double> mixes =
+      env.cfg.GetDoubleList("mixes", {0.01, 0.10, 0.90});
+  const std::string only = env.cfg.GetString("lock", "");
+
+  std::vector<sync::LockImpl> impls;
+  if (only.empty() || only == "cas") impls.push_back(sync::LockImpl::kCas);
+  if (only.empty() || only == "optiql") {
+    impls.push_back(sync::LockImpl::kOptiql);
+  }
+
+  PrintBanner("Latch microbenchmark: cas vs optiql on one hot VersionLatch",
+              "ops/thread=" + std::to_string(ops) + " " + env.Describe());
+
+  ReportTable table({"impl", "mix", "threads", "mops_per_sec", "writes",
+                     "reads_validated", "read_restarts",
+                     "restarts_per_read"});
+  bool ok = true;
+  for (double mix : mixes) {
+    for (int64_t threads : thread_list) {
+      if (threads <= 0) continue;
+      for (sync::LockImpl impl : impls) {
+        const CellResult r =
+            RunCell(impl, static_cast<uint32_t>(threads), ops, mix);
+        if (!r.invariant_ok) {
+          ok = false;
+          std::fprintf(stderr,
+                       "ERROR: invariant violated (impl=%s mix=%.2f "
+                       "threads=%" PRId64 ")\n",
+                       sync::LockImplName(impl), mix, threads);
+        }
+        const double total_ops =
+            static_cast<double>(ops) * static_cast<double>(threads);
+        table.AddRow({sync::LockImplName(impl), F(mix), F(uint64_t(threads)),
+                      F(r.seconds > 0 ? total_ops / r.seconds / 1e6 : 0, 3),
+                      F(r.writes), F(r.reads_validated), F(r.read_restarts),
+                      F(r.reads_validated > 0
+                            ? static_cast<double>(r.read_restarts) /
+                                  static_cast<double>(r.reads_validated)
+                            : 0,
+                        4)});
+      }
+    }
+  }
+  Emit(env, table, "latch_sweep");
+  sync::SetLockImpl(sync::LockImpl::kCas);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rocc
+
+int main(int argc, char** argv) { return rocc::bench::Main(argc, argv); }

@@ -10,11 +10,17 @@
 #include "harness/contention.h"
 #include "log/log_manager.h"
 #include "mv/version_store.h"
+#include "sync/optiql.h"
 
 namespace rocc {
 
 namespace {
 constexpr int kLockSpins = 128;
+// Budget for the queued (optiql) acquire: the FIFO queue removes the CAS
+// storm, so a head position is worth more attempts than a free-for-all spin —
+// but the budget stays bounded because the sorted lock phase holds earlier
+// write-set locks while waiting (DESIGN.md §13).
+constexpr int kQueuedLockAttempts = 256;
 
 uint64_t MakeTxnId(uint32_t thread_id, uint64_t seq) {
   return (static_cast<uint64_t>(thread_id) << 48) | (seq & ((1ULL << 48) - 1));
@@ -389,7 +395,9 @@ bool OccBase::LockWriteSet(TxnDescriptor* t) {
       we.locked = true;
       t->BindRow(static_cast<int32_t>(order[oi]), existing);
     } else {
-      if (!we.row->LockWithSpin(kLockSpins)) return false;
+      const int budget =
+          sync::OptiqlEnabled() ? kQueuedLockAttempts : kLockSpins;
+      if (!we.row->LockContended(budget)) return false;
       we.locked = true;
       if (we.row->IsAbsent()) return false;  // deleted under us; cleanup unlocks
     }

@@ -115,7 +115,11 @@ class ContentionManager {
   const ContentionOptions& options() const { return options_; }
 
  private:
-  struct State {
+  /// Cache-line aligned: each slot (with its abort ladder and per-reason
+  /// counters in local_stats) is touched on every attempt by one worker, and
+  /// the slots live behind per-worker heap allocations whose headers would
+  /// otherwise let two workers' ladders share a line.
+  struct alignas(kCacheLineSize) State {
     TxnStats local_stats;     // fallback sink when none is attached
     TxnStats* stats = nullptr;
     uint32_t consecutive_aborts = 0;
@@ -123,6 +127,8 @@ class ContentionManager {
     bool protected_mode = false;
     bool relief_tried = false;  // one relief attempt per logical transaction
   };
+  static_assert(sizeof(State) % kCacheLineSize == 0,
+                "per-worker retry state must occupy whole cache lines");
 
   TxnStats& stats(uint32_t thread_id) {
     State& st = *states_[thread_id];

@@ -62,9 +62,11 @@ inline constexpr size_t kNumAbortCauses =
 ///                                             examined; Fig. 7(c), 9(b))
 ///  - registrations                         -> ROCC overhead analysis (Fig. 12)
 ///
-/// Each worker thread owns one instance (cache-line padded); the runner
-/// merges them after the measured region.
-struct TxnStats {
+/// Each worker thread owns one instance; the runner merges them after the
+/// measured region. Cache-line aligned because the runner hands workers
+/// adjacent elements of a std::vector<TxnStats> — without the alignment the
+/// hottest per-commit counters of neighboring workers share a line.
+struct alignas(kCacheLineSize) TxnStats {
   uint64_t commits = 0;
   uint64_t aborts = 0;
   uint64_t scan_txn_commits = 0;
@@ -211,6 +213,10 @@ struct TxnStats {
                       : static_cast<double>(scan_txn_aborts) / static_cast<double>(total);
   }
 };
+
+static_assert(sizeof(TxnStats) % kCacheLineSize == 0 &&
+                  alignof(TxnStats) == kCacheLineSize,
+              "adjacent workers' stats sinks must not share a cache line");
 
 /// Counter value for one abort cause; pairs with kAbortCauses so reporting
 /// code can iterate causes without naming each field.

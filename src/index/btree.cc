@@ -102,21 +102,25 @@ Status BTree::Insert(uint64_t key, Row* row) {
       Inner* inner = static_cast<Inner*>(node);
       if (inner->count == kInnerMax) {
         // Eagerly split the full inner node while holding the parent lock.
-        if (parent != nullptr && !parent->TryUpgradeLock(pv)) { restart = true; break; }
-        if (!inner->TryUpgradeLock(v)) {
-          if (parent != nullptr) parent->WriteUnlock();
+        Node::LatchGuard pg, ig;
+        if (parent != nullptr && !parent->TryUpgradeLock(pv, pg)) {
+          restart = true;
+          break;
+        }
+        if (!inner->TryUpgradeLock(v, ig)) {
+          if (parent != nullptr) parent->WriteUnlock(pg);
           restart = true;
           break;
         }
         if (parent == nullptr &&
             root_.load(std::memory_order_acquire) != inner) {
-          inner->WriteUnlock();
+          inner->WriteUnlock(ig);
           restart = true;
           break;
         }
         SplitInner(parent, inner);
-        inner->WriteUnlock();
-        if (parent != nullptr) parent->WriteUnlock();
+        inner->WriteUnlock(ig);
+        if (parent != nullptr) parent->WriteUnlock(pg);
         restart = true;  // retry from the top with the new shape
         break;
       }
@@ -134,25 +138,27 @@ Status BTree::Insert(uint64_t key, Row* row) {
 
     Leaf* leaf = static_cast<Leaf*>(node);
     if (leaf->count == kLeafMax) {
-      if (parent != nullptr && !parent->TryUpgradeLock(pv)) continue;
-      if (!leaf->TryUpgradeLock(v)) {
-        if (parent != nullptr) parent->WriteUnlock();
+      Node::LatchGuard pg, lg;
+      if (parent != nullptr && !parent->TryUpgradeLock(pv, pg)) continue;
+      if (!leaf->TryUpgradeLock(v, lg)) {
+        if (parent != nullptr) parent->WriteUnlock(pg);
         continue;
       }
       if (parent == nullptr && root_.load(std::memory_order_acquire) != leaf) {
-        leaf->WriteUnlock();
+        leaf->WriteUnlock(lg);
         continue;
       }
       SplitLeaf(parent, leaf);
-      leaf->WriteUnlock();
-      if (parent != nullptr) parent->WriteUnlock();
+      leaf->WriteUnlock(lg);
+      if (parent != nullptr) parent->WriteUnlock(pg);
       continue;
     }
 
-    if (!leaf->TryUpgradeLock(v)) continue;
+    Node::LatchGuard lg;
+    if (!leaf->TryUpgradeLock(v, lg)) continue;
     const int slot = leaf->LowerBound(key);
     if (slot < leaf->count && leaf->keys[slot] == key) {
-      leaf->WriteUnlock();
+      leaf->WriteUnlock(lg);
       return Status::KeyExists();
     }
     for (int i = leaf->count; i > slot; i--) {
@@ -162,7 +168,7 @@ Status BTree::Insert(uint64_t key, Row* row) {
     leaf->keys[slot] = key;
     leaf->vals[slot] = row;
     leaf->count++;
-    leaf->WriteUnlock();
+    leaf->WriteUnlock(lg);
     size_.fetch_add(1, std::memory_order_relaxed);
     return Status::Ok();
   }
@@ -216,10 +222,11 @@ Status BTree::Remove(uint64_t key) {
     if (restart) continue;
 
     Leaf* leaf = static_cast<Leaf*>(node);
-    if (!leaf->TryUpgradeLock(v)) continue;
+    Node::LatchGuard lg;
+    if (!leaf->TryUpgradeLock(v, lg)) continue;
     const int slot = leaf->LowerBound(key);
     if (slot >= leaf->count || leaf->keys[slot] != key) {
-      leaf->WriteUnlock();
+      leaf->WriteUnlock(lg);
       return Status::NotFound();
     }
     for (int i = slot; i + 1 < leaf->count; i++) {
@@ -227,7 +234,7 @@ Status BTree::Remove(uint64_t key) {
       leaf->vals[i] = leaf->vals[i + 1];
     }
     leaf->count--;
-    leaf->WriteUnlock();
+    leaf->WriteUnlock(lg);
     size_.fetch_sub(1, std::memory_order_relaxed);
     return Status::Ok();
   }

@@ -3,7 +3,9 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/cacheline.h"
 #include "index/index.h"
+#include "sync/optiql.h"
 
 namespace rocc {
 
@@ -12,46 +14,45 @@ namespace btree_detail {
 constexpr int kInnerMax = 64;  ///< max keys per inner node
 constexpr int kLeafMax = 64;   ///< max entries per leaf
 
-/// Node header with an optimistic version latch (Leis et al., "The ART of
-/// Practical Synchronization"). Bit 0 is the write-lock bit; versions are
-/// even when unlocked and bumped by 2 on every unlock so optimistic readers
-/// detect concurrent modification and restart.
-struct Node {
-  std::atomic<uint64_t> version{0};
+/// Node header with an optimistic version latch (optimistic lock coupling,
+/// Leis et al., "The ART of Practical Synchronization"), backed by
+/// `sync::VersionLatch`: readers validate version snapshots and restart on
+/// interference exactly as before, while writers — under `--lock=optiql` —
+/// enqueue OptiQL-style on a per-node MCS queue instead of CAS-looping on a
+/// hot header word (DESIGN.md §13).
+///
+/// Cache-line aligned so the latch word of one hot node never false-shares
+/// with a sibling allocation; keys/children start on the next line.
+struct alignas(kCacheLineSize) Node {
+  sync::VersionLatch latch;
   bool is_leaf = false;
   uint16_t count = 0;
 
-  static constexpr uint64_t kLockedBit = 1;
+  /// Write-lock ownership token carried between upgrade and unlock.
+  using LatchGuard = sync::VersionLatch::Guard;
 
-  /// Returns a stable (unlocked) version snapshot, spinning past writers.
-  uint64_t StableVersion() const {
-    uint64_t v = version.load(std::memory_order_acquire);
-    while (v & kLockedBit) {
-      v = version.load(std::memory_order_acquire);
-    }
-    return v;
-  }
+  /// Returns a stable (unlocked) version snapshot, waiting out writers with
+  /// pause + capped exponential backoff.
+  uint64_t StableVersion() const { return latch.ReadLockOrRestart(); }
 
   bool Validate(uint64_t expected) const {
-    return version.load(std::memory_order_acquire) == expected;
+    return latch.CheckOrRestart(expected);
   }
 
-  bool TryUpgradeLock(uint64_t expected) {
-    return version.compare_exchange_strong(expected, expected | kLockedBit,
-                                           std::memory_order_acq_rel);
+  bool TryUpgradeLock(uint64_t expected, LatchGuard& g) {
+    return latch.UpgradeToWriteLockOrRestart(expected, g);
   }
 
-  void WriteLock() {
-    while (true) {
-      uint64_t v = StableVersion();
-      if (TryUpgradeLock(v)) return;
-    }
-  }
+  void WriteLock(LatchGuard& g) { latch.WriteLock(g); }
 
-  /// Clears the lock bit and advances the version counter in one store:
-  /// locked version is (v | 1) with v even, so adding 1 yields v + 2.
-  void WriteUnlock() { version.fetch_add(1, std::memory_order_release); }
+  /// Releases the write lock, advancing the version so concurrent optimistic
+  /// readers detect the modification and restart.
+  void WriteUnlock(LatchGuard& g) { latch.WriteUnlock(g); }
 };
+static_assert(sizeof(Node) == kCacheLineSize,
+              "Node header (latch + metadata) should occupy one cache line");
+static_assert(alignof(Node) == kCacheLineSize,
+              "hot latch words must not straddle or share cache lines");
 
 struct Inner : Node {
   uint64_t keys[kInnerMax];

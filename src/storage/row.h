@@ -78,6 +78,15 @@ struct Row {
   /// Spin up to `spins` attempts to take the lock.
   bool LockWithSpin(int spins);
 
+  /// Contention-robust bounded acquire for the validator's sorted lock phase
+  /// (DESIGN.md §13). Under `--lock=cas` this is LockWithSpin; under
+  /// `--lock=optiql` waiters queue FIFO on a cache-padded MCS stripe and only
+  /// the queue head retries the TID-word CAS, so hot records degrade to fair
+  /// queuing instead of a CAS storm. Bounded either way (the caller aborts
+  /// with kLockFail on false), and the packed TID layout is untouched — MVCC
+  /// and WAL consumers read the same word they always did.
+  bool LockContended(int attempts);
+
   /// Release the lock without changing version (abort path).
   void Unlock();
 

@@ -1,0 +1,359 @@
+#include "sync/optiql.h"
+
+#include <cassert>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+namespace rocc {
+namespace sync {
+
+namespace detail {
+std::atomic<uint8_t> g_lock_impl{static_cast<uint8_t>(LockImpl::kCas)};
+}  // namespace detail
+
+bool ParseLockImpl(const std::string& name, LockImpl* out) {
+  if (name == "cas") {
+    *out = LockImpl::kCas;
+    return true;
+  }
+  if (name == "optiql") {
+    *out = LockImpl::kOptiql;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// QNode pools.
+//
+// One slab of kQNodeSlotsPerThread qnodes per OS thread (fibers share their
+// host thread's slab: acquire and release always happen on the same OS
+// thread, so the free stack needs no synchronization). Slabs are registered
+// in a global table so a PREDECESSOR on another thread can resolve a
+// successor's id to a node pointer during handoff; they are never freed —
+// when a thread exits its tid goes back on a free list and the next new
+// thread reuses the slab (safe: a thread at exit holds no qnodes, so no
+// stale ids referencing the slab can be in flight).
+
+namespace {
+
+struct ThreadQPool {
+  QNode nodes[kQNodeSlotsPerThread];
+  // Free-slot stack, touched only by the owning OS thread.
+  uint16_t free_slots[kQNodeSlotsPerThread];
+  uint32_t free_top = 0;
+};
+
+std::atomic<ThreadQPool*> g_qpools[kMaxQNodeThreads] = {};
+
+std::mutex g_tid_mutex;
+std::vector<uint32_t> g_free_tids;
+uint32_t g_next_tid = 0;
+
+struct TidOwner {
+  uint32_t tid = UINT32_MAX;
+  ThreadQPool* pool = nullptr;
+
+  ~TidOwner() {
+    if (tid == UINT32_MAX) return;
+    assert(pool == nullptr || pool->free_top == kQNodeSlotsPerThread);
+    std::lock_guard<std::mutex> g(g_tid_mutex);
+    g_free_tids.push_back(tid);
+  }
+};
+
+thread_local TidOwner t_qowner;
+
+ThreadQPool* RegisterThisThread() {
+  uint32_t tid;
+  {
+    std::lock_guard<std::mutex> g(g_tid_mutex);
+    if (!g_free_tids.empty()) {
+      tid = g_free_tids.back();
+      g_free_tids.pop_back();
+    } else if (g_next_tid < kMaxQNodeThreads) {
+      tid = g_next_tid++;
+    } else {
+      return nullptr;  // callers fall back to the CAS path
+    }
+  }
+  ThreadQPool* pool = g_qpools[tid].load(std::memory_order_acquire);
+  if (pool == nullptr) {
+    pool = new ThreadQPool();
+    for (uint32_t i = 0; i < kQNodeSlotsPerThread; i++) {
+      pool->free_slots[i] = static_cast<uint16_t>(i);
+    }
+    pool->free_top = kQNodeSlotsPerThread;
+    // Release so cross-thread QNodeForId lookups see constructed nodes.
+    g_qpools[tid].store(pool, std::memory_order_release);
+  }
+  t_qowner.tid = tid;
+  t_qowner.pool = pool;
+  return pool;
+}
+
+}  // namespace
+
+uint16_t AcquireQNode() {
+  ThreadQPool* pool = t_qowner.pool;
+  if (pool == nullptr) {
+    pool = RegisterThisThread();
+    if (pool == nullptr) return 0;
+  }
+  if (pool->free_top == 0) return 0;  // exhausted: caller falls back to CAS
+  const uint16_t slot = pool->free_slots[--pool->free_top];
+  QNode& n = pool->nodes[slot];
+  n.next.store(0, std::memory_order_relaxed);
+  n.granted.store(0, std::memory_order_relaxed);
+  return static_cast<uint16_t>(t_qowner.tid * kQNodeSlotsPerThread + slot + 1);
+}
+
+void ReleaseQNode(uint16_t id) {
+  assert(id != 0);
+  const uint32_t idx = id - 1u;
+  const uint32_t tid = idx / kQNodeSlotsPerThread;
+  const uint16_t slot = static_cast<uint16_t>(idx % kQNodeSlotsPerThread);
+  // Only the acquiring OS thread releases (fibers run on their host thread).
+  assert(tid == t_qowner.tid);
+  (void)tid;
+  ThreadQPool* pool = t_qowner.pool;
+  assert(pool != nullptr && pool->free_top < kQNodeSlotsPerThread);
+  pool->free_slots[pool->free_top++] = slot;
+}
+
+QNode* QNodeForId(uint16_t id) {
+  assert(id != 0);
+  const uint32_t idx = id - 1u;
+  const uint32_t tid = idx / kQNodeSlotsPerThread;
+  ThreadQPool* pool = g_qpools[tid].load(std::memory_order_acquire);
+  assert(pool != nullptr);
+  return &pool->nodes[idx % kQNodeSlotsPerThread];
+}
+
+// ---------------------------------------------------------------------------
+// VersionLatch.
+
+uint64_t VersionLatch::StableSlow() const {
+  // Yielding backoff: under the fiber runtime the lock holder (or a queued
+  // writer that will become the holder) may be a suspended fiber on this
+  // same OS thread — a non-yielding spin would never let it run.
+  SpinBackoff backoff(/*cap_spins=*/256, /*yield=*/true);
+  for (;;) {
+    const uint64_t v = word_.load(std::memory_order_acquire);
+    if ((v & kLockedBit) == 0) return v;
+    backoff.Pause();
+  }
+}
+
+void VersionLatch::WriteLock(Guard& g) {
+  uint16_t qid = 0;
+  if (OptiqlEnabled()) qid = AcquireQNode();
+  if (qid != 0) {
+    AcquireQueued(qid);
+    g.qid = qid;
+    return;
+  }
+  // CAS mode, or qnode pool exhausted: bounded-free CAS loop with backoff.
+  g.qid = 0;
+  SpinBackoff backoff(/*cap_spins=*/256, /*yield=*/true);
+  uint64_t w = word_.load(std::memory_order_relaxed);
+  for (;;) {
+    if ((w & kLockedBit) != 0) {
+      backoff.Pause();
+      w = word_.load(std::memory_order_relaxed);
+      continue;
+    }
+    // Unlocked words carry no tail bits, so this cannot clobber a queue.
+    if (word_.compare_exchange_weak(w, w | kLockedBit,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+bool VersionLatch::UpgradeSlow(uint64_t expected, Guard& g) {
+  const uint16_t qid = AcquireQNode();
+  if (qid == 0) {
+    // Pool exhausted: degrade to the plain CAS upgrade.
+    g.qid = 0;
+    uint64_t e = expected;
+    return word_.compare_exchange_strong(e, expected | kLockedBit,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+  // Uncontended attempt: one CAS installs locked bit + ourselves as tail.
+  uint64_t e = expected;
+  if (word_.compare_exchange_strong(e, expected | kLockedBit | TailWord(qid),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+    g.qid = qid;
+    return true;
+  }
+  if ((e & kVersionMask) != (expected & kVersionMask)) {
+    // The version already moved: queuing can't help, restart immediately.
+    ReleaseQNode(qid);
+    return false;
+  }
+  // Same version but locked/queued: this is the CAS storm the queue exists
+  // for. Enqueue, wait our FIFO turn spinning on our own node, then
+  // revalidate — if no predecessor modified the node we win the upgrade with
+  // zero restarts; otherwise release unbumped and restart having waited out
+  // the burst instead of amplifying it.
+  AcquireQueued(qid);
+  g.qid = qid;
+  const uint64_t w = word_.load(std::memory_order_relaxed);
+  if ((w & kVersionMask) == (expected & kVersionMask)) return true;
+  Release(qid, /*bump=*/false);
+  g.qid = 0;
+  return false;
+}
+
+void VersionLatch::AcquireQueued(uint16_t qid) {
+  QNode* me = QNodeForId(qid);
+  SpinBackoff backoff(/*cap_spins=*/256, /*yield=*/true);
+  uint64_t w = word_.load(std::memory_order_acquire);
+  for (;;) {
+    const uint16_t tail = TailOf(w);
+    if (tail == 0) {
+      if ((w & kLockedBit) != 0) {
+        // Held by a queue-less (fallback CAS) owner: nothing to link behind,
+        // wait for the release.
+        backoff.Pause();
+        w = word_.load(std::memory_order_acquire);
+        continue;
+      }
+      // Unlocked: take the lock and install ourselves as tail in one CAS.
+      if (word_.compare_exchange_weak(w, w | kLockedBit | TailWord(qid),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        return;
+      }
+      continue;
+    }
+    // A queue exists (lock held throughout a handoff chain): swap ourselves
+    // in as the new tail, link behind the predecessor, and spin LOCALLY on
+    // our own granted flag — the shared word is touched exactly once.
+    if (!word_.compare_exchange_weak(w, (w & ~kTailMask) | TailWord(qid),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      continue;
+    }
+    QNodeForId(tail)->next.store(qid, std::memory_order_release);
+    while (me->granted.load(std::memory_order_acquire) == 0) backoff.Pause();
+    return;
+  }
+}
+
+void VersionLatch::Release(uint16_t qid, bool bump) {
+  QNode* me = QNodeForId(qid);
+  uint64_t w = word_.load(std::memory_order_relaxed);
+  while (TailOf(w) == qid) {
+    // No successor: clear locked bit + tail, optionally advancing the
+    // version, in one CAS. The unlocked word is again a bare (even) version.
+    const uint64_t ver = w & kVersionMask;
+    if (word_.compare_exchange_weak(w, bump ? ver + 2 : ver,
+                                    std::memory_order_release,
+                                    std::memory_order_relaxed)) {
+      ReleaseQNode(qid);
+      return;
+    }
+  }
+  // A successor swapped itself in as tail; wait for it to link behind us,
+  // publish our version step while the lock stays continuously held, and
+  // hand over by setting its granted flag.
+  SpinBackoff backoff(/*cap_spins=*/256, /*yield=*/true);
+  uint16_t succ;
+  while ((succ = me->next.load(std::memory_order_acquire)) == 0) {
+    backoff.Pause();
+  }
+  if (bump) {
+    // +2 advances the version field (bits 1..47) by one step and leaves the
+    // locked bit and tail field untouched. Readers cannot snapshot between
+    // this and the handoff: the locked bit never clears.
+    word_.fetch_add(2, std::memory_order_release);
+  }
+  QNodeForId(succ)->granted.store(1, std::memory_order_release);
+  ReleaseQNode(qid);
+}
+
+// ---------------------------------------------------------------------------
+// QueuedTryAcquire — bounded FIFO acquire for external try-locks.
+
+namespace {
+
+/// MCS tails for external try-lock queues, one per stripe, selected by
+/// hashing the lock's address. Cache-padded: neighboring stripes are hot.
+constexpr size_t kTryStripes = 2048;
+static_assert((kTryStripes & (kTryStripes - 1)) == 0, "must be a power of 2");
+
+CachePadded<std::atomic<uint16_t>> g_try_tails[kTryStripes];
+
+size_t StripeFor(const void* key) {
+  uint64_t h = reinterpret_cast<uintptr_t>(key);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<size_t>(h) & (kTryStripes - 1);
+}
+
+}  // namespace
+
+bool QueuedTryAcquire(const void* key, int attempts, bool (*try_fn)(void*),
+                      void* arg) {
+  const uint16_t qid = AcquireQNode();
+  if (qid == 0) {
+    // Pool exhausted: plain bounded retry, equivalent to the old spin path.
+    SpinBackoff backoff(/*cap_spins=*/64, /*yield=*/false);
+    for (int i = 0; i < attempts; i++) {
+      if (try_fn(arg)) return true;
+      backoff.Pause();
+    }
+    return false;
+  }
+
+  std::atomic<uint16_t>& tail = *g_try_tails[StripeFor(key)];
+  QNode* me = QNodeForId(qid);
+  const uint16_t pred = tail.exchange(qid, std::memory_order_acq_rel);
+  if (pred != 0) {
+    QNodeForId(pred)->next.store(qid, std::memory_order_release);
+    // Yielding wait: the predecessor may be a fiber on this OS thread. The
+    // wait is bounded — every queue head ahead of us gives up after
+    // `attempts` tries and hands the headship on FIFO.
+    SpinBackoff backoff(/*cap_spins=*/256, /*yield=*/true);
+    while (me->granted.load(std::memory_order_acquire) == 0) backoff.Pause();
+  }
+
+  // We are the queue head: only WE retry the try-lock — everyone behind us
+  // spins on their own node instead of hammering the lock word. The budget
+  // keeps this safe to call while holding other locks (sorted validator
+  // phase): stripes are shared across unrelated rows, so an unbounded wait
+  // could couple two lock orders into a cycle.
+  bool acquired = false;
+  SpinBackoff backoff(/*cap_spins=*/64, /*yield=*/true);
+  for (int i = 0; i < attempts; i++) {
+    if (try_fn(arg)) {
+      acquired = true;
+      break;
+    }
+    backoff.Pause();
+  }
+
+  // Pass the headship on (FIFO) whether or not we acquired.
+  uint16_t expected = qid;
+  if (!tail.compare_exchange_strong(expected, 0, std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+    SpinBackoff link_backoff(/*cap_spins=*/256, /*yield=*/true);
+    uint16_t succ;
+    while ((succ = me->next.load(std::memory_order_acquire)) == 0) {
+      link_backoff.Pause();
+    }
+    QNodeForId(succ)->granted.store(1, std::memory_order_release);
+  }
+  ReleaseQNode(qid);
+  return acquired;
+}
+
+}  // namespace sync
+}  // namespace rocc

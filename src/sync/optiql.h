@@ -1,0 +1,301 @@
+#pragma once
+
+// Contention-robust synchronization primitives (DESIGN.md §13).
+//
+// The hot synchronization points of this system — the B+Tree's optimistic
+// node latch and the row TID word's lock bit — were plain CAS loops. Under
+// the skewed cells the per-reason abort counters show what that costs: every
+// waiter hammers one shared cacheline, the CAS storm evicts the holder's
+// line, and lock_fail / ring_lost aborts dominate attribution while the
+// ContentionManager papers over the retries with backoff.
+//
+// OptiQL (Shi, Yan & Wang, "OptiQL: Robust Optimistic Locking for
+// Memory-Optimized Indexes", SIGMOD 2024) extends the classic MCS queue lock
+// with optimistic reads: the lock word doubles as an optimistic version, so
+//
+//  - readers stay completely latch-free (same stable-version / validate
+//    protocol as before, zero extra cost), and
+//  - writers under contention enqueue once on the shared word and then spin
+//    LOCALLY on their own cache-line-sized queue node until the predecessor
+//    hands the lock over — fair FIFO degradation instead of a CAS storm.
+//
+// This header provides:
+//
+//  - `VersionLatch`  : the OLC node latch. 64-bit word layout
+//                        [ tail qnode id : 16 | version : 47 | locked : 1 ]
+//                      Versions are even when unlocked and advance by one
+//                      version step (word += 2) per modifying writer, exactly
+//                      like the previous latch, so readers are untouched.
+//                      Invariant: the tail field is nonzero iff the locked
+//                      bit is set (acquires install both in one CAS, the
+//                      final release clears both in one CAS), hence an
+//                      UNLOCKED word always equals its bare version and
+//                      readers never need to mask anything.
+//  - `QueuedTryAcquire` : a bounded FIFO acquire path for EXTERNAL try-locks
+//                      whose word has no room for a queue (the packed Silo
+//                      TID word, bits 62/63 + 62-bit version, is fully
+//                      spoken for by MVCC and WAL consumers). Waiters queue
+//                      MCS-style on a cache-padded stripe keyed by the row
+//                      address; only the queue head retries the CAS.
+//  - `SpinBackoff`   : CPU-relax pause + capped exponential backoff for spin
+//                      loops, fiber-aware (a yielding waiter lets a
+//                      cooperatively-scheduled lock holder run; a bounded
+//                      no-yield variant preserves try-lock abort semantics).
+//
+// Both lock implementations are selectable at runtime (`--lock=cas|optiql`
+// in the benches, SetLockImpl here) so the paired-median A/B harness can
+// compare them in one process. Switching is only legal while no latch is
+// held or queued: idle words are bit-identical in both modes.
+//
+// Queue nodes come from per-worker pools (no allocation on the lock path)
+// and the handoff uses std::atomic release/acquire throughout, so
+// ThreadSanitizer sees every happens-before edge natively — the lock needs
+// no TSan annotations, unlike the deliberately-racy seqlock copy in
+// common/tsan.h.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/cacheline.h"
+#include "common/fiber.h"
+
+namespace rocc {
+namespace sync {
+
+// ---------------------------------------------------------------------------
+// Runtime lock-implementation selection.
+
+enum class LockImpl : uint8_t {
+  kCas = 0,     ///< plain CAS loops (the pre-OptiQL behavior)
+  kOptiql = 1,  ///< MCS queue + optimistic reads
+};
+
+namespace detail {
+extern std::atomic<uint8_t> g_lock_impl;
+}  // namespace detail
+
+inline LockImpl GetLockImpl() {
+  return static_cast<LockImpl>(detail::g_lock_impl.load(std::memory_order_relaxed));
+}
+
+/// Process-global switch. Only call while no latch is held or queued (e.g.
+/// between benchmark runs, before workers start).
+inline void SetLockImpl(LockImpl impl) {
+  detail::g_lock_impl.store(static_cast<uint8_t>(impl), std::memory_order_relaxed);
+}
+
+inline bool OptiqlEnabled() { return GetLockImpl() == LockImpl::kOptiql; }
+
+/// Parse "cas" / "optiql"; returns false (and leaves `out` alone) on typos.
+bool ParseLockImpl(const std::string& name, LockImpl* out);
+
+inline const char* LockImplName(LockImpl impl) {
+  return impl == LockImpl::kOptiql ? "optiql" : "cas";
+}
+
+// ---------------------------------------------------------------------------
+// SpinBackoff — pause + capped exponential backoff for spin loops.
+
+/// Replaces bare CpuRelax() spins. Each Pause() burns an exponentially
+/// growing (capped) number of pause instructions; once the cap is reached a
+/// yielding backoff additionally gives the core away so a descheduled lock
+/// holder can run.
+///
+/// Inside a fiber a *yielding* backoff switches fibers immediately: spinning
+/// is pure waste on the single OS thread, and a queue waiter that refuses to
+/// yield would deadlock with a holder fiber suspended at a yield point. The
+/// no-yield variant (bounded try-lock loops that must preserve their "give up
+/// and abort" semantics) keeps burning pauses exactly like the code it
+/// replaces.
+class SpinBackoff {
+ public:
+  explicit SpinBackoff(uint32_t cap_spins = 512, bool yield = true)
+      : cap_(cap_spins), yield_(yield) {}
+
+  void Pause() {
+    if (yield_ && FiberScheduler::InFiber()) {
+      FiberScheduler::YieldFiber();
+      return;
+    }
+    for (uint32_t i = 0; i < spins_; i++) CpuRelax();
+    if (spins_ < cap_) {
+      spins_ <<= 1;
+    } else if (yield_) {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  uint32_t spins_ = 1;
+  const uint32_t cap_;
+  const bool yield_;
+};
+
+// ---------------------------------------------------------------------------
+// Queue nodes.
+
+/// One MCS queue node. A waiter spins on its OWN node (`granted`), not on the
+/// shared lock word; the predecessor writes the successor's `granted` flag at
+/// handoff. Cache-line sized so two waiters never share a line.
+struct alignas(kCacheLineSize) QNode {
+  std::atomic<uint16_t> next{0};    ///< qnode id of the successor (0 = none)
+  std::atomic<uint8_t> granted{0};  ///< set by the predecessor at handoff
+};
+static_assert(sizeof(QNode) == kCacheLineSize,
+              "QNode must occupy exactly one cache line");
+
+/// Queue-node ids are 16-bit so they fit the VersionLatch word's tail field:
+/// id 0 is reserved for "no queue"; otherwise id-1 = tid * kSlots + slot.
+/// Slots are per OS thread; under the fiber runner every fiber of a scheduler
+/// shares its host thread's pool, so the slot count covers num_fibers × the
+/// maximum latches queued per fiber, not just the nesting depth.
+inline constexpr uint32_t kQNodeSlotsPerThread = 128;
+inline constexpr uint32_t kMaxQNodeThreads = 511;  // (511*128 + 128) <= 65535
+
+/// Pool accessors (sync/optiql.cc). AcquireQNode returns 0 when the calling
+/// thread's pool is exhausted; callers then fall back to the CAS path.
+uint16_t AcquireQNode();
+void ReleaseQNode(uint16_t id);
+QNode* QNodeForId(uint16_t id);
+
+// ---------------------------------------------------------------------------
+// VersionLatch — optimistic lock coupling latch with a queued write path.
+
+/// Optimistic version latch for B+Tree nodes (optimistic lock coupling, Leis
+/// et al.), extended OptiQL-style with an in-word MCS queue for writers.
+///
+/// Reader API (latch-free, identical in both lock modes):
+///   uint64_t v = latch.ReadLockOrRestart();   // stable version snapshot
+///   ... read node ...
+///   if (!latch.CheckOrRestart(v)) restart;
+///
+/// Writer API (Guard carries the queue node between lock and unlock):
+///   VersionLatch::Guard g;
+///   if (!latch.UpgradeToWriteLockOrRestart(v, g)) restart;
+///   ... modify node ...
+///   latch.WriteUnlock(g);
+///
+/// In kCas mode the upgrade is a single CAS and the unlock a fetch_add —
+/// bit-for-bit the pre-OptiQL latch. In kOptiql mode a failed upgrade CAS
+/// enqueues instead of restarting: the writer waits its FIFO turn spinning
+/// on its own qnode, then revalidates the version — if unchanged it owns the
+/// lock with zero restarts; if a predecessor modified the node it releases
+/// without bumping and the caller restarts, having waited out the burst
+/// instead of amplifying it.
+class VersionLatch {
+ public:
+  static constexpr uint64_t kLockedBit = 1;
+  static constexpr int kTailShift = 48;
+  static constexpr uint64_t kTailMask = 0xffffULL << kTailShift;
+  static constexpr uint64_t kVersionMask = ~(kTailMask | kLockedBit);
+
+  /// Write-lock ownership token; holds the queue-node id (0 in CAS mode or
+  /// when the qnode pool was exhausted and the acquire fell back to CAS).
+  struct Guard {
+    uint16_t qid = 0;
+  };
+
+  /// Returns a stable (unlocked) version snapshot, waiting out writers with
+  /// pause + capped exponential backoff (a yielding backoff: under fibers a
+  /// queued writer can be suspended holding the latch).
+  uint64_t ReadLockOrRestart() const {
+    const uint64_t v = word_.load(std::memory_order_acquire);
+    if ((v & kLockedBit) == 0) return v;
+    return StableSlow();
+  }
+
+  bool CheckOrRestart(uint64_t expected) const {
+    // An unlocked word carries no tail bits (see the invariant above), so the
+    // full-word compare rejects both version changes and a held lock.
+    return word_.load(std::memory_order_acquire) == expected;
+  }
+
+  /// Atomically upgrade a read snapshot to the write lock. Returns false when
+  /// the version moved (caller restarts); in optiql mode a contended upgrade
+  /// queues first and revalidates after the handoff.
+  bool UpgradeToWriteLockOrRestart(uint64_t expected, Guard& g) {
+    if (!OptiqlEnabled()) {
+      g.qid = 0;
+      uint64_t e = expected;
+      return word_.compare_exchange_strong(e, expected | kLockedBit,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire);
+    }
+    return UpgradeSlow(expected, g);
+  }
+
+  /// Unconditional write lock (queued in optiql mode, CAS loop otherwise).
+  void WriteLock(Guard& g);
+
+  /// Release after modifying: advances the version by one step so every
+  /// reader snapshot taken before the acquire fails validation.
+  void WriteUnlock(Guard& g) {
+    if (g.qid == 0) {
+      // Locked word is (v | 1) with v even; +1 yields v + 2.
+      word_.fetch_add(1, std::memory_order_release);
+      return;
+    }
+    Release(g.qid, /*bump=*/true);
+    g.qid = 0;
+  }
+
+  /// Release WITHOUT advancing the version (failed queued upgrade: nothing
+  /// was modified, so pre-queue reader snapshots must stay valid).
+  void WriteUnlockNoBump(Guard& g) {
+    if (g.qid == 0) {
+      const uint64_t w = word_.load(std::memory_order_relaxed);
+      word_.store(w & ~kLockedBit, std::memory_order_release);
+      return;
+    }
+    Release(g.qid, /*bump=*/false);
+    g.qid = 0;
+  }
+
+  bool IsLocked() const {
+    return (word_.load(std::memory_order_acquire) & kLockedBit) != 0;
+  }
+
+  /// Raw word, for tests and invariant checks.
+  uint64_t RawWord() const { return word_.load(std::memory_order_acquire); }
+
+ private:
+  uint64_t StableSlow() const;
+  bool UpgradeSlow(uint64_t expected, Guard& g);
+  /// Queue-based acquire; returns owning the lock (locked bit set, our id —
+  /// or a successor's — in the tail field).
+  void AcquireQueued(uint16_t qid);
+  void Release(uint16_t qid, bool bump);
+
+  static constexpr uint64_t TailWord(uint16_t qid) {
+    return static_cast<uint64_t>(qid) << kTailShift;
+  }
+  static constexpr uint16_t TailOf(uint64_t w) {
+    return static_cast<uint16_t>(w >> kTailShift);
+  }
+
+  std::atomic<uint64_t> word_{0};
+};
+static_assert(sizeof(VersionLatch) == sizeof(uint64_t),
+              "VersionLatch must stay one word: it is embedded per tree node");
+
+// ---------------------------------------------------------------------------
+// Bounded FIFO acquire for external try-locks (the row TID word).
+
+/// Bounded queued acquire of an external try-lock whose own word cannot hold
+/// a queue. Waiters enqueue MCS-style on a cache-padded stripe selected by
+/// `key` (the row address); the queue head alone retries `try_fn(arg)` with
+/// backoff, up to `attempts` times, then hands the headship to its successor
+/// FIFO either way. Returns whether the try-lock was acquired.
+///
+/// Boundedness is what makes this safe to call while holding other row locks
+/// (the validator's sorted lock phase): stripes are shared by unrelated rows,
+/// so unbounded waiting could couple two lock orders into a cycle — a head
+/// that exhausts its attempts instead returns false and the caller aborts,
+/// exactly like the spin path it replaces, just without the CAS storm.
+bool QueuedTryAcquire(const void* key, int attempts, bool (*try_fn)(void*),
+                      void* arg);
+
+}  // namespace sync
+}  // namespace rocc
