@@ -1,34 +1,53 @@
-// Multi-version snapshot-scan A/B: read-only bulk scans with and without the
-// multi-version row store.
+// Multi-version read-only-transaction A/B plus a prune-pressure eviction
+// cell.
 //
-// Two cells run the same composite hybrid-YCSB workload — Zipfian point
-// updates plus read-only range scans of --scan-len keys (default 100, the
-// regime where single-version validation aborts roughly half the scans):
+// Phase 1 — two cells run the same composite hybrid-YCSB workload: Zipfian
+// point updates plus READ-ONLY analytics transactions that mix a range scan
+// of --scan-len keys with --point-reads hot-key lookups (the general
+// read-only shape, not just a bare scan):
 //
-//   sv   rocc, single-version: read-only scans take the ordinary validated
-//        scan path and abort whenever a point writer commits into the
-//        scanned span between read and validation
-//   mv   rocc + multi-version row store: the same scans resolve every row
-//        against a frozen snapshot and can never validate-abort
+//   sv   rocc, single-version: the read-only transaction takes the ordinary
+//        validated path and aborts whenever a point writer commits into the
+//        scanned span — or dirties one of its point-read keys — between read
+//        and validation
+//   mv   rocc + multi-version row store: BeginReadOnly freezes one snapshot
+//        at the first read; the point reads and the scan all resolve against
+//        it and the transaction commits with no validation, no locks, no WAL
 //
 // Cells are interleaved within each repetition so ambient drift cancels out
 // of the paired deltas (same methodology as bench_obs_overhead). Reported
 // figures are medians across repetitions; the point-throughput comparison is
 // the median of per-rep PAIRED deltas.
 //
+// Phase 2 — snapshot-hold: a holder thread pins one snapshot for the whole
+// --hold-secs window (probing it with point reads) while full write traffic
+// hammers a hot key range. With the version-memory ceiling set
+// (--ceiling-mib) the prune-pressure check must evict the holder's snapshot,
+// the holder must observe kSnapshotEvicted and retry, and peak live version
+// bytes must stay bounded instead of growing with the hold.
+//
 // The binary exits nonzero when:
-//   - the mv cell's median scan abort rate >= --max-scan-abort (pct, def. 1)
+//   - the mv cell's median read-only abort rate >= --max-scan-abort (pct,
+//     default 1; the snapshot path's actual rate is 0)
 //   - the median paired point-txn throughput delta of mv vs sv exceeds
 //     --point-tol percent (default 3) — versioning must not tax OLTP
 //   - any run dropped transactions (give_ups != 0)
-//   - version nodes survive GcQuiesce (chain leak)
+//   - version nodes survive GcQuiesce (chain leak), or GcQuiesce found a
+//     held row latch (gc_locked_rows != 0)
+//   - the hold cell never evicted, the holder never aborted with
+//     kSnapshotEvicted, its abort causes fail to sum to its aborts, or peak
+//     live version bytes exceeded 4x the ceiling
 //
 // Extra flags: --ab (9 repetitions instead of 3), --reps N (override),
-// --scan-len N, --scan-frac F (default 0.1), --max-scan-abort P,
-// --point-tol P.
+// --scan-len N, --scan-frac F (default 0.1), --point-reads N (default 4),
+// --theta T (default 0.95), --max-scan-abort P, --point-tol P,
+// --hold-secs S (default 2.5), --ceiling-mib M (default 8).
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -64,15 +83,23 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(env.cfg.GetInt("reps", ab ? 9 : 3));
   const uint64_t scan_len = static_cast<uint64_t>(env.cfg.GetInt("scan-len", 100));
   const double scan_frac = env.cfg.GetDouble("scan-frac", 0.1);
+  const uint32_t point_reads =
+      static_cast<uint32_t>(env.cfg.GetInt("point-reads", 4));
+  const double theta = env.cfg.GetDouble("theta", 0.95);
   const double max_scan_abort = env.cfg.GetDouble("max-scan-abort", 1.0);
   const double point_tol = env.cfg.GetDouble("point-tol", 3.0);
-  PrintBanner("Snapshot scans vs validated scans (read-only bulk, composite load)",
+  const double hold_secs = env.cfg.GetDouble("hold-secs", 2.5);
+  const uint64_t ceiling_mib =
+      static_cast<uint64_t>(env.cfg.GetInt("ceiling-mib", 8));
+  PrintBanner("Read-only snapshot transactions vs validated reads (composite load)",
               env.Describe());
 
   YcsbOptions base;
+  base.theta = theta;  // hot writers into the read/scan space
   base.scan_length = scan_len;
   base.scan_txn_fraction = scan_frac;
-  base.read_only_scans = true;  // both cells: pure range reads
+  base.read_only_scans = true;            // both cells: read-only analytics
+  base.scan_txn_point_reads = point_reads;  // scan + point lookups per txn
   YcsbBench bench(env, base);
 
   YcsbOptions sv_opts = bench.options();
@@ -86,6 +113,8 @@ int main(int argc, char** argv) {
   uint64_t leaked_nodes = 0;
   uint64_t give_ups = 0;
   uint64_t mv_scans_total = 0, mv_chain_reads_total = 0;
+  uint64_t mv_snapshot_txns_total = 0, mv_point_reads_total = 0;
+  uint64_t mv_evicted_aborts = 0;
 
   for (int rep = 0; rep < reps; rep++) {
     // --- sv cell: single-version, validated read-only scans ---
@@ -107,6 +136,9 @@ int main(int argc, char** argv) {
     give_ups += mv.stats.give_ups;
     mv_scans_total += mv.stats.mv_snapshot_scans;
     mv_chain_reads_total += mv.stats.mv_chain_reads;
+    mv_snapshot_txns_total += mv.stats.mv_snapshot_txns;
+    mv_point_reads_total += mv.stats.mv_snapshot_point_reads;
+    mv_evicted_aborts += mv.stats.abort_snapshot_evicted;  // no ceiling: 0
     if (sv_point_tps.back() > 0) {
       point_delta_pct.push_back((sv_point_tps.back() - mv_point_tps.back()) /
                                 sv_point_tps.back() * 100.0);
@@ -136,9 +168,138 @@ int main(int argc, char** argv) {
                 F(static_cast<double>(live_bytes_peak) / (1 << 20), 2),
                 F(leaked_nodes)});
   Emit(env, table, "mvcc_ab");
-  std::printf("snapshot scans: %llu, chain reads: %llu\n",
-              static_cast<unsigned long long>(mv_scans_total),
-              static_cast<unsigned long long>(mv_chain_reads_total));
+  std::printf(
+      "snapshot txns: %llu (point reads: %llu, scans: %llu, chain reads: "
+      "%llu, evicted: %llu)\n",
+      static_cast<unsigned long long>(mv_snapshot_txns_total),
+      static_cast<unsigned long long>(mv_point_reads_total),
+      static_cast<unsigned long long>(mv_scans_total),
+      static_cast<unsigned long long>(mv_chain_reads_total),
+      static_cast<unsigned long long>(mv_evicted_aborts));
+
+  // --- Phase 2: snapshot-hold under full write load with a memory ceiling ---
+  //
+  // A holder pins one snapshot and probes it with point reads for the whole
+  // window while every other thread writes a hot key range as fast as it
+  // can. Without the ceiling the pinned chains would grow with wall clock;
+  // with it, the committer-side pressure check evicts the holder, who aborts
+  // with kSnapshotEvicted and re-pins near the watermark.
+  uint64_t hold_evictions = 0;
+  uint64_t holder_evicted_aborts = 0;
+  uint64_t holder_commits = 0;
+  uint64_t hold_write_commits = 0;
+  uint64_t hold_peak_live = 0;
+  uint64_t hold_leaked = 0;
+  uint64_t hold_gc_locked = 0;
+  bool holder_causes_sum = true;
+  {
+    bench.Reconfigure(mv_opts);
+    auto cc = CreateProtocol("rocc+mv", bench.db(), bench.workload(),
+                             env.threads + 1);
+    mv::VersionStore* vs = cc->version_store();
+    vs->SetLiveBytesCeiling(ceiling_mib << 20);
+    std::vector<TxnStats> hstats(env.threads + 1);
+    for (uint32_t i = 0; i <= env.threads; i++) cc->AttachThread(i, &hstats[i]);
+    const uint32_t table_id = bench.workload().table_id();
+    const uint32_t payload = bench.options().payload_size;
+    // Writers hammer a small hot range so prunable chains are re-touched (and
+    // reclaimed) quickly once the floor advances past the evicted snapshot.
+    const uint64_t hot_keys = std::min<uint64_t>(4096, env.rows);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> peak_live{0};
+    std::atomic<uint64_t> write_commits{0};
+
+    std::thread monitor([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t lb = vs->Telemetry().live_bytes();
+        uint64_t prev = peak_live.load(std::memory_order_relaxed);
+        while (lb > prev &&
+               !peak_live.compare_exchange_weak(prev, lb,
+                                                std::memory_order_relaxed)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+
+    std::atomic<uint64_t> holder_aborted{0}, holder_committed{0};
+    std::thread holder([&] {
+      const uint32_t tid = env.threads;
+      std::vector<char> buf(payload);
+      Rng rng(99);
+      while (!stop.load(std::memory_order_relaxed)) {
+        TxnDescriptor* t = cc->BeginReadOnly(tid);
+        bool aborted = false;
+        // Hold one frozen snapshot as long as the store allows, probing with
+        // a point read every couple of milliseconds; an eviction surfaces as
+        // an aborted read (or, raced with the final probe, a failed commit).
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (!cc->Read(t, table_id, rng.Uniform(hot_keys), buf.data()).ok()) {
+            aborted = true;
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        if (aborted) {
+          cc->Abort(t);
+          holder_aborted.fetch_add(1, std::memory_order_relaxed);
+        } else if (cc->Commit(t).ok()) {
+          holder_committed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          holder_aborted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+
+    std::vector<std::thread> writers;
+    for (uint32_t w = 0; w < env.threads; w++) {
+      writers.emplace_back([&, w] {
+        Rng rng(1234 + w);
+        uint64_t v = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          TxnDescriptor* t = cc->Begin(w);
+          if (!cc->Update(t, table_id, rng.Uniform(hot_keys), &v, sizeof(v), 0)
+                   .ok()) {
+            cc->Abort(t);
+            continue;
+          }
+          if (cc->Commit(t).ok()) {
+            write_commits.fetch_add(1, std::memory_order_relaxed);
+            v++;
+          }
+        }
+      });
+    }
+
+    std::this_thread::sleep_for(std::chrono::duration<double>(hold_secs));
+    stop.store(true);
+    holder.join();
+    for (auto& w : writers) w.join();
+    monitor.join();
+
+    hold_evictions = vs->Telemetry().snapshots_evicted;
+    holder_evicted_aborts = hstats[env.threads].abort_snapshot_evicted;
+    holder_commits = holder_committed.load();
+    hold_write_commits = write_commits.load();
+    hold_peak_live = peak_live.load();
+    holder_causes_sum = hstats[env.threads].aborts ==
+                        hstats[env.threads].AbortCauseSum();
+    vs->GcQuiesce(bench.db());
+    hold_leaked = vs->Telemetry().live_nodes();
+    hold_gc_locked = vs->Telemetry().gc_locked_rows;
+    leaked_nodes += hold_leaked + hold_gc_locked;
+    (void)holder_aborted;
+  }
+
+  ReportTable hold_table({"hold_secs", "write_commits", "evictions",
+                          "holder_evicted_aborts", "holder_commits",
+                          "peak_live_mib", "ceiling_mib", "leaked_nodes"});
+  hold_table.AddRow(
+      {F(hold_secs, 1), F(hold_write_commits), F(hold_evictions),
+       F(holder_evicted_aborts), F(holder_commits),
+       F(static_cast<double>(hold_peak_live) / (1 << 20), 2), F(ceiling_mib),
+       F(hold_leaked)});
+  Emit(env, hold_table, "mvcc_snapshot_hold");
 
   int rc = 0;
   const double mv_abort = Median(mv_scan_abort);
@@ -165,8 +326,45 @@ int main(int argc, char** argv) {
   }
   if (leaked_nodes != 0) {
     std::fprintf(stderr,
-                 "ERROR: %llu version nodes survived GcQuiesce (chain leak)\n",
+                 "ERROR: %llu version nodes survived GcQuiesce (chain leak / "
+                 "held latch)\n",
                  static_cast<unsigned long long>(leaked_nodes));
+    rc = 1;
+  }
+  if (mv_evicted_aborts != 0) {
+    std::fprintf(stderr,
+                 "ERROR: %llu snapshot evictions in the A/B cells, which run "
+                 "without a ceiling\n",
+                 static_cast<unsigned long long>(mv_evicted_aborts));
+    rc = 1;
+  }
+  if (hold_evictions == 0 || holder_evicted_aborts == 0) {
+    std::fprintf(stderr,
+                 "ERROR: the %.1fs hold under a %llu MiB ceiling produced "
+                 "%llu evictions and %llu kSnapshotEvicted aborts — the "
+                 "prune-pressure backoff never engaged\n",
+                 hold_secs, static_cast<unsigned long long>(ceiling_mib),
+                 static_cast<unsigned long long>(hold_evictions),
+                 static_cast<unsigned long long>(holder_evicted_aborts));
+    rc = 1;
+  }
+  if (!holder_causes_sum) {
+    std::fprintf(stderr,
+                 "ERROR: holder abort causes do not sum to its aborts\n");
+    rc = 1;
+  }
+  if (hold_peak_live > 4 * (ceiling_mib << 20)) {
+    std::fprintf(stderr,
+                 "ERROR: peak live version bytes %.2f MiB exceeded 4x the "
+                 "%llu MiB ceiling — eviction did not bound version memory\n",
+                 static_cast<double>(hold_peak_live) / (1 << 20),
+                 static_cast<unsigned long long>(ceiling_mib));
+    rc = 1;
+  }
+  if (hold_gc_locked != 0) {
+    std::fprintf(stderr,
+                 "ERROR: GcQuiesce found %llu rows still latched\n",
+                 static_cast<unsigned long long>(hold_gc_locked));
     rc = 1;
   }
   if (rc == 0) std::printf("mvcc budgets OK\n");

@@ -34,9 +34,26 @@ OccBase::OccBase(Database* db, uint32_t num_threads)
   for (uint32_t i = 0; i < num_threads; i++) {
     ctxs_.push_back(std::make_unique<ThreadCtx>());
   }
+  // A Database can outlive the protocol bound to it (benches re-bind fresh
+  // protocol instances to one loaded table; recovery restores rows from the
+  // WAL). Commit timestamps must dominate every version already installed in
+  // the rows — otherwise a snapshot frozen at the young clock finds rows
+  // whose version lies "in the future" with no chain behind them and misreads
+  // live data as invisible. Seed the clock from the row high-water mark, the
+  // same contract GlobalClock::AdvanceTo documents for recovery. (Plain OCC
+  // never noticed: it only compares TID words for equality within one
+  // instance's lifetime.)
+  uint64_t max_version = 0;
   for (size_t tbl = 0; tbl < db_->NumTables(); tbl++) {
     max_row_size_ = std::max(max_row_size_, db_->GetTable(tbl)->row_size());
+    db_->GetIndex(tbl)->ScanFrom(0, [&](uint64_t, Row* row) {
+      const uint64_t v =
+          TidWord::Version(row->tid.load(std::memory_order_relaxed));
+      max_version = std::max(max_version, v);
+      return true;
+    });
   }
+  clock_.AdvanceTo(max_version);
   for (auto& ctx : ctxs_) {
     ctx->scratch.resize(std::max<uint32_t>(max_row_size_, 8));
     ctx->local_image.resize(std::max<uint32_t>(max_row_size_, 8));
@@ -105,6 +122,15 @@ TxnDescriptor* OccBase::Begin(uint32_t thread_id) {
 }
 
 Status OccBase::Read(TxnDescriptor* t, uint32_t table_id, uint64_t key, void* out) {
+  // Declared-read-only transactions route every point read through the
+  // frozen snapshot: no readset entry, no validation at commit, and a locked
+  // (committing) writer never aborts the reader — the handshake in
+  // ReadAtSnapshot resolves it from the pre-image chain instead. The HasWrites
+  // guard keeps the descriptor usable as a plain OCC transaction when the
+  // caller wrote before reading (the snapshot could not overlay those writes).
+  if (t->snapshot_reads && mv_ != nullptr && !t->HasWrites()) {
+    return SnapshotPointRead(t, table_id, key, out);
+  }
   Row* row = db_->GetIndex(table_id)->Get(key);
   bool have_base = false;
   if (row != nullptr) {
@@ -518,7 +544,90 @@ void OccBase::FinishTxn(TxnDescriptor* t, TxnState final_state) {
   epoch_.Exit(thread_id);
 }
 
+Status OccBase::SnapshotPointRead(TxnDescriptor* t, uint32_t table_id,
+                                  uint64_t key, void* out) {
+  // The first read freezes the snapshot; every later read of this
+  // transaction — point or scan — shares the same pinned timestamp.
+  if (t->snapshot_ts == 0) {
+    t->snapshot_ts = mv_->AcquireSnapshot(t->thread_id);
+  }
+  TxnStats& s = stats(t->thread_id);
+  s.mv_snapshot_point_reads++;
+  Row* row = db_->GetIndex(table_id)->Get(key);
+  mv::SnapshotRead r = mv::SnapshotRead::kInvisible;
+  if (row != nullptr) {
+    r = mv_->ReadAtSnapshot(row, t->snapshot_ts, out, &s);
+  }
+  // Eviction check AFTER the chain read but BEFORE interpreting the result:
+  // a pruner that evicted this snapshot may have freed exactly the node the
+  // read needed, faking invisibility — or the handshake may have served a
+  // version newer than the snapshot. The slot-coherence argument
+  // (DESIGN.md §14.3) guarantees an evicted reader observes the sentinel
+  // here, so the transient wrong value is discarded by the abort — the same
+  // discipline OCC applies to dirty reads.
+  if (mv_->SnapshotEvicted(t->thread_id)) {
+    NoteAbortCause(t->thread_id, AbortReason::kSnapshotEvicted);
+    return Status::Aborted("snapshot evicted");
+  }
+  if (r == mv::SnapshotRead::kInvisible) return Status::NotFound();
+  return Status::Ok();
+}
+
+Status OccBase::CommitSnapshotReadOnly(TxnDescriptor* t) {
+  TxnStats& s = stats(t->thread_id);
+  const bool scan_txn = t->is_scan_txn;
+  const uint32_t tid = t->thread_id;
+  const uint64_t txn_id = t->txn_id;
+  const uint64_t begin_nanos = t->begin_nanos;
+  // Mandatory final eviction check: every read since the last check is only
+  // trustworthy if the snapshot stayed pinned through it. FinishTxn releases
+  // the slot (clearing a sentinel along the way), so this is the last point
+  // where the eviction is observable.
+  if (mv_->SnapshotEvicted(tid)) {
+    NoteAbortCause(tid, AbortReason::kSnapshotEvicted);
+    FinishTxn(t, TxnState::kAborted);
+    const uint64_t end = NowNanos();
+    s.abort_ns += end - begin_nanos;
+    s.aborts++;
+    if (scan_txn) s.scan_txn_aborts++;
+    if (obs::Enabled()) {
+      const ThreadCtx& ctx = *ctxs_[tid];
+      obs::SpanEvent(tid, obs::Phase::kExecute, begin_nanos, end, txn_id);
+      obs::TxnAbort(tid, end, txn_id,
+                    static_cast<uint8_t>(ctx.last_abort_reason),
+                    ctx.last_conflict_range);
+    }
+    return Status::Aborted("snapshot evicted");
+  }
+  FinishTxn(t, TxnState::kCommitted);
+  const uint64_t end = NowNanos();
+  s.read_write_ns += end - begin_nanos;
+  s.commits++;
+  s.mv_snapshot_txns++;
+  s.latency_all.Record(end - begin_nanos);
+  if (scan_txn) {
+    s.scan_txn_commits++;
+    s.latency_scan.Record(end - begin_nanos);
+  }
+  if (obs::Enabled()) {
+    // The whole transaction is one execute phase: no validate, no apply.
+    s.phase_execute.Record(end - begin_nanos);
+    obs::SpanEvent(tid, obs::Phase::kExecute, begin_nanos, end, txn_id);
+    obs::TxnCommit(tid, end, txn_id, scan_txn);
+  }
+  return Status::Ok();
+}
+
 Status OccBase::Commit(TxnDescriptor* t) {
+  // Read-only snapshot transactions commit trivially: every read was served
+  // at the frozen snapshot, so there is nothing to validate, no lock to
+  // take, no commit timestamp to draw, and no WAL record to write.
+  // (snapshot_ts != 0 implies mv_ != nullptr; writes are rejected once the
+  // snapshot is frozen, so HasWrites() can only hold for descriptors that
+  // wrote before their first read and never froze one.)
+  if (t->snapshot_ts != 0 && !t->HasWrites()) {
+    return CommitSnapshotReadOnly(t);
+  }
   TxnStats& s = stats(t->thread_id);
   const bool scan_txn = t->is_scan_txn;
   const uint32_t tid = t->thread_id;
@@ -649,6 +758,13 @@ Status OccBase::SnapshotScan(TxnDescriptor* t, uint32_t table_id,
         if (!want_more) return false;
         return !(limit != 0 && n >= limit);
       });
+  // Same eviction discipline as SnapshotPointRead: if the pinned snapshot
+  // was evicted mid-scan, the delivered records may mix versions — abort
+  // before reporting the scan as complete.
+  if (mv_->SnapshotEvicted(t->thread_id)) {
+    NoteAbortCause(t->thread_id, AbortReason::kSnapshotEvicted);
+    return Status::Aborted("snapshot evicted");
+  }
   s.scanned_records += n;
   s.mv_snapshot_scans++;
   s.mv_snapshot_records += n;

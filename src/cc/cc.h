@@ -55,6 +55,20 @@ class ConcurrencyControl {
 
   virtual TxnDescriptor* Begin(uint32_t thread_id) = 0;
 
+  /// Begin a transaction declared read-only up front. On protocols with a
+  /// multi-version store the descriptor's first read (point or scan) freezes
+  /// a snapshot timestamp; every subsequent read — across any number of
+  /// operations — is served at that same snapshot, and Commit is trivial
+  /// (no validation, no locks, no WAL record). Write operations on such a
+  /// descriptor return InvalidArgument once the snapshot is frozen. Without
+  /// a version store this is just Begin: reads take the OCC path and Commit
+  /// validates as usual, so callers need no fallback logic.
+  virtual TxnDescriptor* BeginReadOnly(uint32_t thread_id) {
+    TxnDescriptor* t = Begin(thread_id);
+    if (t != nullptr) t->snapshot_reads = true;
+    return t;
+  }
+
   /// Point read by key; copies the row payload into `out` (row_size bytes).
   virtual Status Read(TxnDescriptor* t, uint32_t table_id, uint64_t key,
                       void* out) = 0;
@@ -227,6 +241,21 @@ class OccBase : public ConcurrencyControl {
     ctx.last_abort_reason = reason;
     stats(thread_id).CountAbortCause(reason);
   }
+
+  /// Serve a point read at the transaction's frozen snapshot, freezing
+  /// t->snapshot_ts on the first read. No readset entry is recorded — the
+  /// snapshot guarantees the value, so there is nothing to validate later.
+  /// Returns Aborted (cause kSnapshotEvicted) when the pinned snapshot was
+  /// evicted under prune pressure.
+  Status SnapshotPointRead(TxnDescriptor* t, uint32_t table_id, uint64_t key,
+                           void* out);
+
+  /// Trivial commit for a read-only transaction whose reads were all served
+  /// at a frozen snapshot: no validation, no locks, no WAL record. Aborts
+  /// (cause kSnapshotEvicted) when the snapshot was evicted mid-flight —
+  /// mandatory final check, since a pruned chain can silently serve a
+  /// too-new value to an evicted reader.
+  Status CommitSnapshotReadOnly(TxnDescriptor* t);
 
   /// Record-level readset validation shared by every scheme.
   bool ValidateReadSet(TxnDescriptor* t);

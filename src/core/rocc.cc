@@ -77,9 +77,13 @@ Status Rocc::Commit(TxnDescriptor* t) {
 
 Status Rocc::Scan(TxnDescriptor* t, uint32_t table_id, uint64_t start_key,
                   uint64_t end_key, uint64_t limit, ScanConsumer* consumer) {
-  // Read-only bulk scans opt out of range validation entirely: resolve
-  // against the multi-version store at a frozen snapshot instead of fencing
-  // predicates against writer rings. Such a scan can never validate-abort.
+  // Declared-read-only transactions opt out of range validation entirely:
+  // resolve against the multi-version store at a frozen snapshot instead of
+  // fencing predicates against writer rings. Such a scan can never
+  // validate-abort. A multi-scan read-only transaction (BeginReadOnly) pins
+  // ONE snapshot across all its scans and point reads — OccBase freezes
+  // t->snapshot_ts on the first read, and every later operation reuses it —
+  // so the whole transaction observes a single consistent cut.
   if (t->snapshot_reads && !t->HasWrites() && version_store() != nullptr) {
     return SnapshotScan(t, table_id, start_key, end_key, limit, consumer);
   }

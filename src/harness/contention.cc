@@ -134,6 +134,10 @@ void ContentionManager::OnAbort(uint32_t thread_id, AbortReason reason, Rng& rng
     case AbortReason::kLockFail:
     case AbortReason::kReadValidation:
     case AbortReason::kExplicit:
+    // An evicted snapshot is not a data conflict: the immediate retry
+    // acquires a fresh snapshot near the watermark, whose chains the pruner
+    // keeps — the short ladder's first rung (no backoff) is the right policy.
+    case AbortReason::kSnapshotEvicted:
     case AbortReason::kNone:
     default: {
       // Short jittered spin breaks the symmetric-retrier livelock; the yield

@@ -12,6 +12,7 @@ uint64_t AbortCauseCount(const TxnStats& s, AbortReason r) {
     case AbortReason::kRingLost: return s.abort_ring_lost;
     case AbortReason::kUnresolved: return s.abort_unresolved;
     case AbortReason::kExplicit: return s.abort_explicit;
+    case AbortReason::kSnapshotEvicted: return s.abort_snapshot_evicted;
   }
   return 0;
 }

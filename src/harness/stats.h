@@ -20,6 +20,7 @@ enum class AbortReason : uint8_t {
   kRingLost,        ///< ring wrapped or slot overwritten
   kUnresolved,      ///< writer commit ts unresolved within the spin budget
   kExplicit,        ///< workload-initiated abort (no protocol conflict)
+  kSnapshotEvicted, ///< pinned snapshot evicted under version-memory pressure
 };
 
 /// Canonical short name for an abort reason. This is the single string table
@@ -36,6 +37,7 @@ constexpr const char* AbortReasonName(AbortReason r) {
     case AbortReason::kRingLost: return "ring_lost";
     case AbortReason::kUnresolved: return "unresolved";
     case AbortReason::kExplicit: return "explicit";
+    case AbortReason::kSnapshotEvicted: return "snapshot_evicted";
   }
   return "unknown";
 }
@@ -46,7 +48,7 @@ inline constexpr AbortReason kAbortCauses[] = {
     AbortReason::kDirtyRead,      AbortReason::kLockFail,
     AbortReason::kReadValidation, AbortReason::kScanConflict,
     AbortReason::kRingLost,       AbortReason::kUnresolved,
-    AbortReason::kExplicit,
+    AbortReason::kExplicit,       AbortReason::kSnapshotEvicted,
 };
 inline constexpr size_t kNumAbortCauses =
     sizeof(kAbortCauses) / sizeof(kAbortCauses[0]);
@@ -96,6 +98,7 @@ struct alignas(kCacheLineSize) TxnStats {
   uint64_t abort_ring_lost = 0;        ///< ring wrapped or slot overwritten
   uint64_t abort_unresolved = 0;       ///< writer commit ts unresolved in time
   uint64_t abort_explicit = 0;         ///< workload-initiated abort, no conflict
+  uint64_t abort_snapshot_evicted = 0; ///< pinned snapshot evicted under pressure
 
   // Multi-version row store (populated only when MVCC is enabled).
   // These are rate counters merged across workers; live-memory gauges come
@@ -106,6 +109,9 @@ struct alignas(kCacheLineSize) TxnStats {
   uint64_t mv_snapshot_scans = 0;      ///< SnapshotScan operator invocations
   uint64_t mv_snapshot_records = 0;    ///< records returned by snapshot scans
   uint64_t mv_chain_reads = 0;         ///< snapshot reads resolved off-row
+  uint64_t mv_snapshot_point_reads = 0;  ///< point reads resolved at a snapshot
+  uint64_t mv_snapshot_txns = 0;       ///< read-only snapshot txns committed
+                                       ///< (no validation, no locks, no WAL)
 
   // Retry-layer accounting (populated by the ContentionManager).
   uint64_t give_ups = 0;           ///< logical txns dropped: retry budget spent
@@ -153,11 +159,14 @@ struct alignas(kCacheLineSize) TxnStats {
     abort_ring_lost += o.abort_ring_lost;
     abort_unresolved += o.abort_unresolved;
     abort_explicit += o.abort_explicit;
+    abort_snapshot_evicted += o.abort_snapshot_evicted;
     mv_versions_installed += o.mv_versions_installed;
     mv_version_bytes_installed += o.mv_version_bytes_installed;
     mv_snapshot_scans += o.mv_snapshot_scans;
     mv_snapshot_records += o.mv_snapshot_records;
     mv_chain_reads += o.mv_chain_reads;
+    mv_snapshot_point_reads += o.mv_snapshot_point_reads;
+    mv_snapshot_txns += o.mv_snapshot_txns;
     give_ups += o.give_ups;
     escalations += o.escalations;
     protected_commits += o.protected_commits;
@@ -186,6 +195,7 @@ struct alignas(kCacheLineSize) TxnStats {
       case AbortReason::kRingLost: abort_ring_lost++; break;
       case AbortReason::kUnresolved: abort_unresolved++; break;
       case AbortReason::kExplicit: abort_explicit++; break;
+      case AbortReason::kSnapshotEvicted: abort_snapshot_evicted++; break;
       case AbortReason::kNone: break;
     }
   }
@@ -195,7 +205,7 @@ struct alignas(kCacheLineSize) TxnStats {
   uint64_t AbortCauseSum() const {
     return abort_dirty_read + abort_lock_fail + abort_read_validation +
            abort_scan_conflict + abort_ring_lost + abort_unresolved +
-           abort_explicit;
+           abort_explicit + abort_snapshot_evicted;
   }
 
   void Reset() {

@@ -4,8 +4,10 @@
 #include <cstring>
 
 #include "common/fiber.h"
+#include "common/timer.h"
 #include "common/tsan.h"
 #include "index/index.h"
+#include "obs/obs.h"
 #include "storage/database.h"
 
 namespace rocc {
@@ -24,10 +26,15 @@ VersionStore::VersionStore(GlobalClock* clock, EpochManager* epoch,
       num_threads_(num_threads),
       options_(options),
       watermark_(clock, num_threads),
-      snapshots_(num_threads) {
+      snapshots_(num_threads),
+      snapshot_acquired_ns_(num_threads) {
   for (auto& s : snapshots_) {
     s->store(CommitWatermark::kIdle, std::memory_order_relaxed);
   }
+  for (auto& a : snapshot_acquired_ns_) {
+    a->store(0, std::memory_order_relaxed);
+  }
+  ceiling_bytes_.store(options.max_live_bytes, std::memory_order_relaxed);
   workers_.reserve(num_threads);
   for (uint32_t i = 0; i < num_threads; i++) {
     workers_.push_back(std::make_unique<Worker>());
@@ -46,11 +53,16 @@ uint64_t VersionStore::AcquireSnapshot(uint32_t thread_id) {
   // second read and therefore used a floor <= the returned snapshot.
   const uint64_t pin = watermark_.SafeSnapshot();
   snapshots_[thread_id]->store(pin, std::memory_order_seq_cst);
+  snapshot_acquired_ns_[thread_id]->store(NowNanos(),
+                                          std::memory_order_relaxed);
   const uint64_t snap = watermark_.SafeSnapshot();  // >= pin (monotone)
   return snap;
 }
 
 void VersionStore::ReleaseSnapshot(uint32_t thread_id) {
+  // Unconditional: also clears a kEvictedSnapshot sentinel, so a stale
+  // eviction can never leak into the thread's next transaction.
+  snapshot_acquired_ns_[thread_id]->store(0, std::memory_order_relaxed);
   snapshots_[thread_id]->store(CommitWatermark::kIdle,
                                std::memory_order_release);
 }
@@ -62,9 +74,57 @@ uint64_t VersionStore::MinSnapshot() const {
   uint64_t m = watermark_.SafeSnapshot();
   for (uint32_t i = 0; i < num_threads_; i++) {
     const uint64_t v = snapshots_[i]->load(std::memory_order_seq_cst);
-    if (v != CommitWatermark::kIdle && v < m) m = v;
+    // kEvictedSnapshot pins nothing, same as kIdle: the victim will abort
+    // rather than read, so the floor may pass its former snapshot.
+    if (v != CommitWatermark::kIdle && v != kEvictedSnapshot && v < m) m = v;
   }
   return m;
+}
+
+uint64_t VersionStore::OldestSnapshotAgeNanos() const {
+  uint64_t oldest = 0;
+  for (uint32_t i = 0; i < num_threads_; i++) {
+    const uint64_t v = snapshots_[i]->load(std::memory_order_relaxed);
+    if (v == CommitWatermark::kIdle || v == kEvictedSnapshot) continue;
+    const uint64_t t = snapshot_acquired_ns_[i]->load(std::memory_order_relaxed);
+    if (t != 0 && (oldest == 0 || t < oldest)) oldest = t;
+  }
+  if (oldest == 0) return 0;
+  const uint64_t now = NowNanos();
+  return now > oldest ? now - oldest : 0;
+}
+
+bool VersionStore::EvictOldestSnapshot() {
+  uint32_t victim = 0;
+  uint64_t victim_snap = CommitWatermark::kIdle;
+  for (uint32_t i = 0; i < num_threads_; i++) {
+    const uint64_t v = snapshots_[i]->load(std::memory_order_seq_cst);
+    if (v == CommitWatermark::kIdle || v == kEvictedSnapshot) continue;
+    if (v < victim_snap) {
+      victim_snap = v;
+      victim = i;
+    }
+  }
+  if (victim_snap == CommitWatermark::kIdle) return false;  // nothing pinned
+  // CAS so a concurrent Release/Acquire by the owner wins: only the exact
+  // observed pin is replaced. seq_cst: every prune whose floor passed
+  // victim_snap is ordered after this store, so the victim's own
+  // SnapshotEvicted() load — ordered after any pruned chain state it could
+  // have observed — must see the sentinel.
+  uint64_t expected = victim_snap;
+  if (!snapshots_[victim]->compare_exchange_strong(
+          expected, kEvictedSnapshot, std::memory_order_seq_cst,
+          std::memory_order_seq_cst)) {
+    return false;  // owner moved on; pressure is already relieved
+  }
+  snapshots_evicted_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Enabled()) {
+    // Service ring, not the victim's worker ring: worker rings are
+    // single-producer (owner thread only) and the evictor is not the victim.
+    obs::ServiceEvent(obs::EventType::kSnapshotEvict, 0, NowNanos(), 0,
+                      victim_snap, victim);
+  }
+  return true;
 }
 
 Version* VersionStore::AllocNode(Worker& w, uint32_t payload_size) {
@@ -160,6 +220,15 @@ void VersionStore::InstallPredecessor(uint32_t thread_id, Row* row,
   }
 
   if (w.installs_until_refresh == 0) {
+    // Prune-pressure backoff, piggybacked on the floor refresh so the hot
+    // install path never sums per-worker counters: when live version bytes
+    // cross the ceiling, evict the oldest pinned snapshot — the floor then
+    // rises past it and the very prunes below reclaim its chains.
+    const uint64_t ceiling = ceiling_bytes_.load(std::memory_order_relaxed);
+    if (ceiling != 0) {
+      const MvTelemetry t = Telemetry();
+      if (t.live_bytes() > ceiling) EvictOldestSnapshot();
+    }
     w.floor = MinSnapshot();
     w.installs_until_refresh = options_.prune_refresh_interval;
   } else {
@@ -180,6 +249,11 @@ SnapshotRead VersionStore::ReadChain(const Version* head, uint64_t snapshot,
        n = n->next.load(std::memory_order_acquire)) {
     if (n->version() <= snapshot) {
       if (n->absent()) return SnapshotRead::kInvisible;
+      // Rows are fixed-size today, so the node's captured payload and the
+      // row's must agree; a future variable-size-row change must fail here
+      // loudly instead of over-reading the arena.
+      assert(n->payload_size == payload_size &&
+             "chain node payload size disagrees with the row");
       // Node payloads are immutable from publish until reuse, and reuse
       // waits out the epoch grace period — a plain copy is race-free.
       std::memcpy(out, n->Data(), payload_size);
@@ -234,6 +308,8 @@ SnapshotRead VersionStore::ReadAtSnapshot(const Row* row, uint64_t snapshot,
     const Version* head = row->versions.load(std::memory_order_acquire);
     if (head != nullptr && head->version() == v) {
       if (head->absent()) return SnapshotRead::kInvisible;
+      assert(head->payload_size == row->payload_size &&
+             "chain node payload size disagrees with the row");
       std::memcpy(out, head->Data(), row->payload_size);
       if (stats != nullptr) stats->mv_chain_reads++;
       return SnapshotRead::kChain;
@@ -280,7 +356,16 @@ uint64_t VersionStore::GcQuiesce(Database* db) {
     OrderedIndex* idx = db->GetIndex(t);
     dead_keys.clear();
     idx->ScanFrom(0, [&](uint64_t key, Row* row) {
-      if (!row->TryLock()) return true;  // orphaned placeholder; no chain
+      if (!row->TryLock()) {
+        // Quiesced, no transaction is in flight, so every row lock must be
+        // free: a held lock here is a leaked latch, and skipping the row
+        // also hides its (uncollected) chain from the leak oracle. Fail
+        // loudly in debug; count and report in release so CI's
+        // leaked-nodes assertion still trips.
+        assert(false && "GcQuiesce: row lock held while quiesced");
+        gc_locked_rows_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
       const uint64_t word =
           row->tid.load(std::memory_order_relaxed) & ~TidWord::kLockBit;
       PruneLocked(w, row, TidWord::Version(word), floor);
@@ -314,6 +399,8 @@ MvTelemetry VersionStore::Telemetry() const {
     t.freed += w->freed.load(std::memory_order_relaxed);
     t.freed_bytes += w->freed_bytes.load(std::memory_order_relaxed);
   }
+  t.snapshots_evicted = snapshots_evicted_.load(std::memory_order_relaxed);
+  t.gc_locked_rows = gc_locked_rows_.load(std::memory_order_relaxed);
   return t;
 }
 

@@ -25,6 +25,13 @@ struct MvOptions {
   /// per this many installs; between refreshes it prunes against the stale —
   /// and therefore conservative — floor. 0 means refresh on every install.
   uint32_t prune_refresh_interval = 32;
+  /// Prune-pressure ceiling: when live version bytes (installed - freed)
+  /// exceed this, the committer that notices evicts the OLDEST pinned
+  /// snapshot so pruning can advance past it (the victim aborts with
+  /// kSnapshotEvicted and retries on a fresh snapshot). 0 = unlimited —
+  /// chains grow as long as the oldest snapshot is held. Adjustable at
+  /// runtime via SetLiveBytesCeiling.
+  uint64_t max_live_bytes = 0;
 };
 
 /// Aggregated live-memory telemetry (sum over workers). `installed - freed`
@@ -39,6 +46,11 @@ struct MvTelemetry {
   uint64_t retired_bytes = 0;
   uint64_t freed = 0;          ///< grace period passed; node reusable
   uint64_t freed_bytes = 0;
+  uint64_t snapshots_evicted = 0;  ///< pinned snapshots evicted under pressure
+  /// Rows GcQuiesce could not lock. Under quiesce every row lock must be
+  /// free, so a nonzero count means a latch leaked (and the row's chain was
+  /// not collected) — CI treats it like a chain leak.
+  uint64_t gc_locked_rows = 0;
 
   uint64_t live_nodes() const { return installed - freed; }
   uint64_t live_bytes() const { return installed_bytes - freed_bytes; }
@@ -124,6 +136,34 @@ class VersionStore {
   /// Prune floor: no active (or future) snapshot is below this.
   uint64_t MinSnapshot() const;
 
+  /// Slot sentinel meaning "this thread's pinned snapshot was evicted under
+  /// prune pressure". Like kIdle it no longer pins the floor; unlike kIdle
+  /// the OWNER can still observe it and knows to abort. Distinct from kIdle
+  /// and above every real timestamp (timestamps fit kVersionMask).
+  static constexpr uint64_t kEvictedSnapshot = CommitWatermark::kIdle - 1;
+
+  /// Has `thread_id`'s pinned snapshot been evicted? The owner must check
+  /// after every snapshot read and before the trivial read-only commit: a
+  /// read that could have observed pruned-away state is ordered after the
+  /// eviction (see EvictOldestSnapshot), so a txn that sees its slot intact
+  /// here never consumed a wrongly-pruned chain.
+  bool SnapshotEvicted(uint32_t thread_id) const {
+    return snapshots_[thread_id]->load(std::memory_order_seq_cst) ==
+           kEvictedSnapshot;
+  }
+
+  /// Runtime knob for MvOptions::max_live_bytes (0 = unlimited).
+  void SetLiveBytesCeiling(uint64_t bytes) {
+    ceiling_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  uint64_t LiveBytesCeiling() const {
+    return ceiling_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Age of the oldest pinned snapshot in nanoseconds (0 when none is
+  /// pinned). Telemetry only — racy by nature.
+  uint64_t OldestSnapshotAgeNanos() const;
+
   // --- Commit-time version install ---
 
   /// Link the pre-image of `row` (which the caller holds LOCKED and has not
@@ -200,6 +240,15 @@ class VersionStore {
   Version* AllocNode(Worker& w, uint32_t payload_size);
   void FreeNode(Worker& w, Version* node);
 
+  /// Evict the thread with the oldest (smallest) pinned snapshot by CASing
+  /// its slot to kEvictedSnapshot. Returns true when a snapshot was evicted.
+  /// Safety: a pruner can only compute a floor above the evicted value S
+  /// after observing the slot no longer holds S; the victim's later
+  /// SnapshotEvicted() check is ordered after any chain state the pruner
+  /// unlinked (coherence on the slot through the unlink's release store), so
+  /// the victim always notices before committing (DESIGN.md §14.3).
+  bool EvictOldestSnapshot();
+
   /// Unlink every node at/below the floor from `row`'s chain (caller holds
   /// the row lock; `upper` is the version bound of the newest chain node)
   /// and retire the suffix on worker `w`. Returns the surviving chain length.
@@ -213,9 +262,15 @@ class VersionStore {
   const uint32_t num_threads_;
   const MvOptions options_;
   CommitWatermark watermark_;
-  /// Active snapshot per thread (CommitWatermark::kIdle when none).
+  /// Active snapshot per thread (CommitWatermark::kIdle when none,
+  /// kEvictedSnapshot after a prune-pressure eviction).
   std::vector<CachePadded<std::atomic<uint64_t>>> snapshots_;
+  /// Wall-clock of each thread's AcquireSnapshot (0 when idle); telemetry.
+  std::vector<CachePadded<std::atomic<uint64_t>>> snapshot_acquired_ns_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<uint64_t> ceiling_bytes_{0};
+  std::atomic<uint64_t> snapshots_evicted_{0};
+  std::atomic<uint64_t> gc_locked_rows_{0};
 };
 
 }  // namespace mv

@@ -130,6 +130,7 @@ void EmitEvent(FdWriter& w, const TraceEvent& e, uint64_t base_ns, bool* first) 
       break;
     case EventType::kVersionInstall:
     case EventType::kVersionGc:
+    case EventType::kSnapshotEvict:
       w.Printf(
           "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
           "\"cat\":\"mv\",\"ts\":%.3f,\"args\":{\"a\":%llu,\"b\":%u}}",

@@ -34,6 +34,7 @@ const char* EventTypeName(EventType t) {
     case EventType::kVersionInstall: return "version_install";
     case EventType::kVersionGc: return "version_gc";
     case EventType::kSnapshotScan: return "snapshot_scan";
+    case EventType::kSnapshotEvict: return "snapshot_evict";
   }
   return "unknown";
 }

@@ -44,6 +44,8 @@ enum class EventType : uint8_t {
   kVersionInstall,  ///< MVCC pre-images linked at commit; a = node count
   kVersionGc,     ///< MVCC reclaim pass freed nodes; a = nodes, b = pending
   kSnapshotScan,  ///< snapshot scan finished; a = records, b = chain reads
+  kSnapshotEvict, ///< pinned snapshot evicted under prune pressure;
+                  ///< tid = victim thread, a = evicted snapshot ts
 };
 
 const char* EventTypeName(EventType t);

@@ -112,7 +112,8 @@ std::string PrometheusSnapshot(const TxnStats& s, const std::string& labels) {
 
   // Multi-version row store rates; present only when the run used MVCC so
   // single-version snapshots stay unchanged.
-  if (s.mv_versions_installed != 0 || s.mv_snapshot_scans != 0) {
+  if (s.mv_versions_installed != 0 || s.mv_snapshot_scans != 0 ||
+      s.mv_snapshot_txns != 0) {
     Counter(&out, "rocc_mv_versions_installed_total",
             "Pre-image version nodes linked at commit", labels,
             s.mv_versions_installed);
@@ -127,6 +128,12 @@ std::string PrometheusSnapshot(const TxnStats& s, const std::string& labels) {
     Counter(&out, "rocc_mv_chain_reads_total",
             "Snapshot reads resolved from a version chain (not the row)",
             labels, s.mv_chain_reads);
+    Counter(&out, "rocc_mv_snapshot_point_reads_total",
+            "Point reads served at a frozen snapshot", labels,
+            s.mv_snapshot_point_reads);
+    Counter(&out, "rocc_mv_snapshot_txns_total",
+            "Read-only snapshot transactions committed without validation",
+            labels, s.mv_snapshot_txns);
     if (s.mv_chain_length.count() != 0) {
       Hist(&out, "rocc_mv_chain_length",
            "Version-chain length observed after install plus prune", labels,
@@ -180,6 +187,16 @@ void AppendMvGauges(std::string* out, const MvGauges& g,
         "Version nodes installed and not yet reclaimed", labels, g.live_nodes);
   Gauge(out, "rocc_mv_live_version_bytes",
         "Bytes held by live version nodes", labels, g.live_bytes);
+  Gauge(out, "rocc_mv_snapshots_evicted",
+        "Pinned snapshots evicted under prune pressure", labels,
+        g.snapshots_evicted);
+  Appendf(out,
+          "# HELP rocc_mv_oldest_snapshot_age_seconds Age of the oldest "
+          "pinned snapshot\n"
+          "# TYPE rocc_mv_oldest_snapshot_age_seconds gauge\n"
+          "rocc_mv_oldest_snapshot_age_seconds{%s} %.6f\n",
+          labels.c_str(),
+          static_cast<double>(g.oldest_snapshot_age_ns) / 1e9);
 }
 
 // ---------------------------------------------------------------------------
@@ -301,6 +318,9 @@ void PrometheusStreamer::AccountLocked(const TraceEvent& e) {
       counters_.snapshot_scans++;
       counters_.snapshot_records += e.a;
       break;
+    case EventType::kSnapshotEvict:
+      counters_.snapshot_evictions++;
+      break;
     default:
       break;
   }
@@ -343,6 +363,9 @@ bool PrometheusStreamer::WriteLocked() {
   Counter(&out, "rocc_stream_snapshot_records_total",
           "Records returned by snapshot scans (sampled)", options_.labels,
           c.snapshot_records);
+  Counter(&out, "rocc_stream_snapshot_evictions_total",
+          "Pinned snapshots evicted under prune pressure (exact)",
+          options_.labels, c.snapshot_evictions);
   Counter(&out, "rocc_stream_trace_events_total",
           "Trace events delivered to the streamer", options_.labels,
           c.events_seen);

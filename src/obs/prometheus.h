@@ -33,9 +33,12 @@ bool WritePrometheusSnapshot(const TxnStats& stats, const std::string& labels,
 struct MvGauges {
   uint64_t live_nodes = 0;  ///< version nodes installed and not yet freed
   uint64_t live_bytes = 0;  ///< bytes held by live version nodes
+  uint64_t snapshots_evicted = 0;  ///< pinned snapshots evicted (counter)
+  uint64_t oldest_snapshot_age_ns = 0;  ///< age of the oldest pinned snapshot
 };
 
-/// Append `rocc_mv_live_versions` / `rocc_mv_live_version_bytes` gauge lines.
+/// Append `rocc_mv_live_versions` / `rocc_mv_live_version_bytes` gauge lines
+/// plus the snapshot-pressure series (evictions, oldest pinned age).
 void AppendMvGauges(std::string* out, const MvGauges& g,
                     const std::string& labels);
 
@@ -57,6 +60,7 @@ struct StreamCounters {
   uint64_t version_nodes = 0;      ///< pre-image nodes linked (sampled)
   uint64_t snapshot_scans = 0;     ///< snapshot scans finished (sampled)
   uint64_t snapshot_records = 0;   ///< records those scans returned (sampled)
+  uint64_t snapshot_evictions = 0;  ///< pinned snapshots evicted (exact)
   uint64_t events_seen = 0;     ///< trace events delivered to the streamer
   uint64_t events_dropped = 0;  ///< events that wrapped out before a drain
 };

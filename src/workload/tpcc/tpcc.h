@@ -28,6 +28,13 @@ struct TpccOptions {
   /// Customers covered by the bulk reward scan (100..3000 in Fig. 6).
   uint32_t bulk_scan_length = 3000;
   double bulk_reward = 100.0;
+  /// Run the bulk transaction as a read-only top-shopper QUERY instead of the
+  /// reward update: the customer scan plus the winner/district/warehouse
+  /// point reads all execute at one frozen snapshot (BeginReadOnly), so the
+  /// bulk transaction never validate-aborts against Payment/NewOrder writers.
+  /// No rows change, so the YTD invariant is trivially preserved. Requires
+  /// MVCC for the snapshot path; without it the reads take the OCC path.
+  bool snapshot_bulk = false;
 
   /// Probability (percent) that Payment pays through a remote warehouse —
   /// these are the cross-warehouse conflicts with local bulk scans (§V-B).
@@ -78,6 +85,10 @@ class TpccWorkload : public Workload {
   bool CheckOrderInvariant() const;
 
  private:
+  /// Read-only variant of the bulk transaction (see TpccOptions::snapshot_bulk):
+  /// top-shopper scan + winner detail point reads at one frozen snapshot.
+  Status DoBulkTopShopper(ConcurrencyControl* cc, uint32_t thread_id, Rng& rng);
+
   TpccOptions options_;
   tpcc::TableIds tables_;
   Database* db_ = nullptr;

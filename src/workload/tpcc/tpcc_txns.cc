@@ -304,8 +304,43 @@ Status TpccWorkload::DoStockLevel(ConcurrencyControl* cc, uint32_t thread_id,
   return cc->Commit(t);
 }
 
+Status TpccWorkload::DoBulkTopShopper(ConcurrencyControl* cc,
+                                      uint32_t thread_id, Rng& rng) {
+  const uint32_t num_wh = options_.num_warehouses;
+  const uint32_t w = thread_id % num_wh;
+  const uint32_t scan_len =
+      std::min<uint32_t>(options_.bulk_scan_length, kCustomersPerWarehouse);
+  const uint64_t base = CustomerKey(w, 0, 0);
+  const uint64_t offset = rng.Uniform(kCustomersPerWarehouse - scan_len + 1);
+  const uint64_t start = base + offset;
+
+  // The whole query — customer scan, winner read, district and warehouse
+  // detail reads — executes at the snapshot frozen by the first read, so the
+  // report is a single consistent cut and the commit is trivial.
+  TxnDescriptor* t = cc->BeginReadOnly(thread_id);
+  t->is_scan_txn = true;
+
+  TopShopperConsumer top(/*since=*/0);
+  TPCC_TRY(cc->Scan(t, tables_.customer, start, 0, scan_len, &top));
+  if (!top.found()) return cc->Commit(t);
+
+  const uint64_t winner = top.best_key();
+  CustomerRow cust;
+  TPCC_TRY(cc->Read(t, tables_.customer, winner, &cust));
+
+  const uint64_t d_key = DistrictOfCustomerKey(winner);
+  DistrictRow dist;
+  TPCC_TRY(cc->Read(t, tables_.district, d_key, &dist));
+
+  WarehouseRow wh;
+  TPCC_TRY(cc->Read(t, tables_.warehouse, WarehouseKey(w), &wh));
+
+  return cc->Commit(t);
+}
+
 Status TpccWorkload::DoBulkReward(ConcurrencyControl* cc, uint32_t thread_id,
                                   Rng& rng) {
+  if (options_.snapshot_bulk) return DoBulkTopShopper(cc, thread_id, rng);
   const uint32_t num_wh = options_.num_warehouses;
   // Bulk transactions scan only the thread's local warehouse (§V-B).
   const uint32_t w = thread_id % num_wh;

@@ -73,13 +73,17 @@ YcsbWorkload::Plan YcsbWorkload::GeneratePlan(Rng& rng) const {
   plan.is_scan = rng.NextDouble() < options_.scan_txn_fraction;
   const bool scan_reads_only =
       options_.read_only_scans || options_.snapshot_scans;
-  const uint32_t n_ops = plan.is_scan
-                             ? (scan_reads_only ? 0 : options_.scan_txn_updates)
-                             : options_.ops_per_txn;
+  // Read-only bulk transactions drop their updates but may carry point READS
+  // alongside the scan (the analytics shape: range aggregate + hot lookups).
+  const uint32_t n_ops =
+      plan.is_scan ? (scan_reads_only ? options_.scan_txn_point_reads
+                                      : options_.scan_txn_updates)
+                   : options_.ops_per_txn;
   plan.num_ops = std::min<uint32_t>(n_ops, 16);
   for (uint32_t i = 0; i < plan.num_ops; i++) {
     plan.ops[i].is_write =
-        plan.is_scan || rng.NextDouble() >= options_.read_fraction;
+        plan.is_scan ? !scan_reads_only
+                     : rng.NextDouble() >= options_.read_fraction;
     plan.ops[i].key = zipf_.Next(rng);
   }
   if (plan.is_scan) {
@@ -90,7 +94,22 @@ YcsbWorkload::Plan YcsbWorkload::GeneratePlan(Rng& rng) const {
 
 Status YcsbWorkload::TryOnce(ConcurrencyControl* cc, uint32_t thread_id,
                              const Plan& plan, std::vector<char>& buf, Rng& rng) {
-  TxnDescriptor* t = cc->Begin(thread_id);
+  // EVERY read-only transaction — pure scan, scan + point reads, or an
+  // all-read simple transaction — declares itself up front so its reads are
+  // served at one frozen snapshot and its commit skips validation. (An
+  // earlier version only marked the descriptor when the plan had zero ops,
+  // which sent mixed point-read/scan analytics transactions through the
+  // validating path where hot Zipfian writers abort them.)
+  bool read_only = true;
+  for (uint32_t i = 0; i < plan.num_ops; i++) {
+    if (plan.ops[i].is_write) {
+      read_only = false;
+      break;
+    }
+  }
+  const bool want_snapshot = options_.snapshot_scans && read_only;
+  TxnDescriptor* t =
+      want_snapshot ? cc->BeginReadOnly(thread_id) : cc->Begin(thread_id);
   t->is_scan_txn = plan.is_scan;
 
   for (uint32_t i = 0; i < plan.num_ops; i++) {
@@ -110,11 +129,10 @@ Status YcsbWorkload::TryOnce(ConcurrencyControl* cc, uint32_t thread_id,
   if (plan.is_scan) {
     SumConsumer consumer;
     Status st;
-    if (options_.snapshot_scans && plan.num_ops == 0) {
-      // Pure bulk read at a frozen snapshot. Marking the descriptor also
-      // lets protocols that route inside Scan (Rocc) pick the snapshot path
-      // for callers that never heard of SnapshotScan.
-      t->snapshot_reads = true;
+    if (t->snapshot_reads) {
+      // Bulk read at the transaction's frozen snapshot — shared with any
+      // point reads above. Calling SnapshotScan directly also covers
+      // protocols that do not route inside Scan (Rocc does).
       st = cc->SnapshotScan(t, table_id_, plan.scan_start, /*end_key=*/0,
                             options_.scan_length, &consumer);
     } else {

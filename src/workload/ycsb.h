@@ -32,6 +32,12 @@ struct YcsbOptions {
   /// Implies read_only_scans (a snapshot transaction rejects writes); falls
   /// back to the protocol's ordinary scan when MVCC is not enabled.
   bool snapshot_scans = false;
+  /// Point READ ops added to every read-only bulk transaction, mixed with
+  /// the scan — the "analytics transaction" shape: a range aggregate plus a
+  /// handful of hot-key lookups, all at one consistent cut. Only takes
+  /// effect when the bulk transaction is read-only (read_only_scans or
+  /// snapshot_scans); capped at 16 like ops_per_txn.
+  uint32_t scan_txn_point_reads = 0;
 
   uint32_t num_ranges = 0;     ///< logical ranges (0 = scale the paper's 16384)
   uint32_t max_retries = 1000;

@@ -408,6 +408,180 @@ TEST(MvccFiberE2E, SnapshotFlagFallsBackWithoutVersionStore) {
 }
 
 // --------------------------------------------------------------------------
+// General read-only snapshot transactions
+// --------------------------------------------------------------------------
+
+// Regression: a read-only transaction that mixes point reads WITH its scan
+// (the analytics shape) must route through the snapshot path end to end and
+// never validate-abort, no matter how hot the concurrent Zipfian writers
+// are. An earlier version only marked the descriptor when the plan had zero
+// point ops, so these transactions validated — and aborted — like plain OCC.
+TEST(MvccReadOnlyTxn, MixedPointReadsAndScansNeverValidateAbort) {
+  YcsbOptions opts;
+  opts.num_rows = 20000;
+  opts.theta = 0.95;  // hot point writes into the read/scan space
+  opts.scan_txn_fraction = 0.3;
+  opts.scan_length = 100;
+  opts.snapshot_scans = true;
+  opts.scan_txn_point_reads = 4;  // scan + hot-key lookups, one consistent cut
+  YcsbWorkload workload(opts);
+  Database db;
+  workload.Load(&db);
+
+  auto cc = CreateProtocol("rocc+mv", &db, workload, /*num_threads=*/16);
+  ASSERT_NE(cc->version_store(), nullptr);
+
+  RunOptions run;
+  run.num_threads = 16;
+  run.txns_per_thread = 300;
+  run.warmup_txns_per_thread = 20;
+  run.mode = ExecMode::kFibers;
+  const RunResult r = RunExperiment(cc.get(), &workload, run);
+
+  EXPECT_GT(r.stats.scan_txn_commits, 0u);
+  EXPECT_EQ(r.stats.scan_txn_aborts, 0u);
+  EXPECT_GT(r.stats.mv_snapshot_point_reads, 0u);
+  EXPECT_GT(r.stats.mv_snapshot_txns, 0u);
+  EXPECT_GT(r.stats.mv_snapshot_scans, 0u);
+  EXPECT_EQ(r.stats.abort_snapshot_evicted, 0u);  // no ceiling: nothing evicts
+  EXPECT_EQ(r.stats.give_ups, 0u);
+  EXPECT_EQ(r.stats.aborts, r.stats.AbortCauseSum());
+
+  mv::VersionStore* vs = cc->version_store();
+  vs->GcQuiesce(&db);
+  EXPECT_EQ(vs->Telemetry().live_nodes(), 0u);
+  EXPECT_EQ(vs->Telemetry().gc_locked_rows, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Prune-pressure snapshot eviction
+// --------------------------------------------------------------------------
+
+// A long-held snapshot under sustained writes: once live version bytes cross
+// the ceiling, the committer-side pressure check evicts the oldest pinned
+// snapshot. The victim aborts with kSnapshotEvicted — counted exactly once,
+// summing into `aborts` — on its next read AND (separately) at its trivial
+// commit; a retry gets a fresh snapshot and commits. Afterwards a full
+// quiesce must find zero leaked nodes and zero leaked row latches.
+TEST(MvccSnapshotEviction, LongHeldSnapshotEvictedUnderPressure) {
+  constexpr uint64_t kKeys = 64;
+  constexpr uint32_t kPayload = 64;
+
+  Database db;
+  Schema schema({{"v", kPayload, 0}});
+  const uint32_t table = db.CreateTable("t", std::move(schema));
+  for (uint64_t k = 0; k < kKeys; k++) {
+    char payload[kPayload] = {};
+    db.LoadRow(table, k, payload);
+  }
+
+  SiloLrv cc(&db, 2);
+  ASSERT_TRUE(cc.EnableMvcc());
+  mv::VersionStore* vs = cc.version_store();
+  TxnStats stats[2];
+  cc.AttachThread(0, &stats[0]);
+  cc.AttachThread(1, &stats[1]);
+  vs->SetLiveBytesCeiling(2048);
+  EXPECT_EQ(vs->LiveBytesCeiling(), 2048u);
+
+  // Reader freezes its snapshot with the first point read and holds it.
+  char buf[kPayload];
+  TxnDescriptor* reader = cc.BeginReadOnly(1);
+  ASSERT_TRUE(cc.Read(reader, table, 0, buf).ok());
+  ASSERT_NE(reader->snapshot_ts, 0u);
+  EXPECT_GT(vs->OldestSnapshotAgeNanos(), 0u);
+
+  // Sustained writes: chains behind the pinned snapshot cannot prune, so
+  // live bytes cross the ceiling and the pressure check (piggybacked on the
+  // committer's periodic floor refresh) evicts the oldest pinned snapshot.
+  Rng rng(7);
+  auto write_burst = [&] {
+    for (int i = 0; i < 400; i++) {
+      TxnDescriptor* t = cc.Begin(0);
+      const uint64_t v = rng.Next();
+      ASSERT_TRUE(cc.Update(t, table, i % kKeys, &v, sizeof(v), 0).ok());
+      ASSERT_TRUE(cc.Commit(t).ok());
+    }
+  };
+  write_burst();
+  EXPECT_EQ(vs->Telemetry().snapshots_evicted, 1u);
+  EXPECT_TRUE(vs->SnapshotEvicted(1));
+  // The sentinel no longer pins the floor: only the watermark does.
+  const uint64_t fresh = vs->AcquireSnapshot(0);
+  EXPECT_EQ(vs->MinSnapshot(), fresh);
+  vs->ReleaseSnapshot(0);
+
+  // The victim's next read observes the eviction and aborts with the
+  // dedicated cause, counted exactly once and summing into `aborts`.
+  EXPECT_FALSE(cc.Read(reader, table, 1, buf).ok());
+  cc.Abort(reader);
+  EXPECT_EQ(stats[1].abort_snapshot_evicted, 1u);
+  EXPECT_EQ(stats[1].aborts, 1u);
+  EXPECT_EQ(stats[1].aborts, stats[1].AbortCauseSum());
+
+  // A retry acquires a fresh snapshot near the watermark and commits on the
+  // trivial no-validation path.
+  TxnDescriptor* retry = cc.BeginReadOnly(1);
+  ASSERT_TRUE(cc.Read(retry, table, 0, buf).ok());
+  ASSERT_TRUE(cc.Commit(retry).ok());
+  EXPECT_EQ(stats[1].mv_snapshot_txns, 1u);
+  EXPECT_EQ(stats[1].commits, 1u);
+
+  // Commit-path detection: evict BETWEEN the victim's last read and its
+  // commit — the mandatory final check catches it.
+  TxnDescriptor* held = cc.BeginReadOnly(1);
+  ASSERT_TRUE(cc.Read(held, table, 0, buf).ok());
+  write_burst();
+  EXPECT_EQ(vs->Telemetry().snapshots_evicted, 2u);
+  EXPECT_FALSE(cc.Commit(held).ok());
+  EXPECT_EQ(stats[1].abort_snapshot_evicted, 2u);
+  EXPECT_EQ(stats[1].aborts, stats[1].AbortCauseSum());
+
+  // Zero leaks after a full quiesce; no row latch was left held.
+  vs->GcQuiesce(&db);
+  EXPECT_EQ(vs->Telemetry().live_nodes(), 0u);
+  EXPECT_EQ(vs->Telemetry().live_bytes(), 0u);
+  EXPECT_EQ(vs->Telemetry().gc_locked_rows, 0u);
+}
+
+// With no ceiling (the default) a held snapshot is never evicted: chains
+// grow unboundedly but the pin is honored — the pre-PR contract.
+TEST(MvccSnapshotEviction, NoCeilingNeverEvicts) {
+  constexpr uint32_t kPayload = 64;
+  Database db;
+  Schema schema({{"v", kPayload, 0}});
+  const uint32_t table = db.CreateTable("t", std::move(schema));
+  char payload[kPayload] = {};
+  db.LoadRow(table, 0, payload);
+
+  SiloLrv cc(&db, 2);
+  ASSERT_TRUE(cc.EnableMvcc());
+  mv::VersionStore* vs = cc.version_store();
+  TxnStats stats[2];
+  cc.AttachThread(0, &stats[0]);
+  cc.AttachThread(1, &stats[1]);
+
+  char buf[kPayload];
+  TxnDescriptor* reader = cc.BeginReadOnly(1);
+  ASSERT_TRUE(cc.Read(reader, table, 0, buf).ok());
+  for (int i = 0; i < 400; i++) {
+    TxnDescriptor* t = cc.Begin(0);
+    const uint64_t v = static_cast<uint64_t>(i);
+    ASSERT_TRUE(cc.Update(t, table, 0, &v, sizeof(v), 0).ok());
+    ASSERT_TRUE(cc.Commit(t).ok());
+  }
+  EXPECT_EQ(vs->Telemetry().snapshots_evicted, 0u);
+  ASSERT_TRUE(cc.Read(reader, table, 0, buf).ok());
+  uint64_t got = ~0ULL;
+  std::memcpy(&got, buf, sizeof(got));
+  EXPECT_EQ(got, 0u);  // still the pre-burst value at the frozen snapshot
+  ASSERT_TRUE(cc.Commit(reader).ok());
+
+  vs->GcQuiesce(&db);
+  EXPECT_EQ(vs->Telemetry().live_nodes(), 0u);
+}
+
+// --------------------------------------------------------------------------
 // Prometheus streamer
 // --------------------------------------------------------------------------
 
