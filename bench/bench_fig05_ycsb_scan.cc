@@ -221,16 +221,22 @@ int AdaptiveAb(const BenchEnv& env) {
 }
 
 /// cas vs optiql lock-implementation A/B: same cells and pairing protocol as
-/// AdaptiveAb, but the layout stays fixed and the arms differ only in the
-/// lock primitive behind the B+Tree latch and the row TID word.
+/// AdaptiveAb. The optiql arm now runs the full queued-contention stack: the
+/// MCS latch and row queue as before, plus combining registration on rings
+/// the tuner promotes and telemetry-driven adaptive ring capacity
+/// (DESIGN.md §15). The key-space grid stays frozen (slices_per_range=1, so
+/// the tuner can never split or merge) — both arms keep the identical range
+/// layout, and the delta is purely the queued lock paths plus ring
+/// combining/capacity.
 ///
 /// The interesting cell is skew: paced validators hold sorted row locks
 /// across fiber yields, so competing validators burn their bounded CAS
 /// retries against a holder that merely hasn't been rescheduled and abort
 /// with lock_fail — and every retry re-registers ranges, feeding ring churn.
-/// The optiql arm queues those validators (bounded, FIFO) instead, so the
-/// acquire succeeds once the holder finishes. Uniform is the control cell:
-/// near-zero contention, point-tps must stay at parity.
+/// The optiql arm queues those validators (bounded, FIFO) instead, and its
+/// hot ring grows past the observed validation window rather than bleeding
+/// ring_lost aborts. Uniform is the control cell: near-zero contention,
+/// point-tps must stay at parity.
 int LockAb(const BenchEnv& env) {
   PrintBanner("Lock implementation A/B: cas vs optiql ROCC",
               env.Describe());
@@ -239,6 +245,10 @@ int LockAb(const BenchEnv& env) {
   const uint32_t ranges =
       static_cast<uint32_t>(env.cfg.GetInt("ab-ranges", 64));
   const int reps = static_cast<int>(env.cfg.GetInt("ab-reps", 3));
+  // Per-pass registration delta that promotes a ring to combining in the
+  // optiql arm (0 would disable promotion).
+  const uint64_t combining_reg =
+      static_cast<uint64_t>(env.cfg.GetInt("ab-combining-reg", 256));
   YcsbOptions opts;
   opts.theta = ab_theta;
   opts.scan_theta = env.cfg.GetDouble("ab-scan-theta", 0.0);
@@ -250,7 +260,8 @@ int LockAb(const BenchEnv& env) {
       "cell",      "lock",     "total_tps",
       "point_tps", "scan_tps", "scan_abort_rate",
       AbortHeader(AbortReason::kLockFail),
-      AbortHeader(AbortReason::kRingLost)};
+      AbortHeader(AbortReason::kRingLost),
+      "ring_resizes"};
   for (const std::string& h : ContentionHeaders()) headers.push_back(h);
   ReportTable table(std::move(headers));
 
@@ -274,26 +285,43 @@ int LockAb(const BenchEnv& env) {
     }
     const sync::LockImpl impls[2] = {sync::LockImpl::kCas,
                                      sync::LockImpl::kOptiql};
-    std::vector<RunResult> runs[2];  // [cas, optiql]
+    struct Measured {
+      RunResult r;
+      uint64_t resizes = 0;
+    };
+    std::vector<Measured> runs[2];  // [cas, optiql]
     for (int rep = 0; rep < reps; rep++) {
       for (int arm = 0; arm < 2; arm++) {
         RoccOptions ropts;
         ropts.tables = bench.workload().RangeConfigs(ranges, ring);
         ropts.default_ring_capacity = ring;
+        if (impls[arm] != sync::LockImpl::kCas) {
+          // Full queued stack for the optiql arm: the frozen grid
+          // (slices_per_range=1) keeps the layout identical to the cas arm
+          // while the tuner still drives ring growth/shrink and combining
+          // promotion from the same piggybacked telemetry.
+          ropts.tuner.enabled = true;
+          ropts.tuner.slices_per_range = 1;
+          ropts.tuner.adaptive_ring = true;
+          ropts.tuner.combining_reg_threshold = combining_reg;
+        }
         auto cc = std::make_unique<Rocc>(bench.db(), env.threads, ropts);
         bench.PinLockImpl(impls[arm]);
         const RunResult r = bench.RunWith(cc.get());
         guard.Check(r, std::string(cell.name) + "/" +
                            sync::LockImplName(impls[arm]) + " rep " +
                            F(static_cast<uint64_t>(rep)));
+        const uint64_t resizes =
+            cc->tuner() != nullptr ? cc->tuner()->resizes() : 0;
         std::printf("  [%s rep %d] %-6s total_tps=%.1f lock_fail=%llu "
-                    "ring_lost=%llu attempts=%.3f\n",
+                    "ring_lost=%llu resizes=%llu attempts=%.3f\n",
                     cell.name, rep, sync::LockImplName(impls[arm]),
                     r.Throughput(),
                     static_cast<unsigned long long>(r.stats.abort_lock_fail),
                     static_cast<unsigned long long>(r.stats.abort_ring_lost),
+                    static_cast<unsigned long long>(resizes),
                     r.stats.attempts_per_commit.Mean());
-        runs[arm].push_back(r);
+        runs[arm].push_back({r, resizes});
       }
     }
     // Median paired-delta rep selection, as in AdaptiveAb: runs within a rep
@@ -301,22 +329,23 @@ int LockAb(const BenchEnv& env) {
     std::vector<size_t> order(runs[0].size());
     for (size_t i = 0; i < order.size(); i++) order[i] = i;
     std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return runs[1][a].Throughput() - runs[0][a].Throughput() <
-             runs[1][b].Throughput() - runs[0][b].Throughput();
+      return runs[1][a].r.Throughput() - runs[0][a].r.Throughput() <
+             runs[1][b].r.Throughput() - runs[0][b].r.Throughput();
     });
     const size_t median_rep = order[order.size() / 2];
     for (int arm = 0; arm < 2; arm++) {
-      const RunResult& r = runs[arm][median_rep];
+      const Measured& m = runs[arm][median_rep];
       std::vector<std::string> row = {
           cell.name,
           sync::LockImplName(impls[arm]),
-          F(r.Throughput(), 1),
-          F(PointThroughput(r), 1),
-          F(r.ScanThroughput(), 1),
-          F(r.stats.ScanAbortRate(), 4),
-          F(r.stats.abort_lock_fail),
-          F(r.stats.abort_ring_lost)};
-      for (std::string& c : ContentionCells(r.stats)) row.push_back(std::move(c));
+          F(m.r.Throughput(), 1),
+          F(PointThroughput(m.r), 1),
+          F(m.r.ScanThroughput(), 1),
+          F(m.r.stats.ScanAbortRate(), 4),
+          F(m.r.stats.abort_lock_fail),
+          F(m.r.stats.abort_ring_lost),
+          F(m.resizes)};
+      for (std::string& c : ContentionCells(m.r.stats)) row.push_back(std::move(c));
       table.AddRow(std::move(row));
     }
   }

@@ -9,12 +9,23 @@
 // version are asserted after every cell, so a lost update or a missed
 // version bump fails the binary, not just the numbers.
 //
+// A second table, `ring_register`, distills the OTHER CAS storm this repo
+// cares about: every writer of a hot logical range fetch_add's one TxnRing
+// counter and CASes a slot tag. The cell registers descriptors into a single
+// ring from all threads, direct path vs combining path (DESIGN.md §15.1),
+// and then replays the ground truth against the ring: every sequence must be
+// unique and contiguous (one registration = one version bump), and the last
+// `capacity` sequences must still resolve to the exact descriptor that
+// registered them — a lost or misplaced registration fails the binary.
+//
 // Flags (besides the standard set in bench_common.h):
 //   --ops N             lock operations per thread per cell (default 50000)
 //   --sweep-threads L   comma list of thread counts (default 1,2,4,8,16,40)
 //   --mixes L           comma list of write fractions (default
 //                       0.01,0.10,0.90 — read-mostly / 90-10 / write-heavy)
 //   --lock IMPL         restrict to one implementation (default: both)
+//   --ring-ops N        registrations per thread per ring cell (default 50000)
+//   --ring-cap N        slot count of the benched ring (default 4096)
 //
 // Threads here are real OS threads (no fiber simulation): the subject is the
 // lock word itself, and oversubscribed timeslicing is exactly the regime
@@ -24,6 +35,7 @@
 #include <atomic>
 #include <cinttypes>
 #include <cstdio>
+#include <deque>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,7 +43,9 @@
 #include "bench_common.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "core/txn_ring.h"
 #include "sync/optiql.h"
+#include "txn/txn.h"
 
 namespace rocc {
 namespace bench {
@@ -125,6 +139,87 @@ CellResult RunCell(sync::LockImpl impl, uint32_t threads, uint64_t ops,
   return r;
 }
 
+struct RingCellResult {
+  double seconds = 0;
+  bool invariant_ok = true;
+};
+
+/// One ring cell: `threads` workers each register `ops` descriptors into one
+/// shared TxnRing, direct (per-registrant CAS) or combining (queue head
+/// publishes the batch). Invariants checked against the recorded ground
+/// truth after the run; see the file comment.
+RingCellResult RunRingCell(bool combining, uint32_t threads, uint64_t ops,
+                           uint32_t ring_cap) {
+  // The combining queue rides the OptiQL qnode pool; the direct path is the
+  // lock-free CAS protocol regardless of lock impl. Pin the matching impl so
+  // each arm is the configuration a real run would pair it with.
+  sync::SetLockImpl(combining ? sync::LockImpl::kOptiql : sync::LockImpl::kCas);
+  TxnRing ring(ring_cap);
+  ring.SetCombining(combining);
+
+  // Stable descriptor identities so slot contents can be replayed after the
+  // run (TxnDescriptor holds atomics — deque keeps addresses fixed).
+  std::deque<TxnDescriptor> descs(threads);
+  std::vector<std::vector<uint64_t>> seqs(threads);
+
+  std::atomic<uint32_t> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (uint32_t t = 0; t < threads; t++) {
+    workers.emplace_back([&, t] {
+      seqs[t].reserve(ops);
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) CpuRelax();
+      for (uint64_t i = 0; i < ops; i++) {
+        seqs[t].push_back(ring.Register(&descs[t]));
+      }
+    });
+  }
+
+  while (ready.load(std::memory_order_acquire) < threads) CpuRelax();
+  Stopwatch watch;
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  RingCellResult r;
+  r.seconds = watch.ElapsedSeconds();
+
+  // One registration = one version bump, no sequence lost or duplicated:
+  // the recorded sequences must be a permutation of 1..threads*ops.
+  const uint64_t total = static_cast<uint64_t>(threads) * ops;
+  if (ring.Version() != total) r.invariant_ok = false;
+  std::vector<uint32_t> owner(total + 1, UINT32_MAX);
+  for (uint32_t t = 0; t < threads && r.invariant_ok; t++) {
+    uint64_t prev = 0;
+    for (uint64_t s : seqs[t]) {
+      if (s == 0 || s > total || owner[s] != UINT32_MAX) {
+        r.invariant_ok = false;
+        break;
+      }
+      // Registrations of one thread are issued in program order, so their
+      // sequences must be strictly increasing even through a combiner.
+      if (s <= prev) {
+        r.invariant_ok = false;
+        break;
+      }
+      prev = s;
+      owner[s] = t;
+    }
+  }
+  // The newest `capacity` sequences were published last into their slots and
+  // must still resolve to the registering descriptor.
+  if (r.invariant_ok) {
+    const uint64_t lo = total > ring_cap ? total - ring_cap + 1 : 1;
+    for (uint64_t s = lo; s <= total; s++) {
+      if (ring.Get(s) != &descs[owner[s]]) {
+        r.invariant_ok = false;
+        break;
+      }
+    }
+  }
+  return r;
+}
+
 int Main(int argc, char** argv) {
   BenchEnv env = ParseEnv(argc, argv);
   const uint64_t ops = static_cast<uint64_t>(env.cfg.GetInt("ops", 50000));
@@ -174,6 +269,35 @@ int Main(int argc, char** argv) {
     }
   }
   Emit(env, table, "latch_sweep");
+
+  // Ring-registration storm: one shared TxnRing, direct vs combining.
+  const uint64_t ring_ops =
+      static_cast<uint64_t>(env.cfg.GetInt("ring-ops", 50000));
+  const uint32_t ring_cap =
+      static_cast<uint32_t>(env.cfg.GetInt("ring-cap", 4096));
+  ReportTable ring_table(
+      {"mode", "threads", "mregs_per_sec", "registrations"});
+  for (int64_t threads : thread_list) {
+    if (threads <= 0) continue;
+    for (bool combining : {false, true}) {
+      const RingCellResult r = RunRingCell(
+          combining, static_cast<uint32_t>(threads), ring_ops, ring_cap);
+      if (!r.invariant_ok) {
+        ok = false;
+        std::fprintf(stderr,
+                     "ERROR: ring registration invariant violated "
+                     "(mode=%s threads=%" PRId64 ")\n",
+                     combining ? "combining" : "direct", threads);
+      }
+      const double total =
+          static_cast<double>(ring_ops) * static_cast<double>(threads);
+      ring_table.AddRow({combining ? "combining" : "direct",
+                         F(uint64_t(threads)),
+                         F(r.seconds > 0 ? total / r.seconds / 1e6 : 0, 3),
+                         F(uint64_t(total))});
+    }
+  }
+  Emit(env, ring_table, "ring_register");
   sync::SetLockImpl(sync::LockImpl::kCas);
   return ok ? 0 : 1;
 }

@@ -26,7 +26,6 @@ uint64_t MakeTxnId(uint32_t thread_id, uint64_t seq) {
   return (static_cast<uint64_t>(thread_id) << 48) | (seq & ((1ULL << 48) - 1));
 }
 }  // namespace
-
 OccBase::OccBase(Database* db, uint32_t num_threads)
     : db_(db), epoch_(num_threads),
       contention_(std::make_unique<ContentionManager>(num_threads)) {
@@ -390,6 +389,7 @@ bool OccBase::LockWriteSet(TxnDescriptor* t) {
     return a < b;  // stable: chronological within a key
   });
 
+  bool holds_locks = false;
   for (size_t oi = 0; oi < order.size(); oi++) {
     WriteEntry& we = ws[order[oi]];
     if (oi > 0) {
@@ -407,6 +407,7 @@ bool OccBase::LockWriteSet(TxnDescriptor* t) {
       if (st.ok()) {
         we.row = placeholder;
         we.locked = true;
+        holds_locks = true;
         t->BindRow(static_cast<int32_t>(order[oi]), placeholder);
         continue;
       }
@@ -419,12 +420,18 @@ bool OccBase::LockWriteSet(TxnDescriptor* t) {
       }
       we.row = existing;
       we.locked = true;
+      holds_locks = true;
       t->BindRow(static_cast<int32_t>(order[oi]), existing);
     } else {
       const int budget =
-          sync::OptiqlEnabled() ? kQueuedLockAttempts : kLockSpins;
-      if (!we.row->LockContended(budget)) return false;
+          sync::QueueCapable() ? kQueuedLockAttempts : kLockSpins;
+      // A waiter that holds no earlier write-set locks blocks nobody, so it
+      // rides a stripe queue out even under a protected quiesce.
+      if (!we.row->LockContended(budget, /*cancelable=*/holds_locks)) {
+        return false;
+      }
       we.locked = true;
+      holds_locks = true;
       if (we.row->IsAbsent()) return false;  // deleted under us; cleanup unlocks
     }
   }

@@ -157,6 +157,58 @@ bool RangeManager::Merge(uint32_t first_range_id, uint32_t count,
   return true;
 }
 
+bool RangeManager::Resize(uint32_t range_id, uint32_t new_capacity,
+                          uint64_t publish_epoch) {
+  const RangeTable* cur = current_.load(std::memory_order_relaxed);
+  if (range_id >= cur->num_ranges() || new_capacity == 0) return false;
+  const std::shared_ptr<LogicalRange>& victim = cur->ranges[range_id];
+  if (new_capacity == victim->ring->capacity()) return false;
+
+  // Replacement range: same identity (span, slices), fresh ring seeded at
+  // the retired ring's version so the range version keeps advancing
+  // monotonically across the swap. The retired ring is fenced exactly like a
+  // split parent's: predicates built after the publish snapshot it via
+  // prev_rings, predicates built before it hold it as their primary ring,
+  // and the grace gate (caller obligation) guarantees no live transaction
+  // still references the grandparent generation.
+  auto repl = std::make_shared<LogicalRange>(
+      victim->start_key, victim->end_key, victim->first_slice,
+      victim->num_slices, new_capacity, victim->ring->Version());
+  repl->prev_rings.push_back(victim->ring);
+  repl->created_epoch = publish_epoch;
+  repl->ring->SetCombining(victim->ring->combining());
+
+  // Carry counters and tuner baselines so telemetry stays monotone per key
+  // span and the tuner's deltas stay seamless across the swap; the high
+  // water restarts because it measures pressure against the NEW capacity.
+  repl->stats.registrations.store(
+      victim->stats.registrations.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  repl->stats.ring_lost.store(
+      victim->stats.ring_lost.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  repl->stats.scan_conflict.store(
+      victim->stats.scan_conflict.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  repl->stats.ring_resizes.store(
+      victim->stats.ring_resizes.load(std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  repl->seen_registrations = victim->seen_registrations;
+  repl->seen_ring_lost = victim->seen_ring_lost;
+  repl->seen_scan_conflict = victim->seen_scan_conflict;
+  repl->window_registrations = victim->window_registrations;
+  repl->window_aborts = victim->window_aborts;
+
+  auto* next = new RangeTable();
+  next->ranges = cur->ranges;
+  next->ranges[range_id] = std::move(repl);
+  Publish(next, publish_epoch);
+  resizes_++;
+  obs::ServiceEvent(obs::EventType::kRingResize, 0, NowNanos(), 0, range_id,
+                    new_capacity);
+  return true;
+}
+
 void RangeManager::ReclaimRetired(uint64_t min_active) {
   retired_.Reclaim(min_active, [](RangeTable* t) { delete t; });
 }
@@ -168,6 +220,7 @@ RangeTelemetry RangeManager::Telemetry(size_t top_n) const {
   out.num_ranges = cur->num_ranges();
   out.splits = splits_;
   out.merges = merges_;
+  out.resizes = resizes_;
   out.rows.reserve(cur->num_ranges());
   for (uint32_t rid = 0; rid < cur->num_ranges(); rid++) {
     const LogicalRange* lr = cur->range(rid);
@@ -181,6 +234,10 @@ RangeTelemetry RangeManager::Telemetry(size_t top_n) const {
     row.registrations = lr->stats.registrations.load(std::memory_order_relaxed);
     row.ring_lost = lr->stats.ring_lost.load(std::memory_order_relaxed);
     row.scan_conflict = lr->stats.scan_conflict.load(std::memory_order_relaxed);
+    row.ring_capacity = lr->ring->capacity();
+    row.ring_high_water = lr->stats.ring_high_water.load(std::memory_order_relaxed);
+    row.ring_resizes = lr->stats.ring_resizes.load(std::memory_order_relaxed);
+    row.combining = lr->ring->combining();
     out.total_registrations += row.registrations;
     out.rows.push_back(row);
   }

@@ -18,6 +18,13 @@ struct RangeStats {
   std::atomic<uint64_t> registrations{0};   ///< writer registrations
   std::atomic<uint64_t> ring_lost{0};       ///< aborts attributed: ring wrapped
   std::atomic<uint64_t> scan_conflict{0};   ///< aborts attributed: overlap
+  /// Widest validation window (v_ts - rd_ts) a validator covered on this
+  /// range's primary ring — a direct measurement of the ring capacity the
+  /// workload needs. CAS-max'd on the validation path; reset by a resize so
+  /// it always describes pressure against the CURRENT capacity.
+  std::atomic<uint64_t> ring_high_water{0};
+  /// Times this range's ring was replaced by the adaptive-capacity tuner.
+  std::atomic<uint64_t> ring_resizes{0};
 };
 
 /// One logical range of the adaptive layout: a contiguous run of grid slices
@@ -33,12 +40,12 @@ struct RangeStats {
 /// which time no transaction that saw the grandparent table is alive.
 struct LogicalRange {
   LogicalRange(uint64_t start, uint64_t end, uint32_t first, uint32_t count,
-               uint32_t ring_capacity)
+               uint32_t ring_capacity, uint64_t ring_base = 0)
       : start_key(start),
         end_key(end),
         first_slice(first),
         num_slices(count),
-        ring(std::make_shared<TxnRing>(ring_capacity)) {}
+        ring(std::make_shared<TxnRing>(ring_capacity, ring_base)) {}
 
   const uint64_t start_key;   ///< inclusive
   const uint64_t end_key;     ///< exclusive (last range extends to key_max)
@@ -90,11 +97,16 @@ struct RangeTelemetry {
     uint64_t registrations;
     uint64_t ring_lost;
     uint64_t scan_conflict;
+    uint32_t ring_capacity;
+    uint64_t ring_high_water;
+    uint64_t ring_resizes;
+    bool combining;
   };
   uint64_t table_version = 0;
   uint32_t num_ranges = 0;
   uint64_t splits = 0;
   uint64_t merges = 0;
+  uint64_t resizes = 0;
   uint64_t total_registrations = 0;
   std::vector<Row> rows;  ///< top-N by registrations, descending
 };
@@ -186,6 +198,7 @@ class RangeManager {
   uint64_t table_version() const { return Snapshot()->version; }
   uint64_t splits() const { return splits_; }
   uint64_t merges() const { return merges_; }
+  uint64_t resizes() const { return resizes_; }
 
   /// Split range `range_id` of the current table into up to `children`
   /// slice-balanced children with fresh rings, publishing a new table at
@@ -199,6 +212,14 @@ class RangeManager {
   /// `count` is capped by RangePredicate::kMaxPrevRings. Same caller
   /// obligations as Split.
   bool Merge(uint32_t first_range_id, uint32_t count, uint64_t publish_epoch);
+
+  /// Replace range `range_id`'s ring with one of `new_capacity` slots,
+  /// publishing a new table at `publish_epoch`. The replacement ring is
+  /// seeded at the retired ring's current version (sequence continuity) and
+  /// fences it via prev_rings, so the transition window is validated by
+  /// exactly the Split machinery; the retired ring stays readable until
+  /// MinActive passes the publish epoch. Same caller obligations as Split.
+  bool Resize(uint32_t range_id, uint32_t new_capacity, uint64_t publish_epoch);
 
   /// Free retired tables whose retire epoch precedes `min_active`.
   /// Tuner-serialized.
@@ -225,6 +246,7 @@ class RangeManager {
   RetireList<RangeTable> retired_;  ///< tuner-serialized
   uint64_t splits_ = 0;
   uint64_t merges_ = 0;
+  uint64_t resizes_ = 0;
 };
 
 }  // namespace rocc

@@ -2,9 +2,20 @@
 
 #include <algorithm>
 
+#include "sync/optiql.h"
 #include "txn/txn.h"
 
 namespace rocc {
+
+namespace {
+
+uint64_t NextPow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
 
 RangeTuner::RangeTuner(const std::vector<std::unique_ptr<RangeManager>>* managers,
                        EpochManager* epoch, RangeTunerOptions opts)
@@ -73,6 +84,22 @@ bool RangeTuner::RunPass(uint64_t min_score) {
       merge_eval_accum_[mi] += d_reg[rid];
     }
 
+    // Combining promotion: a ring sustaining a heavy registration rate is
+    // the counter CAS storm the combining path exists for — arm it; disarm
+    // with hysteresis when the rate collapses (skew moved on). Flag-only, no
+    // publish: combining and direct registrants interoperate.
+    if (opts_.combining_reg_threshold != 0 && sync::QueueCapable()) {
+      for (uint32_t rid = 0; rid < n; rid++) {
+        TxnRing* ring = cur->range(rid)->ring.get();
+        if (d_reg[rid] >= opts_.combining_reg_threshold) {
+          ring->SetCombining(true);
+        } else if (ring->combining() &&
+                   d_reg[rid] * 4 < opts_.combining_reg_threshold) {
+          ring->SetCombining(false);
+        }
+      }
+    }
+
     // Split the hottest eligible range. ring_lost dominates the score: it
     // means the ring itself is the bottleneck, which only a fresh ring plus
     // a narrower key span can fix. Registration volume is a weak tiebreak so
@@ -97,6 +124,39 @@ bool RangeTuner::RunPass(uint64_t min_score) {
       continue;  // table swapped; merge candidates are stale — next pass
     }
 
+    // Adaptive ring growth: ring_lost persisted and no split relieved it
+    // this pass (grid exhausted, growth bound, or score under the gate), so
+    // attack the ring itself — replace it with one sized past the observed
+    // validation high water, and at least doubled. Epoch-published with the
+    // same grace gate as Split, so validators in the transition window stay
+    // correct for free (DESIGN.md §15.2).
+    if (opts_.adaptive_ring) {
+      int grow = -1;
+      uint64_t grow_lost = 0;
+      for (uint32_t rid = 0; rid < n; rid++) {
+        LogicalRange* lr = cur->range(rid);
+        if (d_lost[rid] == 0 || d_lost[rid] <= grow_lost) continue;
+        if (min_active <= lr->created_epoch) continue;  // grace not elapsed
+        if (lr->ring->capacity() >= opts_.max_ring_capacity) continue;
+        grow = static_cast<int>(rid);
+        grow_lost = d_lost[rid];
+      }
+      if (grow >= 0) {
+        LogicalRange* lr = cur->range(grow);
+        const uint64_t hw = lr->stats.ring_high_water.load(std::memory_order_relaxed);
+        uint64_t want = std::max<uint64_t>(2ull * lr->ring->capacity(),
+                                           NextPow2(hw + 1));
+        want = std::min<uint64_t>(want, opts_.max_ring_capacity);
+        if (want > lr->ring->capacity() &&
+            rm->Resize(static_cast<uint32_t>(grow), static_cast<uint32_t>(want),
+                       publish_epoch)) {
+          resizes_.fetch_add(1, std::memory_order_relaxed);
+          acted = true;
+          continue;  // table swapped — next pass
+        }
+      }
+    }
+
     // Merge one adjacent pair of cold split products, but only once enough
     // table-wide traffic accumulated to judge coldness (see
     // merge_eval_registrations). The combined-slice bound keeps merges to
@@ -105,7 +165,32 @@ bool RangeTuner::RunPass(uint64_t min_score) {
     // conservative cross-table path, so merges must be rare and certain.
     if (merge_eval_accum_[mi] < opts_.merge_eval_registrations) continue;
     merge_eval_accum_[mi] = 0;
-    if (n > rm->init_num_ranges()) {
+    // Adaptive ring shrink, judged over the same traffic window as merges: a
+    // grown ring whose window shows zero abort pressure and a high water
+    // well under a quarter of capacity halves back toward the configured
+    // size, releasing slot memory when skew moves on. At most one per table
+    // per pass, and a shrink defers merging (the table just swapped).
+    bool resized_cold = false;
+    if (opts_.adaptive_ring) {
+      for (uint32_t rid = 0; rid < n; rid++) {
+        LogicalRange* lr = cur->range(rid);
+        if (lr->ring->capacity() <= rm->ring_capacity()) continue;
+        if (min_active <= lr->created_epoch) continue;
+        if (lr->window_aborts != 0) continue;
+        const uint64_t hw = lr->stats.ring_high_water.load(std::memory_order_relaxed);
+        if (hw * 4 >= lr->ring->capacity()) continue;
+        const uint32_t want =
+            std::max<uint32_t>(lr->ring->capacity() / 2, rm->ring_capacity());
+        if (want < lr->ring->capacity() &&
+            rm->Resize(rid, want, publish_epoch)) {
+          resizes_.fetch_add(1, std::memory_order_relaxed);
+          acted = true;
+          resized_cold = true;
+        }
+        break;
+      }
+    }
+    if (!resized_cold && n > rm->init_num_ranges()) {
       for (uint32_t rid = 0; rid + 1 < n; rid++) {
         const LogicalRange* a = cur->range(rid);
         const LogicalRange* b = cur->range(rid + 1);
@@ -122,9 +207,12 @@ bool RangeTuner::RunPass(uint64_t min_score) {
       }
     }
     // Start a fresh window on every range carried into the next evaluation.
-    for (uint32_t rid = 0; rid < n; rid++) {
-      cur->range(rid)->window_registrations = 0;
-      cur->range(rid)->window_aborts = 0;
+    // Re-snapshot: a shrink or merge above just swapped the table, and the
+    // replacement range carried the old window values.
+    const RangeTable* after = rm->Snapshot();
+    for (uint32_t rid = 0; rid < after->num_ranges(); rid++) {
+      after->range(rid)->window_registrations = 0;
+      after->range(rid)->window_aborts = 0;
     }
   }
   return acted;

@@ -34,6 +34,17 @@ struct RangeTunerOptions {
   /// back-to-back (relief storms): every range then shows a near-zero delta
   /// and hot split products get merged straight back, thrashing the table.
   uint64_t merge_eval_registrations = 4096;
+  /// Adaptive ring capacity (DESIGN.md §15.2): grow a range's ring when
+  /// ring_lost aborts persist and splitting cannot (or did not) relieve
+  /// them; shrink it back toward the configured capacity when a merge
+  /// window shows no pressure and a low high-water mark.
+  bool adaptive_ring = false;
+  /// Upper bound for tuner-grown rings (slots).
+  uint32_t max_ring_capacity = 1u << 20;
+  /// Per-pass registration delta past which a range's ring is promoted to
+  /// combining registration (demoted below a quarter of it). 0 disables
+  /// promotion; promotion also requires a queue-capable --lock mode.
+  uint64_t combining_reg_threshold = 0;
 };
 
 /// Telemetry-driven hot-range refinement.
@@ -82,6 +93,7 @@ class RangeTuner {
   uint64_t passes() const { return passes_.load(std::memory_order_relaxed); }
   uint64_t splits() const { return splits_.load(std::memory_order_relaxed); }
   uint64_t merges() const { return merges_.load(std::memory_order_relaxed); }
+  uint64_t resizes() const { return resizes_.load(std::memory_order_relaxed); }
   const RangeTunerOptions& options() const { return opts_; }
 
  private:
@@ -100,6 +112,7 @@ class RangeTuner {
   std::atomic<uint64_t> passes_{0};
   std::atomic<uint64_t> splits_{0};
   std::atomic<uint64_t> merges_{0};
+  std::atomic<uint64_t> resizes_{0};
 };
 
 }  // namespace rocc

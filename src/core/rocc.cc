@@ -212,8 +212,26 @@ bool Rocc::ValidateRingWindow(TxnDescriptor* t, const RangePredicate& p,
                               bool allow_cover_fast, uint64_t lo, uint64_t hi,
                               uint32_t* pace_counter) {
   TxnStats& s = stats(t->thread_id);
+  // A ring created by an adaptive resize starts at the retired ring's
+  // version: sequences at or below base() were issued by the predecessor,
+  // which this predicate fences separately (prev_rings) or walks as an
+  // unknown current ring. Clamping keeps the wrap check honest on a fresh
+  // replacement ring — without it a full-history walk (rd_ts = 0) would
+  // instantly count the seeded base as lost information.
+  if (rd_ts < ring.base()) rd_ts = ring.base();
   const uint64_t v_ts = ring.Version();
   if (v_ts == rd_ts) return true;  // unchanged ring: fast path
+  if (allow_cover_fast && p.range != nullptr) {
+    // High-water telemetry on the predicate's primary ring: the widest
+    // window a validator had to cover is the capacity the workload needs,
+    // and the tuner's grow policy jumps straight past it.
+    std::atomic<uint64_t>& hw = p.range->stats.ring_high_water;
+    const uint64_t span = v_ts - rd_ts;
+    uint64_t prev = hw.load(std::memory_order_relaxed);
+    while (span > prev &&
+           !hw.compare_exchange_weak(prev, span, std::memory_order_relaxed)) {
+    }
+  }
   if (v_ts - rd_ts >= ring.capacity()) {
     NoteScanAbort(t, p, AbortReason::kRingLost);
     return false;  // the ring wrapped: conflict information was lost

@@ -182,7 +182,8 @@ std::vector<std::string> ContentionCells(const TxnStats& stats) {
 }
 
 std::vector<std::string> RangeSummaryHeaders() {
-  return {"ranges", "table_version", "splits", "merges", "hot_reg_share"};
+  return {"ranges", "table_version", "splits",
+          "merges", "resizes",       "hot_reg_share"};
 }
 
 std::vector<std::string> RangeSummaryCells(const RangeTelemetry& t) {
@@ -193,18 +194,24 @@ std::vector<std::string> RangeSummaryCells(const RangeTelemetry& t) {
                 static_cast<double>(t.total_registrations);
   return {ReportTable::Fmt(static_cast<uint64_t>(t.num_ranges)),
           ReportTable::Fmt(t.table_version), ReportTable::Fmt(t.splits),
-          ReportTable::Fmt(t.merges), ReportTable::Fmt(hot_share, 3)};
+          ReportTable::Fmt(t.merges), ReportTable::Fmt(t.resizes),
+          ReportTable::Fmt(hot_share, 3)};
 }
 
 ReportTable RangeTelemetryTable(const RangeTelemetry& t) {
   ReportTable table({"range_id", "start_key", "end_key", "slices",
-                     "ring_version", "prev_rings", "registrations", "ring_lost",
-                     "scan_conflict"});
+                     "ring_version", "ring_cap", "ring_high_water",
+                     "ring_resizes", "combining", "prev_rings", "registrations",
+                     "ring_lost", "scan_conflict"});
   for (const RangeTelemetry::Row& r : t.rows) {
     table.AddRow({ReportTable::Fmt(static_cast<uint64_t>(r.range_id)),
                   ReportTable::Fmt(r.start_key), ReportTable::Fmt(r.end_key),
                   ReportTable::Fmt(static_cast<uint64_t>(r.num_slices)),
                   ReportTable::Fmt(r.ring_version),
+                  ReportTable::Fmt(static_cast<uint64_t>(r.ring_capacity)),
+                  ReportTable::Fmt(r.ring_high_water),
+                  ReportTable::Fmt(r.ring_resizes),
+                  std::string(r.combining ? "yes" : "no"),
                   ReportTable::Fmt(static_cast<uint64_t>(r.prev_rings)),
                   ReportTable::Fmt(r.registrations), ReportTable::Fmt(r.ring_lost),
                   ReportTable::Fmt(r.scan_conflict)});

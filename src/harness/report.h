@@ -80,15 +80,16 @@ std::vector<std::string> ContentionHeaders();
 std::vector<std::string> ContentionCells(const TxnStats& stats);
 
 /// Range-layout summary columns for benches running an adaptive (or static)
-/// ROCC layout: final range count, table version, split/merge totals, and
-/// the hottest range's share of all writer registrations (1.0 = everything
-/// landed in one range). Pair the two like ContentionHeaders/Cells.
+/// ROCC layout: final range count, table version, split/merge/resize totals,
+/// and the hottest range's share of all writer registrations (1.0 =
+/// everything landed in one range). Pair the two like ContentionHeaders/Cells.
 std::vector<std::string> RangeSummaryHeaders();
 std::vector<std::string> RangeSummaryCells(const RangeTelemetry& t);
 
 /// Full per-range telemetry as a table (one row per surviving range, hottest
-/// first): key span, slices, ring version, predecessor count, registrations,
-/// and the per-range abort attributions — shows WHERE contention lives.
+/// first): key span, slices, ring version/capacity/high-water/resizes and the
+/// combining flag, predecessor count, registrations, and the per-range abort
+/// attributions — shows WHERE contention lives and how the ring adapted.
 ReportTable RangeTelemetryTable(const RangeTelemetry& t);
 
 /// Extended latency summary, one row per populated distribution: the

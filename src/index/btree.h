@@ -27,6 +27,10 @@ struct alignas(kCacheLineSize) Node {
   sync::VersionLatch latch;
   bool is_leaf = false;
   uint16_t count = 0;
+  /// Per-latch cas->optiql promotion score for `--lock=adaptive`: this node
+  /// promotes itself to the queued path from its own contention history
+  /// instead of the global switch. Lives in the header line's padding.
+  sync::ContendedHint latch_hint;
 
   /// Write-lock ownership token carried between upgrade and unlock.
   using LatchGuard = sync::VersionLatch::Guard;
@@ -40,10 +44,10 @@ struct alignas(kCacheLineSize) Node {
   }
 
   bool TryUpgradeLock(uint64_t expected, LatchGuard& g) {
-    return latch.UpgradeToWriteLockOrRestart(expected, g);
+    return latch.UpgradeToWriteLockOrRestart(expected, g, &latch_hint);
   }
 
-  void WriteLock(LatchGuard& g) { latch.WriteLock(g); }
+  void WriteLock(LatchGuard& g) { latch.WriteLock(g, &latch_hint); }
 
   /// Releases the write lock, advancing the version so concurrent optimistic
   /// readers detect the modification and restart.

@@ -35,6 +35,7 @@ const char* EventTypeName(EventType t) {
     case EventType::kVersionGc: return "version_gc";
     case EventType::kSnapshotScan: return "snapshot_scan";
     case EventType::kSnapshotEvict: return "snapshot_evict";
+    case EventType::kRingResize: return "ring_resize";
   }
   return "unknown";
 }

@@ -46,6 +46,8 @@ enum class EventType : uint8_t {
   kSnapshotScan,  ///< snapshot scan finished; a = records, b = chain reads
   kSnapshotEvict, ///< pinned snapshot evicted under prune pressure;
                   ///< tid = victim thread, a = evicted snapshot ts
+  kRingResize,    ///< adaptive ring capacity change; a = range id,
+                  ///< b = new slot count
 };
 
 const char* EventTypeName(EventType t);

@@ -306,6 +306,9 @@ void PrometheusStreamer::AccountLocked(const TraceEvent& e) {
     case EventType::kRangeMerge:
       counters_.range_merges++;
       break;
+    case EventType::kRingResize:
+      counters_.ring_resizes++;
+      break;
     case EventType::kVersionGc:
       counters_.version_gc_passes++;
       counters_.version_gc_nodes += e.a;
@@ -345,6 +348,8 @@ bool PrometheusStreamer::WriteLocked() {
           options_.labels, c.range_splits);
   Counter(&out, "rocc_stream_range_merges_total", "Range merge operations",
           options_.labels, c.range_merges);
+  Counter(&out, "rocc_stream_ring_resizes_total",
+          "Adaptive ring-capacity changes", options_.labels, c.ring_resizes);
   Counter(&out, "rocc_stream_version_gc_passes_total",
           "Version reclaim passes that freed nodes", options_.labels,
           c.version_gc_passes);

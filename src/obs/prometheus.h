@@ -54,6 +54,7 @@ struct StreamCounters {
   uint64_t range_publishes = 0;   ///< range-table versions published (exact)
   uint64_t range_splits = 0;      ///< split operations (exact)
   uint64_t range_merges = 0;      ///< merge operations (exact)
+  uint64_t ring_resizes = 0;      ///< adaptive ring-capacity changes (exact)
   uint64_t version_gc_passes = 0;  ///< reclaim passes that freed nodes (exact)
   uint64_t version_gc_nodes = 0;   ///< version nodes freed by those passes
   uint64_t version_installs = 0;   ///< commits that linked pre-images (sampled)

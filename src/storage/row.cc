@@ -61,9 +61,9 @@ namespace {
 bool TryLockThunk(void* arg) { return static_cast<Row*>(arg)->TryLock(); }
 }  // namespace
 
-bool Row::LockContended(int attempts) {
-  if (!sync::OptiqlEnabled()) return LockWithSpin(attempts);
-  return sync::QueuedTryAcquire(this, attempts, &TryLockThunk, this);
+bool Row::LockContended(int attempts, bool cancelable) {
+  if (!sync::QueueCapable()) return LockWithSpin(attempts);
+  return sync::QueuedTryAcquire(this, attempts, &TryLockThunk, this, cancelable);
 }
 
 void Row::Unlock() {

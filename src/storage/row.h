@@ -84,8 +84,11 @@ struct Row {
   /// the queue head retries the TID-word CAS, so hot records degrade to fair
   /// queuing instead of a CAS storm. Bounded either way (the caller aborts
   /// with kLockFail on false), and the packed TID layout is untouched — MVCC
-  /// and WAL consumers read the same word they always did.
-  bool LockContended(int attempts);
+  /// and WAL consumers read the same word they always did. Pass
+  /// cancelable=false when the caller holds no other row locks: such a
+  /// waiter rides the queue out instead of dropping out under a protected
+  /// quiesce (sync::SetLockQuiesce).
+  bool LockContended(int attempts, bool cancelable = true);
 
   /// Release the lock without changing version (abort path).
   void Unlock();

@@ -21,6 +21,10 @@ bool ParseLockImpl(const std::string& name, LockImpl* out) {
     *out = LockImpl::kOptiql;
     return true;
   }
+  if (name == "adaptive") {
+    *out = LockImpl::kAdaptive;
+    return true;
+  }
   return false;
 }
 
@@ -43,6 +47,10 @@ struct ThreadQPool {
   // Free-slot stack, touched only by the owning OS thread.
   uint16_t free_slots[kQNodeSlotsPerThread];
   uint32_t free_top = 0;
+  // Abandoned (OpRead drop-out) ids still linked in some queue; recycled once
+  // the releaser marks them kConsumed. Owner thread only.
+  uint16_t pending[kQNodeSlotsPerThread];
+  uint32_t pending_top = 0;
 };
 
 std::atomic<ThreadQPool*> g_qpools[kMaxQNodeThreads] = {};
@@ -51,13 +59,39 @@ std::mutex g_tid_mutex;
 std::vector<uint32_t> g_free_tids;
 uint32_t g_next_tid = 0;
 
+/// Recycle pending abandoned nodes whose releaser has finished with them
+/// (granted == kConsumed). Owner thread only; compacts in place.
+void SweepPending(ThreadQPool* pool) {
+  uint32_t kept = 0;
+  for (uint32_t i = 0; i < pool->pending_top; i++) {
+    const uint16_t slot = pool->pending[i];
+    if (pool->nodes[slot].granted.load(std::memory_order_acquire) ==
+        QNode::kConsumed) {
+      pool->free_slots[pool->free_top++] = slot;
+    } else {
+      pool->pending[kept++] = slot;
+    }
+  }
+  pool->pending_top = kept;
+}
+
 struct TidOwner {
   uint32_t tid = UINT32_MAX;
   ThreadQPool* pool = nullptr;
 
   ~TidOwner() {
     if (tid == UINT32_MAX) return;
-    assert(pool == nullptr || pool->free_top == kQNodeSlotsPerThread);
+    if (pool != nullptr) {
+      // Drain abandoned nodes before recycling the slab to the next thread:
+      // a releaser on another thread may still be walking toward one. By
+      // thread exit every latch this thread queued on is past its critical
+      // sections, so the releaser reaches and consumes each node promptly.
+      while (pool->pending_top != 0) {
+        SweepPending(pool);
+        if (pool->pending_top != 0) std::this_thread::yield();
+      }
+      assert(pool->free_top == kQNodeSlotsPerThread);
+    }
     std::lock_guard<std::mutex> g(g_tid_mutex);
     g_free_tids.push_back(tid);
   }
@@ -101,6 +135,7 @@ uint16_t AcquireQNode() {
     pool = RegisterThisThread();
     if (pool == nullptr) return 0;
   }
+  if (pool->pending_top != 0) SweepPending(pool);
   if (pool->free_top == 0) return 0;  // exhausted: caller falls back to CAS
   const uint16_t slot = pool->free_slots[--pool->free_top];
   QNode& n = pool->nodes[slot];
@@ -131,6 +166,16 @@ QNode* QNodeForId(uint16_t id) {
   return &pool->nodes[idx % kQNodeSlotsPerThread];
 }
 
+void DeferReleaseQNode(uint16_t id) {
+  assert(id != 0);
+  const uint32_t idx = id - 1u;
+  assert(idx / kQNodeSlotsPerThread == t_qowner.tid);
+  ThreadQPool* pool = t_qowner.pool;
+  assert(pool != nullptr && pool->pending_top < kQNodeSlotsPerThread);
+  pool->pending[pool->pending_top++] =
+      static_cast<uint16_t>(idx % kQNodeSlotsPerThread);
+}
+
 // ---------------------------------------------------------------------------
 // VersionLatch.
 
@@ -146,9 +191,9 @@ uint64_t VersionLatch::StableSlow() const {
   }
 }
 
-void VersionLatch::WriteLock(Guard& g) {
+void VersionLatch::WriteLock(Guard& g, ContendedHint* hint) {
   uint16_t qid = 0;
-  if (OptiqlEnabled()) qid = AcquireQNode();
+  if (UseQueue(hint)) qid = AcquireQNode();
   if (qid != 0) {
     AcquireQueued(qid);
     g.qid = qid;
@@ -157,9 +202,16 @@ void VersionLatch::WriteLock(Guard& g) {
   // CAS mode, or qnode pool exhausted: bounded-free CAS loop with backoff.
   g.qid = 0;
   SpinBackoff backoff(/*cap_spins=*/256, /*yield=*/true);
+  bool scored = false;
   uint64_t w = word_.load(std::memory_order_relaxed);
   for (;;) {
     if ((w & kLockedBit) != 0) {
+      // Adaptive promotion: score a held lock once per call, not per spin —
+      // one blocked acquire is one contention observation.
+      if (!scored && hint != nullptr && GetLockImpl() == LockImpl::kAdaptive) {
+        hint->NoteContended();
+        scored = true;
+      }
       backoff.Pause();
       w = word_.load(std::memory_order_relaxed);
       continue;
@@ -199,12 +251,15 @@ bool VersionLatch::UpgradeSlow(uint64_t expected, Guard& g) {
   // Same version but locked/queued: this is the CAS storm the queue exists
   // for. Enqueue, wait our FIFO turn spinning on our own node, then
   // revalidate — if no predecessor modified the node we win the upgrade with
-  // zero restarts; otherwise release unbumped and restart having waited out
-  // the burst instead of amplifying it.
-  AcquireQueued(qid);
+  // zero restarts; otherwise the outcome was decided the moment a
+  // predecessor bumped the version, and the cancelable wait drops out of the
+  // queue right then (OpRead): no point acquiring a lock only to release it
+  // unbumped, and no point making the queue behind us wait for that.
+  if (!AcquireQueuedCancelable(qid, expected)) return false;
   g.qid = qid;
   const uint64_t w = word_.load(std::memory_order_relaxed);
   if ((w & kVersionMask) == (expected & kVersionMask)) return true;
+  // Granted concurrently with the version moving: release unbumped.
   Release(qid, /*bump=*/false);
   g.qid = 0;
   return false;
@@ -241,8 +296,64 @@ void VersionLatch::AcquireQueued(uint16_t qid) {
       continue;
     }
     QNodeForId(tail)->next.store(qid, std::memory_order_release);
-    while (me->granted.load(std::memory_order_acquire) == 0) backoff.Pause();
+    while (me->granted.load(std::memory_order_acquire) == QNode::kWaiting) {
+      backoff.Pause();
+    }
     return;
+  }
+}
+
+bool VersionLatch::AcquireQueuedCancelable(uint16_t qid, uint64_t expected) {
+  QNode* me = QNodeForId(qid);
+  SpinBackoff backoff(/*cap_spins=*/256, /*yield=*/true);
+  uint64_t w = word_.load(std::memory_order_acquire);
+  for (;;) {
+    if ((w & kVersionMask) != (expected & kVersionMask)) {
+      // Not enqueued yet: nothing links to us, recycle immediately.
+      ReleaseQNode(qid);
+      return false;
+    }
+    const uint16_t tail = TailOf(w);
+    if (tail == 0) {
+      if ((w & kLockedBit) != 0) {
+        // Held by a queue-less (fallback CAS) owner; wait for the release.
+        backoff.Pause();
+        w = word_.load(std::memory_order_acquire);
+        continue;
+      }
+      if (word_.compare_exchange_weak(w, w | kLockedBit | TailWord(qid),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        return true;
+      }
+      continue;
+    }
+    if (!word_.compare_exchange_weak(w, (w & ~kTailMask) | TailWord(qid),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      continue;
+    }
+    QNodeForId(tail)->next.store(qid, std::memory_order_release);
+    // Local spin, watching the version: once a predecessor bumps it our
+    // upgrade is decided-failed, so abandon the node (the releaser skips it
+    // at handoff) instead of waiting out the whole chain for a lock we would
+    // release unbumped anyway.
+    for (;;) {
+      const uint8_t gr = me->granted.load(std::memory_order_acquire);
+      if (gr != QNode::kWaiting) return true;  // granted: we own the lock
+      const uint64_t now = word_.load(std::memory_order_acquire);
+      if ((now & kVersionMask) != (expected & kVersionMask)) {
+        uint8_t g0 = QNode::kWaiting;
+        if (me->granted.compare_exchange_strong(g0, QNode::kAbandoned,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+          DeferReleaseQNode(qid);
+          return false;
+        }
+        return true;  // lost the race to a concurrent handoff: we own it
+      }
+      backoff.Pause();
+    }
   }
 }
 
@@ -260,22 +371,53 @@ void VersionLatch::Release(uint16_t qid, bool bump) {
       return;
     }
   }
-  // A successor swapped itself in as tail; wait for it to link behind us,
-  // publish our version step while the lock stays continuously held, and
-  // hand over by setting its granted flag.
-  SpinBackoff backoff(/*cap_spins=*/256, /*yield=*/true);
-  uint16_t succ;
-  while ((succ = me->next.load(std::memory_order_acquire)) == 0) {
-    backoff.Pause();
-  }
+  // A successor swapped itself in as tail. Publish our version step first,
+  // while the lock stays continuously held (readers cannot snapshot between
+  // the bump and the handoff: the locked bit never clears), then walk the
+  // chain: grant the first waiter still waiting, skipping nodes whose owner
+  // abandoned the wait (OpRead drop-out). A skipped node is marked
+  // kConsumed only after we are done reading its `next`, which is the
+  // owner's license to recycle it.
   if (bump) {
     // +2 advances the version field (bits 1..47) by one step and leaves the
-    // locked bit and tail field untouched. Readers cannot snapshot between
-    // this and the handoff: the locked bit never clears.
+    // locked bit and tail field untouched.
     word_.fetch_add(2, std::memory_order_release);
   }
-  QNodeForId(succ)->granted.store(1, std::memory_order_release);
-  ReleaseQNode(qid);
+  SpinBackoff backoff(/*cap_spins=*/256, /*yield=*/true);
+  uint16_t cur;
+  while ((cur = me->next.load(std::memory_order_acquire)) == 0) {
+    backoff.Pause();
+  }
+  ReleaseQNode(qid);  // done with our own node
+  for (;;) {
+    QNode* n = QNodeForId(cur);
+    uint8_t g0 = QNode::kWaiting;
+    if (n->granted.compare_exchange_strong(g0, QNode::kGranted,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      return;  // handed off
+    }
+    // Abandoned. If it is the tail, try to release the lock outright by
+    // clearing locked bit + tail (the version bump already happened above).
+    assert(g0 == QNode::kAbandoned);
+    w = word_.load(std::memory_order_relaxed);
+    while (TailOf(w) == cur) {
+      const uint64_t ver = w & kVersionMask;
+      if (word_.compare_exchange_weak(w, ver, std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+        n->granted.store(QNode::kConsumed, std::memory_order_release);
+        return;
+      }
+    }
+    // A successor linked (or is about to link) behind the abandoned node:
+    // take its `next`, consume it, and continue the walk there.
+    uint16_t nx;
+    while ((nx = n->next.load(std::memory_order_acquire)) == 0) {
+      backoff.Pause();
+    }
+    n->granted.store(QNode::kConsumed, std::memory_order_release);
+    cur = nx;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -298,10 +440,20 @@ size_t StripeFor(const void* key) {
   return static_cast<size_t>(h) & (kTryStripes - 1);
 }
 
+std::atomic<int> g_lock_quiesce{0};
+
 }  // namespace
 
+void SetLockQuiesce(bool on) {
+  g_lock_quiesce.fetch_add(on ? 1 : -1, std::memory_order_acq_rel);
+}
+
+bool LockQuiesceRequested() {
+  return g_lock_quiesce.load(std::memory_order_acquire) > 0;
+}
+
 bool QueuedTryAcquire(const void* key, int attempts, bool (*try_fn)(void*),
-                      void* arg) {
+                      void* arg, bool cancelable) {
   const uint16_t qid = AcquireQNode();
   if (qid == 0) {
     // Pool exhausted: plain bounded retry, equivalent to the old spin path.
@@ -318,18 +470,47 @@ bool QueuedTryAcquire(const void* key, int attempts, bool (*try_fn)(void*),
   const uint16_t pred = tail.exchange(qid, std::memory_order_acq_rel);
   if (pred != 0) {
     QNodeForId(pred)->next.store(qid, std::memory_order_release);
-    // Yielding wait: the predecessor may be a fiber on this OS thread. The
-    // wait is bounded — every queue head ahead of us gives up after
-    // `attempts` tries and hands the headship on FIFO.
+    // Yielding wait for headship — BOUNDED, exactly like the head's attempt
+    // budget. Stripes are shared across unrelated rows, so the chain ahead
+    // can be waiting on locks we transitively hold (the caller sits in the
+    // sorted lock phase with earlier write-set locks taken): waiting out the
+    // whole chain couples two lock orders into a near-deadlock that starves
+    // protected retries. Past the budget we drop out of the queue instead —
+    // same protocol as the OpRead upgrade drop-out: flag the node abandoned
+    // so the handoff walk skips it, defer-recycle, and report failure (the
+    // caller aborts and releases its locks).
     SpinBackoff backoff(/*cap_spins=*/256, /*yield=*/true);
-    while (me->granted.load(std::memory_order_acquire) == 0) backoff.Pause();
+    int waited = 0;
+    while (me->granted.load(std::memory_order_acquire) == QNode::kWaiting) {
+      ++waited;
+      // Normal operation rides the queue out: FIFO handoff is cheap under a
+      // fiber scheduler and aborting mid-queue just re-forms the same queue
+      // behind fresher registrants. The tighter budget applies to cancelable
+      // waiters while a protected retry quiesces the system (the chain ahead
+      // may transitively wait on locks our caller holds); it matches the
+      // head's own attempt budget — aggressive enough to drain a stripe well
+      // inside the protected retry window, gentle enough not to feed an
+      // abort storm back into the escalation logic. The wide cap is a
+      // backstop against genuine cross-stripe coupling cycles.
+      if (waited > ((cancelable && LockQuiesceRequested()) ? attempts
+                                                           : attempts * 64)) {
+        uint8_t g0 = QNode::kWaiting;
+        if (me->granted.compare_exchange_strong(g0, QNode::kAbandoned,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+          DeferReleaseQNode(qid);
+          return false;
+        }
+        break;  // headship landed concurrently: we own the head role now
+      }
+      backoff.Pause();
+    }
   }
 
   // We are the queue head: only WE retry the try-lock — everyone behind us
   // spins on their own node instead of hammering the lock word. The budget
   // keeps this safe to call while holding other locks (sorted validator
-  // phase): stripes are shared across unrelated rows, so an unbounded wait
-  // could couple two lock orders into a cycle.
+  // phase).
   bool acquired = false;
   SpinBackoff backoff(/*cap_spins=*/64, /*yield=*/true);
   for (int i = 0; i < attempts; i++) {
@@ -340,19 +521,45 @@ bool QueuedTryAcquire(const void* key, int attempts, bool (*try_fn)(void*),
     backoff.Pause();
   }
 
-  // Pass the headship on (FIFO) whether or not we acquired.
+  // Pass the headship on (FIFO) whether or not we acquired, skipping
+  // successors that dropped out. Mirror of VersionLatch::Release's walk: a
+  // CAS win on kWaiting hands off; an abandoned node is consumed (the
+  // owner's license to recycle it) only after we are done reading its
+  // `next`, and an abandoned tail lets us close the queue outright.
   uint16_t expected = qid;
-  if (!tail.compare_exchange_strong(expected, 0, std::memory_order_acq_rel,
-                                    std::memory_order_acquire)) {
-    SpinBackoff link_backoff(/*cap_spins=*/256, /*yield=*/true);
-    uint16_t succ;
-    while ((succ = me->next.load(std::memory_order_acquire)) == 0) {
+  if (tail.compare_exchange_strong(expected, 0, std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    ReleaseQNode(qid);
+    return acquired;
+  }
+  SpinBackoff link_backoff(/*cap_spins=*/256, /*yield=*/true);
+  uint16_t cur;
+  while ((cur = me->next.load(std::memory_order_acquire)) == 0) {
+    link_backoff.Pause();
+  }
+  ReleaseQNode(qid);  // done with our own node
+  for (;;) {
+    QNode* n = QNodeForId(cur);
+    uint8_t g0 = QNode::kWaiting;
+    if (n->granted.compare_exchange_strong(g0, QNode::kGranted,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      return acquired;  // headship handed off
+    }
+    assert(g0 == QNode::kAbandoned);
+    expected = cur;
+    if (tail.compare_exchange_strong(expected, 0, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      n->granted.store(QNode::kConsumed, std::memory_order_release);
+      return acquired;  // abandoned tail: queue closed
+    }
+    uint16_t nx;
+    while ((nx = n->next.load(std::memory_order_acquire)) == 0) {
       link_backoff.Pause();
     }
-    QNodeForId(succ)->granted.store(1, std::memory_order_release);
+    n->granted.store(QNode::kConsumed, std::memory_order_release);
+    cur = nx;
   }
-  ReleaseQNode(qid);
-  return acquired;
 }
 
 }  // namespace sync

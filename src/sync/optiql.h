@@ -42,10 +42,13 @@
 //                      cooperatively-scheduled lock holder run; a bounded
 //                      no-yield variant preserves try-lock abort semantics).
 //
-// Both lock implementations are selectable at runtime (`--lock=cas|optiql`
-// in the benches, SetLockImpl here) so the paired-median A/B harness can
-// compare them in one process. Switching is only legal while no latch is
-// held or queued: idle words are bit-identical in both modes.
+// The lock implementation is selectable at runtime
+// (`--lock=cas|optiql|adaptive` in the benches, SetLockImpl here) so the
+// paired-median A/B harness can compare them in one process; `adaptive`
+// starts every latch on the CAS path and promotes individual latches to the
+// queue from their own contention counters (ContendedHint). Switching is
+// only legal while no latch is held or queued: idle words are bit-identical
+// in all modes.
 //
 // Queue nodes come from per-worker pools (no allocation on the lock path)
 // and the handoff uses std::atomic release/acquire throughout, so
@@ -68,8 +71,9 @@ namespace sync {
 // Runtime lock-implementation selection.
 
 enum class LockImpl : uint8_t {
-  kCas = 0,     ///< plain CAS loops (the pre-OptiQL behavior)
-  kOptiql = 1,  ///< MCS queue + optimistic reads
+  kCas = 0,      ///< plain CAS loops (the pre-OptiQL behavior)
+  kOptiql = 1,   ///< MCS queue + optimistic reads
+  kAdaptive = 2, ///< per-latch cas->optiql promotion from contention counters
 };
 
 namespace detail {
@@ -88,11 +92,59 @@ inline void SetLockImpl(LockImpl impl) {
 
 inline bool OptiqlEnabled() { return GetLockImpl() == LockImpl::kOptiql; }
 
-/// Parse "cas" / "optiql"; returns false (and leaves `out` alone) on typos.
+/// True when the current impl may queue writers at all. Paths without a
+/// per-latch promotion hint (the striped row try-lock, range-ring combining)
+/// treat kAdaptive like kOptiql: they are shared/striped structures, already
+/// contended by construction when reached.
+inline bool QueueCapable() { return GetLockImpl() != LockImpl::kCas; }
+
+/// Parse "cas" / "optiql" / "adaptive"; returns false (and leaves `out`
+/// alone) on typos.
 bool ParseLockImpl(const std::string& name, LockImpl* out);
 
 inline const char* LockImplName(LockImpl impl) {
-  return impl == LockImpl::kOptiql ? "optiql" : "cas";
+  switch (impl) {
+    case LockImpl::kOptiql: return "optiql";
+    case LockImpl::kAdaptive: return "adaptive";
+    default: return "cas";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ContendedHint — per-latch cas->optiql promotion state (kAdaptive mode).
+
+/// Tiny saturating contention score embedded next to a latch (the B+Tree
+/// node header has padding for it). In kAdaptive mode a latch starts on the
+/// plain CAS path; every contended-lock failure (same version, lock held)
+/// scores it, and once the score saturates the latch switches to the queued
+/// path permanently. Promotion is monotone by design: a latch hot enough to
+/// promote has already demonstrated the CAS storm, and the queued path costs
+/// nothing measurable when the latch later goes cold (uncontended queued
+/// acquire is one CAS, same as the fast path).
+struct ContendedHint {
+  static constexpr uint16_t kPromoteAt = 64;
+
+  std::atomic<uint16_t> score{0};
+
+  bool Promoted() const {
+    return score.load(std::memory_order_relaxed) >= kPromoteAt;
+  }
+
+  /// Score one contended-lock observation (bounded overshoot under races).
+  void NoteContended() {
+    if (score.load(std::memory_order_relaxed) < kPromoteAt) {
+      score.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+/// Central mode decision for latch write paths: kCas never queues, kOptiql
+/// always queues, kAdaptive queues once this latch's hint promoted.
+inline bool UseQueue(const ContendedHint* hint) {
+  const LockImpl impl = GetLockImpl();
+  if (impl == LockImpl::kCas) return false;
+  if (impl == LockImpl::kOptiql) return true;
+  return hint != nullptr && hint->Promoted();
 }
 
 // ---------------------------------------------------------------------------
@@ -139,9 +191,28 @@ class SpinBackoff {
 /// One MCS queue node. A waiter spins on its OWN node (`granted`), not on the
 /// shared lock word; the predecessor writes the successor's `granted` flag at
 /// handoff. Cache-line sized so two waiters never share a line.
+///
+/// `granted` is a small state machine rather than a boolean so two extensions
+/// share the queue machinery:
+///  - OpRead drop-out (DESIGN.md §15.3): a queued upgrade-waiter whose
+///    outcome is already decided CASes kWaiting -> kAbandoned and leaves; the
+///    releaser skips the node at handoff and marks it kConsumed, after which
+///    the owning thread may recycle it (deferred via DeferReleaseQNode).
+///  - Combining registration (§15.1): the queue head of a range ring's
+///    combining queue publishes the whole linked batch, parks each waiter's
+///    assigned sequence in `result`, and grants; a head that fills its batch
+///    hands the combiner role to the next waiter with kCombinerHandoff.
 struct alignas(kCacheLineSize) QNode {
+  static constexpr uint8_t kWaiting = 0;
+  static constexpr uint8_t kGranted = 1;         ///< handoff: waiter proceeds
+  static constexpr uint8_t kAbandoned = 2;       ///< waiter dropped out (OpRead)
+  static constexpr uint8_t kConsumed = 3;        ///< releaser done with the node
+  static constexpr uint8_t kCombinerHandoff = 4; ///< waiter becomes the combiner
+
   std::atomic<uint16_t> next{0};    ///< qnode id of the successor (0 = none)
-  std::atomic<uint8_t> granted{0};  ///< set by the predecessor at handoff
+  std::atomic<uint8_t> granted{0};  ///< state machine above
+  std::atomic<uint64_t> result{0};  ///< combining: sequence assigned by combiner
+  std::atomic<void*> ctx{nullptr};  ///< combining: registrant payload
 };
 static_assert(sizeof(QNode) == kCacheLineSize,
               "QNode must occupy exactly one cache line");
@@ -159,6 +230,12 @@ inline constexpr uint32_t kMaxQNodeThreads = 511;  // (511*128 + 128) <= 65535
 uint16_t AcquireQNode();
 void ReleaseQNode(uint16_t id);
 QNode* QNodeForId(uint16_t id);
+
+/// Defer recycling of an ABANDONED node still linked in some queue: the
+/// owning thread parks the id and reclaims it (on a later AcquireQNode sweep)
+/// once the releaser has skipped the node and marked it kConsumed. Owner
+/// thread only, like ReleaseQNode.
+void DeferReleaseQNode(uint16_t id);
 
 // ---------------------------------------------------------------------------
 // VersionLatch — optimistic lock coupling latch with a queued write path.
@@ -213,21 +290,35 @@ class VersionLatch {
   }
 
   /// Atomically upgrade a read snapshot to the write lock. Returns false when
-  /// the version moved (caller restarts); in optiql mode a contended upgrade
-  /// queues first and revalidates after the handoff.
-  bool UpgradeToWriteLockOrRestart(uint64_t expected, Guard& g) {
-    if (!OptiqlEnabled()) {
+  /// the version moved (caller restarts); on the queued path a contended
+  /// upgrade queues first and revalidates after the handoff — and drops out
+  /// of the queue early (OpRead) when a predecessor's version bump already
+  /// decides the outcome. `hint` carries the per-latch kAdaptive promotion
+  /// state; contended CAS failures score it.
+  bool UpgradeToWriteLockOrRestart(uint64_t expected, Guard& g,
+                                   ContendedHint* hint = nullptr) {
+    if (!UseQueue(hint)) {
       g.qid = 0;
       uint64_t e = expected;
-      return word_.compare_exchange_strong(e, expected | kLockedBit,
-                                           std::memory_order_acq_rel,
-                                           std::memory_order_acquire);
+      if (word_.compare_exchange_strong(e, expected | kLockedBit,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        return true;
+      }
+      // Adaptive promotion: a failure at the SAME version (lock held or
+      // queued) is the CAS-storm signature; a moved version is an ordinary
+      // OCC restart the CAS path handles fine and does not score.
+      if (hint != nullptr && GetLockImpl() == LockImpl::kAdaptive &&
+          (e & kVersionMask) == (expected & kVersionMask)) {
+        hint->NoteContended();
+      }
+      return false;
     }
     return UpgradeSlow(expected, g);
   }
 
-  /// Unconditional write lock (queued in optiql mode, CAS loop otherwise).
-  void WriteLock(Guard& g);
+  /// Unconditional write lock (queued on the queue path, CAS loop otherwise).
+  void WriteLock(Guard& g, ContendedHint* hint = nullptr);
 
   /// Release after modifying: advances the version by one step so every
   /// reader snapshot taken before the acquire fails validation.
@@ -266,6 +357,13 @@ class VersionLatch {
   /// Queue-based acquire; returns owning the lock (locked bit set, our id —
   /// or a successor's — in the tail field).
   void AcquireQueued(uint16_t qid);
+  /// Queue-based acquire that abandons the wait (OpRead drop-out) once the
+  /// latch version no longer matches `expected`: the upgrade is then doomed,
+  /// so serializing behind the rest of the queue buys nothing. Returns true
+  /// when the lock was acquired, false when the node was abandoned (the
+  /// caller owns nothing; the qnode is consumed by the releaser and recycled
+  /// via DeferReleaseQNode).
+  bool AcquireQueuedCancelable(uint16_t qid, uint64_t expected);
   void Release(uint16_t qid, bool bump);
 
   static constexpr uint64_t TailWord(uint16_t qid) {
@@ -294,8 +392,21 @@ static_assert(sizeof(VersionLatch) == sizeof(uint64_t),
 /// so unbounded waiting could couple two lock orders into a cycle — a head
 /// that exhausts its attempts instead returns false and the caller aborts,
 /// exactly like the spin path it replaces, just without the CAS storm.
+/// Waiters are bounded too: past their budget they drop out of the queue
+/// (abandoned-node protocol, as in the OpRead upgrade drop-out) instead of
+/// waiting out the chain — eagerly for `cancelable` waiters while a quiesce
+/// is requested, and unconditionally at a generous hard cap. Callers that
+/// hold no other locks should pass cancelable=false: their wait blocks
+/// nobody, so riding the queue out is cheaper than an abort-retry cycle.
 bool QueuedTryAcquire(const void* key, int attempts, bool (*try_fn)(void*),
-                      void* arg);
+                      void* arg, bool cancelable = true);
+
+/// Quiesce hint for queued try-lock waiters. While set (a protected
+/// starvation-escape retry holds the admission gate), waiters past their
+/// budget drop out of stripe queues promptly so the row locks their callers
+/// hold are released and the protected transaction can make progress.
+void SetLockQuiesce(bool on);
+bool LockQuiesceRequested();
 
 }  // namespace sync
 }  // namespace rocc

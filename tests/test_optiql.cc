@@ -1,9 +1,11 @@
 // Tests for the contention-robust lock primitives (sync/optiql.h): word
-// layout and version-bump protocol of VersionLatch in both lock modes,
+// layout and version-bump protocol of VersionLatch in every lock mode,
 // mutual exclusion / lost-update stress under real threads, FIFO handoff
 // determinism under the fiber runtime, optimistic-read validation against a
-// concurrent writer, the qnode-pool-exhaustion CAS fallback, and the bounded
-// queued acquire of the row TID word (Row::LockContended).
+// concurrent writer, the qnode-pool-exhaustion CAS fallback, the bounded
+// queued acquire of the row TID word (Row::LockContended), OpRead queue
+// drop-out of doomed upgraders (DESIGN.md §15.3), and the per-latch
+// cas->optiql promotion of `--lock=adaptive` (ContendedHint).
 //
 // This binary runs under TSan in CI: all cross-thread payloads are
 // std::atomic, so the only happens-before edges are the ones the lock
@@ -105,7 +107,8 @@ TEST_P(VersionLatchBothModes, WriteUnlockNoBumpKeepsSnapshotsValid) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BothModes, VersionLatchBothModes,
-                         ::testing::Values(LockImpl::kCas, LockImpl::kOptiql),
+                         ::testing::Values(LockImpl::kCas, LockImpl::kOptiql,
+                                           LockImpl::kAdaptive),
                          [](const ::testing::TestParamInfo<LockImpl>& param) {
                            return LockImplName(param.param);
                          });
@@ -172,7 +175,11 @@ TEST_P(LatchStressBothModes, OptimisticReadersSeeConsistentSnapshots) {
   });
 
   uint64_t validated = 0;
-  while (!stop.load(std::memory_order_acquire)) {
+  // Keep reading until at least one snapshot validates: once the writer is
+  // done the latch is quiescent, so the next read is guaranteed to validate
+  // and the loop terminates even when the writer outruns the reader entirely
+  // (single-core schedulers can run the whole writer loop in one quantum).
+  while (!stop.load(std::memory_order_acquire) || validated == 0) {
     const uint64_t v = latch.ReadLockOrRestart();
     const uint64_t sa = a.load(std::memory_order_relaxed);
     const uint64_t sb = b.load(std::memory_order_relaxed);
@@ -188,7 +195,8 @@ TEST_P(LatchStressBothModes, OptimisticReadersSeeConsistentSnapshots) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BothModes, LatchStressBothModes,
-                         ::testing::Values(LockImpl::kCas, LockImpl::kOptiql),
+                         ::testing::Values(LockImpl::kCas, LockImpl::kOptiql,
+                                           LockImpl::kAdaptive),
                          [](const ::testing::TestParamInfo<LockImpl>& param) {
                            return LockImplName(param.param);
                          });
@@ -371,10 +379,188 @@ TEST_P(RowLockBothModes, NoLostUpdatesThroughTidWord) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BothModes, RowLockBothModes,
-                         ::testing::Values(LockImpl::kCas, LockImpl::kOptiql),
+                         ::testing::Values(LockImpl::kCas, LockImpl::kOptiql,
+                                           LockImpl::kAdaptive),
                          [](const ::testing::TestParamInfo<LockImpl>& param) {
                            return LockImplName(param.param);
                          });
+
+// --------------------------------------------------------------------------
+// OpRead drop-out: a doomed queued upgrader leaves the queue early
+// --------------------------------------------------------------------------
+
+TEST(OpReadDropOut, DoomedUpgraderLeavesQueueEarly) {
+  ScopedLockImpl mode(LockImpl::kOptiql);
+  VersionLatch latch;
+  std::vector<int> order;
+  bool upgrade_result = true;
+
+  FiberScheduler sched;
+  sched.Spawn([&] {  // fiber 0: holder; its release bump dooms the upgrader
+    VersionLatch::Guard g;
+    latch.WriteLock(g);
+    for (int i = 0; i < 4; i++) FiberScheduler::YieldFiber();
+    order.push_back(0);
+    latch.WriteUnlock(g);
+  });
+  sched.Spawn([&] {  // fiber 1: queued writer; holds across many yields
+    VersionLatch::Guard g;
+    latch.WriteLock(g);
+    for (int i = 0; i < 8; i++) FiberScheduler::YieldFiber();
+    order.push_back(1);
+    latch.WriteUnlock(g);
+  });
+  sched.Spawn([&] {  // fiber 2: upgrader queued BEHIND fiber 1, mid-queue
+    VersionLatch::Guard g;
+    upgrade_result = latch.UpgradeToWriteLockOrRestart(0, g);
+    order.push_back(2);
+  });
+  sched.Run();
+
+  EXPECT_FALSE(upgrade_result);
+  // The proof of the drop-out is the order: fiber 2 returned while fiber 1
+  // still HELD the lock. Had it stayed queued it could only return after
+  // fiber 1's release handed the lock over.
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+  EXPECT_FALSE(latch.IsLocked());
+  EXPECT_EQ(latch.ReadLockOrRestart(), 4u);  // exactly the two writers' bumps
+
+  // The abandoned node was consumed by fiber 1's release and recycled; the
+  // queue is clean and a fresh queued acquire works.
+  VersionLatch::Guard g;
+  latch.WriteLock(g);
+  EXPECT_NE(g.qid, 0u);
+  latch.WriteUnlock(g);
+  EXPECT_EQ(latch.ReadLockOrRestart(), 6u);
+}
+
+TEST(OpReadDropOut, AbandonRaceStressUnderThreads) {
+  // Writers bump the version nonstop while upgraders queue on snapshots that
+  // are mostly doomed: every interleaving of grant vs abandon vs tail-CAS
+  // gets exercised. The version-bump accounting must stay exact and the
+  // latch must end unlocked with an empty queue.
+  ScopedLockImpl mode(LockImpl::kOptiql);
+  VersionLatch latch;
+  constexpr int kWriters = 3;
+  constexpr int kUpgraders = 3;
+  constexpr int kOps = 2000;
+  std::atomic<uint64_t> bumps{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOps; i++) {
+        VersionLatch::Guard g;
+        latch.WriteLock(g);
+        latch.WriteUnlock(g);
+        bumps.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int t = 0; t < kUpgraders; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOps; i++) {
+        const uint64_t v = latch.ReadLockOrRestart();
+        VersionLatch::Guard g;
+        if (latch.UpgradeToWriteLockOrRestart(v, g)) {
+          latch.WriteUnlock(g);
+          bumps.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const uint64_t w = latch.RawWord();
+  EXPECT_EQ(w & VersionLatch::kLockedBit, 0u);
+  EXPECT_EQ(w & VersionLatch::kTailMask, 0u) << "queue not drained";
+  EXPECT_EQ(w, 2u * bumps.load());
+}
+
+// --------------------------------------------------------------------------
+// ContendedHint — per-latch promotion in --lock=adaptive
+// --------------------------------------------------------------------------
+
+TEST(AdaptiveHint, UseQueueDecisionPerMode) {
+  ContendedHint cold;
+  ContendedHint hot;
+  hot.score.store(ContendedHint::kPromoteAt, std::memory_order_relaxed);
+  {
+    ScopedLockImpl m(LockImpl::kCas);
+    EXPECT_FALSE(UseQueue(&hot));
+    EXPECT_FALSE(UseQueue(nullptr));
+    EXPECT_FALSE(QueueCapable());
+  }
+  {
+    ScopedLockImpl m(LockImpl::kOptiql);
+    EXPECT_TRUE(UseQueue(&cold));
+    EXPECT_TRUE(UseQueue(nullptr));
+    EXPECT_TRUE(QueueCapable());
+  }
+  {
+    ScopedLockImpl m(LockImpl::kAdaptive);
+    EXPECT_FALSE(UseQueue(&cold));
+    EXPECT_TRUE(UseQueue(&hot));
+    // Hint-less call sites (striped row queue, ring combining) treat
+    // adaptive as queue-capable but UseQueue without a hint stays on CAS.
+    EXPECT_FALSE(UseQueue(nullptr));
+    EXPECT_TRUE(QueueCapable());
+  }
+}
+
+TEST(AdaptiveHint, ParseAcceptsAdaptive) {
+  LockImpl impl = LockImpl::kCas;
+  EXPECT_TRUE(ParseLockImpl("adaptive", &impl));
+  EXPECT_EQ(impl, LockImpl::kAdaptive);
+  EXPECT_STREQ(LockImplName(LockImpl::kAdaptive), "adaptive");
+  EXPECT_FALSE(ParseLockImpl("adaptive?", &impl));
+}
+
+TEST(AdaptiveHint, ContendedFailuresPromoteLatchToQueue) {
+  ScopedLockImpl mode(LockImpl::kAdaptive);
+  VersionLatch latch;
+  ContendedHint hint;
+  EXPECT_FALSE(hint.Promoted());
+
+  // Unpromoted: acquires take the CAS path (no queue node).
+  VersionLatch::Guard held;
+  latch.WriteLock(held, &hint);
+  EXPECT_EQ(held.qid, 0u);
+
+  // Upgrade failures at the SAME version (lock held) are the CAS-storm
+  // signature and score the hint up to promotion.
+  for (uint16_t i = 0; i < ContendedHint::kPromoteAt; i++) {
+    VersionLatch::Guard g;
+    EXPECT_FALSE(latch.UpgradeToWriteLockOrRestart(0, g, &hint));
+  }
+  EXPECT_TRUE(hint.Promoted());
+  latch.WriteUnlock(held);
+
+  // Promoted: this latch now queues its writers.
+  const uint64_t v = latch.ReadLockOrRestart();
+  VersionLatch::Guard g;
+  ASSERT_TRUE(latch.UpgradeToWriteLockOrRestart(v, g, &hint));
+  EXPECT_NE(g.qid, 0u);
+  latch.WriteUnlock(g);
+}
+
+TEST(AdaptiveHint, VersionMovedFailuresDoNotScore) {
+  ScopedLockImpl mode(LockImpl::kAdaptive);
+  VersionLatch latch;
+  ContendedHint hint;
+  VersionLatch::Guard g0;
+  latch.WriteLock(g0, &hint);
+  latch.WriteUnlock(g0);  // version now 2: snapshot 0 is stale, not contended
+
+  for (int i = 0; i < 2 * ContendedHint::kPromoteAt; i++) {
+    VersionLatch::Guard g;
+    EXPECT_FALSE(latch.UpgradeToWriteLockOrRestart(0, g, &hint));
+  }
+  // Ordinary OCC restarts (version moved, lock free) never promote: the CAS
+  // path handles them fine and queueing would only add latency.
+  EXPECT_FALSE(hint.Promoted());
+  EXPECT_EQ(hint.score.load(std::memory_order_relaxed), 0u);
+}
 
 TEST(RowLockFifo, QueuedAcquireIsFifoUnderFibers) {
   ScopedLockImpl mode(LockImpl::kOptiql);

@@ -3,7 +3,10 @@
 // key_max, last-range extension, non-divisible spans), the slice grid, and
 // the split/merge invariants — every key maps to exactly one range before,
 // during, and after a table swap, and retired tables are reclaimed only
-// after their grace period.
+// after their grace period. Plus an end-to-end run on the deterministic
+// fiber runner where the grid is frozen and the tuner's only lever is
+// adaptive ring capacity (DESIGN.md §15.2), forcing mid-scan ring
+// replacements under live predicates.
 
 #include <gtest/gtest.h>
 
@@ -11,6 +14,9 @@
 
 #include "core/range_manager.h"
 #include "core/rocc.h"
+#include "harness/runner.h"
+#include "sync/optiql.h"
+#include "workload/ycsb.h"
 
 namespace rocc {
 namespace {
@@ -257,6 +263,110 @@ TEST(RangeManagerTest, TelemetrySnapshotsCountersAndTopology) {
   EXPECT_EQ(tel.rows[0].registrations, 7u);
   EXPECT_EQ(tel.rows[0].ring_lost, 2u);
   EXPECT_EQ(tel.rows[1].range_id, 1u);
+}
+
+// --------------------------------------------------------------------------
+// Adaptive ring capacity end-to-end (mid-scan resizes under live predicates)
+// --------------------------------------------------------------------------
+
+/// High-skew hybrid YCSB on tiny rings with the key-space grid FROZEN
+/// (slices_per_range=1): splitting is impossible, so relieving the ring_lost
+/// pressure requires the tuner to replace hot rings mid-run, while scans
+/// hold predicates built against the retired generation. The queued lock
+/// mode additionally arms combining registration on the promoted rings.
+RunResult RunFrozenGridYcsb(ExecMode mode, uint32_t num_threads,
+                            uint64_t txns_per_thread, Rocc** cc_out,
+                            std::unique_ptr<Rocc>* cc_holder,
+                            std::unique_ptr<Database>* db_holder,
+                            std::unique_ptr<YcsbWorkload>* wl_holder) {
+  YcsbOptions wopts;
+  wopts.num_rows = 20'000;
+  wopts.theta = 0.95;
+  wopts.scan_txn_fraction = 0.2;
+  wopts.scan_length = 200;
+  *db_holder = std::make_unique<Database>();
+  *wl_holder = std::make_unique<YcsbWorkload>(wopts);
+  (*wl_holder)->Load(db_holder->get());
+
+  RoccOptions ropts;
+  ropts.tables = (*wl_holder)->RangeConfigs(/*ranges_hint=*/32,
+                                            /*ring_capacity=*/16);
+  ropts.default_ring_capacity = 16;
+  ropts.tuner.enabled = true;
+  ropts.tuner.pressure_threshold = 4;
+  ropts.tuner.slices_per_range = 1;  // frozen: Split/Merge can never fire
+  ropts.tuner.adaptive_ring = true;
+  ropts.tuner.combining_reg_threshold = 32;
+  *cc_holder = std::make_unique<Rocc>(db_holder->get(), num_threads, ropts);
+  *cc_out = cc_holder->get();
+
+  RunOptions run;
+  run.num_threads = num_threads;
+  run.txns_per_thread = txns_per_thread;
+  run.warmup_txns_per_thread = 10;
+  run.seed = 7;
+  run.mode = mode;
+  run.set_lock_impl = true;
+  run.lock_impl = sync::LockImpl::kOptiql;
+  const RunResult r = RunExperiment(cc_holder->get(), wl_holder->get(), run);
+  sync::SetLockImpl(sync::LockImpl::kCas);
+  return r;
+}
+
+TEST(ResizeEndToEndTest, FiberRunGrowsHotRingsMidScan) {
+  Rocc* cc = nullptr;
+  std::unique_ptr<Rocc> cc_holder;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<YcsbWorkload> wl;
+  const RunResult r = RunFrozenGridYcsb(ExecMode::kFibers, 16, 150, &cc,
+                                        &cc_holder, &db, &wl);
+
+  EXPECT_EQ(r.stats.give_ups, 0u);
+  EXPECT_GT(r.stats.commits, 0u);
+  // Every abort attributed: ring replacement mid-scan must not invent an
+  // unclassified abort path (the clamped validation window in particular).
+  EXPECT_EQ(r.stats.aborts, r.stats.AbortCauseSum());
+
+  // The frozen grid leaves ring capacity as the only lever — and the skewed
+  // tiny-ring pressure must have pulled it.
+  EXPECT_GT(cc->tuner()->passes(), 0u);
+  EXPECT_EQ(cc->tuner()->splits(), 0u);
+  EXPECT_EQ(cc->tuner()->merges(), 0u);
+  EXPECT_GT(cc->tuner()->resizes(), 0u);
+
+  RangeManager* rm = cc->range_manager(wl->table_id());
+  EXPECT_EQ(rm->resizes(), cc->tuner()->resizes());
+  EXPECT_EQ(rm->splits(), 0u);
+  EXPECT_EQ(rm->num_ranges(), 32u);  // layout untouched by resizes
+  CheckPartition(*rm);
+
+  // At least one surviving ring actually grew, and telemetry reports it.
+  const RangeTable* t = rm->Snapshot();
+  uint32_t grown = 0;
+  for (uint32_t rid = 0; rid < t->num_ranges(); rid++) {
+    if (t->range(rid)->ring->capacity() > 16) grown++;
+  }
+  EXPECT_GT(grown, 0u);
+  const RangeTelemetry tel = rm->Telemetry();
+  EXPECT_EQ(tel.resizes, rm->resizes());
+  EXPECT_EQ(tel.splits, 0u);
+}
+
+TEST(ResizeEndToEndTest, ThreadRunStaysConsistent) {
+  // Real-thread variant for the TSan CI job: resize counts are
+  // timing-dependent here, so only the invariants are asserted.
+  Rocc* cc = nullptr;
+  std::unique_ptr<Rocc> cc_holder;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<YcsbWorkload> wl;
+  const RunResult r = RunFrozenGridYcsb(ExecMode::kThreads, 4, 300, &cc,
+                                        &cc_holder, &db, &wl);
+
+  EXPECT_EQ(r.stats.give_ups, 0u);
+  EXPECT_GT(r.stats.commits, 0u);
+  EXPECT_EQ(r.stats.aborts, r.stats.AbortCauseSum());
+  EXPECT_EQ(cc->tuner()->splits(), 0u);
+  CheckPartition(*cc->range_manager(wl->table_id()));
 }
 
 }  // namespace

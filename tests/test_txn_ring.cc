@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "core/range_manager.h"
 #include "core/txn_ring.h"
+#include "sync/optiql.h"
 #include "txn/epoch.h"
 
 namespace rocc {
@@ -233,6 +234,158 @@ TEST(TxnRingConcurrency, WrapPressureNeverServesWrongRegistrant) {
 }
 
 // --------------------------------------------------------------------------
+// Seeded base (adaptive resize replacement rings)
+// --------------------------------------------------------------------------
+
+TEST(TxnRingBase, SeededRingContinuesSequence) {
+  TxnRing ring(8, /*base=*/100);
+  EXPECT_EQ(ring.Version(), 100u);
+  EXPECT_EQ(ring.base(), 100u);
+  TxnDescriptor t;
+  EXPECT_EQ(ring.Register(&t), 101u);
+  EXPECT_EQ(ring.Version(), 101u);
+  EXPECT_EQ(ring.Get(101), &t);
+}
+
+TEST(TxnRingBase, PredecessorSequencesAreUnknown) {
+  TxnRing ring(8, /*base=*/100);
+  TxnDescriptor t;
+  ring.Register(&t);  // seq 101, slot 101 % 8 = 5
+  // Every sequence at or below base belongs to the retired predecessor ring;
+  // in particular seq 5 aliases slot 5 and must NOT resolve to seq 101's
+  // registrant.
+  EXPECT_EQ(ring.Get(100), nullptr);
+  EXPECT_EQ(ring.Get(5), nullptr);
+  EXPECT_EQ(ring.Get(1), nullptr);
+}
+
+TEST(TxnRingBase, WrapWindowOnSeededRing) {
+  // Tag checks must hold on a seeded ring exactly as on a fresh one: after
+  // wrapping, the visible window is the last `capacity` sequences and
+  // nothing below base ever leaks through a slot alias.
+  constexpr uint32_t kCap = 4;
+  constexpr uint64_t kBase = 37;  // deliberately not slot-aligned
+  TxnRing ring(kCap, kBase);
+  std::vector<TxnDescriptor> descs(3 * kCap);
+  for (uint64_t i = 0; i < descs.size(); i++) {
+    ASSERT_EQ(ring.Register(&descs[i]), kBase + i + 1);
+    const uint64_t version = ring.Version();
+    const uint64_t lo = version - kBase > kCap ? version - kCap + 1 : kBase + 1;
+    for (uint64_t seq = 1; seq <= version; seq++) {
+      if (seq >= lo) {
+        ASSERT_EQ(ring.Get(seq), &descs[seq - kBase - 1]) << "live seq " << seq;
+      } else {
+        ASSERT_EQ(ring.Get(seq), nullptr) << "stale/predecessor seq " << seq;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Combining registration
+// --------------------------------------------------------------------------
+
+TEST(TxnRingCombining, SingleThreadMatchesDirectSemantics) {
+  sync::SetLockImpl(sync::LockImpl::kOptiql);
+  TxnRing ring(16);
+  ring.SetCombining(true);
+  EXPECT_TRUE(ring.combining());
+  TxnDescriptor a, b;
+  // An uncontended combining registrant is its own combiner of a batch of
+  // one: same sequence/versioning contract as the direct path.
+  EXPECT_EQ(ring.Register(&a), 1u);
+  EXPECT_EQ(ring.Register(&b), 2u);
+  EXPECT_EQ(ring.Get(1), &a);
+  EXPECT_EQ(ring.Get(2), &b);
+  EXPECT_EQ(ring.Version(), 2u);
+  sync::SetLockImpl(sync::LockImpl::kCas);
+}
+
+TEST(TxnRingCombiningConcurrency, SequencesUniqueAndResolvable) {
+  sync::SetLockImpl(sync::LockImpl::kOptiql);
+  TxnRing ring(1 << 16);
+  ring.SetCombining(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::vector<uint64_t>> seqs(kThreads);
+  std::vector<TxnDescriptor> descs(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        seqs[t].push_back(ring.Register(&descs[t]));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // One registration = one version bump, batched or not: the issued
+  // sequences are exactly 1..N with no duplicate and no hole.
+  std::vector<uint64_t> all;
+  for (auto& v : seqs) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < all.size(); i++) ASSERT_EQ(all[i], i + 1);
+  EXPECT_EQ(ring.Version(), static_cast<uint64_t>(kThreads) * kPerThread);
+
+  // Per-thread program order survives batching: a waiter's assigned
+  // sequence is always greater than its previous registration's.
+  for (int t = 0; t < kThreads; t++) {
+    for (size_t i = 1; i < seqs[t].size(); i++) {
+      ASSERT_GT(seqs[t][i], seqs[t][i - 1]);
+    }
+  }
+
+  // Every surviving slot resolves to the registering descriptor.
+  const uint64_t version = ring.Version();
+  const uint64_t lo = version > ring.capacity() ? version - ring.capacity() + 1 : 1;
+  for (uint64_t seq = lo; seq <= version; seq++) {
+    TxnDescriptor* d = ring.Get(seq);
+    ASSERT_NE(d, nullptr);
+    const int owner = static_cast<int>(d - descs.data());
+    ASSERT_TRUE(std::binary_search(seqs[owner].begin(), seqs[owner].end(), seq));
+  }
+  sync::SetLockImpl(sync::LockImpl::kCas);
+}
+
+TEST(TxnRingCombiningConcurrency, DirectAndCombiningInteroperate) {
+  // The tuner may arm/disarm combining at any time; both paths share the
+  // slot-claim protocol, so uniqueness and resolvability must hold while
+  // registrants race the switch itself.
+  sync::SetLockImpl(sync::LockImpl::kOptiql);
+  TxnRing ring(1 << 14);
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 4000;
+  std::vector<std::vector<uint64_t>> seqs(kThreads);
+  std::vector<TxnDescriptor> descs(kThreads);
+  std::atomic<bool> stop{false};
+  std::thread toggler([&] {
+    bool on = false;
+    while (!stop.load(std::memory_order_acquire)) {
+      ring.SetCombining(on = !on);
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        seqs[t].push_back(ring.Register(&descs[t]));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  stop.store(true, std::memory_order_release);
+  toggler.join();
+
+  std::vector<uint64_t> all;
+  for (auto& v : seqs) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < all.size(); i++) ASSERT_EQ(all[i], i + 1);
+  EXPECT_EQ(ring.Version(), static_cast<uint64_t>(kThreads) * kPerThread);
+  sync::SetLockImpl(sync::LockImpl::kCas);
+}
+
+// --------------------------------------------------------------------------
 // RangeManager
 // --------------------------------------------------------------------------
 
@@ -293,6 +446,98 @@ TEST(RangeManager, RingsAreIndependent) {
   EXPECT_EQ(rm.ring(1).Version(), 0u);
   EXPECT_EQ(rm.ring(2).Version(), 1u);
   EXPECT_EQ(rm.ring(3).Version(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// RangeManager::Resize — old-ring / new-ring transition
+// --------------------------------------------------------------------------
+
+TEST(RangeManagerResize, SeqContinuityAcrossReplacement) {
+  RangeManager rm(0, 1000, 4, 8);
+  TxnDescriptor a, b;
+  std::shared_ptr<TxnRing> old_ring = rm.Snapshot()->ranges[1]->ring;
+  for (int i = 0; i < 5; i++) rm.ring(1).Register(&a);
+  ASSERT_TRUE(rm.Resize(1, 32, /*publish_epoch=*/1));
+
+  LogicalRange* lr = rm.Snapshot()->range(1);
+  ASSERT_NE(lr->ring.get(), old_ring.get());
+  EXPECT_EQ(lr->ring->capacity(), 32u);
+  // The replacement is seeded at the retired ring's version: the range
+  // version is continuous across the swap and sequence spaces never overlap.
+  EXPECT_EQ(lr->ring->base(), 5u);
+  EXPECT_EQ(lr->ring->Version(), 5u);
+  EXPECT_EQ(lr->ring->Register(&b), 6u);
+  EXPECT_EQ(lr->ring->Get(6), &b);
+  // Sequences issued by the predecessor resolve there (it is fenced via
+  // prev_rings for in-flight predicates), never in the replacement.
+  ASSERT_EQ(lr->prev_rings.size(), 1u);
+  EXPECT_EQ(lr->prev_rings[0].get(), old_ring.get());
+  EXPECT_EQ(old_ring->Get(5), &a);
+  EXPECT_EQ(lr->ring->Get(5), nullptr);
+  // Counters carried; per-range resize count bumped.
+  EXPECT_EQ(lr->stats.ring_resizes.load(std::memory_order_relaxed), 1u);
+  EXPECT_EQ(rm.resizes(), 1u);
+  // Layout untouched: same boundaries, same number of ranges.
+  EXPECT_EQ(rm.num_ranges(), 4u);
+  EXPECT_EQ(lr->start_key, 250u);
+  EXPECT_EQ(lr->end_key, 500u);
+}
+
+TEST(RangeManagerResize, RetiredTableReclaimedAfterGrace) {
+  RangeManager rm(0, 1000, 2, 8);
+  TxnDescriptor a;
+  std::shared_ptr<TxnRing> old_ring = rm.Snapshot()->ranges[0]->ring;
+  rm.ring(0).Register(&a);
+  ASSERT_TRUE(rm.Resize(0, 16, /*publish_epoch=*/3));
+  EXPECT_EQ(rm.retired_tables(), 1u);
+  rm.ReclaimRetired(/*min_active=*/3);  // grace not elapsed
+  EXPECT_EQ(rm.retired_tables(), 1u);
+  rm.ReclaimRetired(/*min_active=*/4);
+  EXPECT_EQ(rm.retired_tables(), 0u);
+  // The old ring survives reclamation of the table: the replacement range
+  // still fences it through prev_rings (plus our local reference).
+  EXPECT_EQ(old_ring->Get(1), &a);
+}
+
+TEST(RangeManagerResize, RejectsNoopAndBadArguments) {
+  RangeManager rm(0, 1000, 2, 8);
+  EXPECT_FALSE(rm.Resize(0, 8, 1));   // same capacity: nothing to do
+  EXPECT_FALSE(rm.Resize(0, 0, 1));   // zero-capacity ring is invalid
+  EXPECT_FALSE(rm.Resize(7, 16, 1));  // no such range
+  EXPECT_EQ(rm.resizes(), 0u);
+  EXPECT_EQ(rm.retired_tables(), 0u);
+}
+
+TEST(RangeManagerResize, ShrinkKeepsContinuityToo) {
+  RangeManager rm(0, 1000, 2, 32);
+  TxnDescriptor a, b;
+  for (int i = 0; i < 10; i++) rm.ring(0).Register(&a);
+  ASSERT_TRUE(rm.Resize(0, 8, /*publish_epoch=*/1));
+  LogicalRange* lr = rm.Snapshot()->range(0);
+  EXPECT_EQ(lr->ring->capacity(), 8u);
+  EXPECT_EQ(lr->ring->base(), 10u);
+  EXPECT_EQ(lr->ring->Register(&b), 11u);
+  EXPECT_EQ(lr->ring->Get(11), &b);
+}
+
+TEST(RangeManagerResize, SecondResizeAfterGraceCollapsesFence) {
+  // Resize the same range twice: each replacement fences only its immediate
+  // predecessor (one generation, like Split), so the grandparent ring is
+  // released once the second swap publishes.
+  RangeManager rm(0, 1000, 2, 8);
+  TxnDescriptor a;
+  std::shared_ptr<TxnRing> gen0 = rm.Snapshot()->ranges[0]->ring;
+  rm.ring(0).Register(&a);
+  ASSERT_TRUE(rm.Resize(0, 16, /*publish_epoch=*/1));
+  std::shared_ptr<TxnRing> gen1 = rm.Snapshot()->ranges[0]->ring;
+  ASSERT_TRUE(rm.Resize(0, 32, /*publish_epoch=*/2));
+  LogicalRange* lr = rm.Snapshot()->range(0);
+  ASSERT_EQ(lr->prev_rings.size(), 1u);
+  EXPECT_EQ(lr->prev_rings[0].get(), gen1.get());
+  EXPECT_EQ(lr->ring->base(), 1u);
+  EXPECT_EQ(lr->stats.ring_resizes.load(std::memory_order_relaxed), 2u);
+  EXPECT_EQ(rm.resizes(), 2u);
+  EXPECT_EQ(gen0->Get(1), &a);  // still alive through our local reference
 }
 
 // --------------------------------------------------------------------------
