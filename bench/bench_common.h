@@ -38,6 +38,20 @@
 //                     the row TID-word acquire: "cas" (plain CAS loops, the
 //                     default) or "optiql" (MCS queue locks with optimistic
 //                     reads, DESIGN.md §13)
+//   --http-port N     serve the live observability plane on 127.0.0.1:N
+//                     (GET /metrics /vars /healthz /trace?ms=N /config,
+//                     POST /config); implies --obs. 0 (default) = off: no
+//                     socket, no thread
+//   --obs-slo-us N    tail-latency SLO in microseconds: attempts slower
+//                     than this are force-captured into the trace rings
+//                     even when unsampled, and attributed to their slowest
+//                     phase (rocc_slo_violations_total); implies --obs
+//   --watchdog-ms N   start the stall watchdog: workers parked in one
+//                     phase longer than N ms are reported as kStall
+//                     events; implies --obs. The watchdog thread also
+//                     applies SIGHUP knob reloads and SIGUSR1 trace dumps
+//   --knob-file F     apply "name=value" knob overrides from F at startup
+//                     and re-apply on SIGHUP (drained by the watchdog)
 //
 // Quick-scale defaults keep every range-size/scan-length RATIO of the paper
 // intact (e.g. 610-key logical ranges), so curve shapes are comparable even
@@ -46,6 +60,7 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <cstdarg>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -53,13 +68,21 @@
 #include <memory>
 #include <string>
 
+#include <functional>
+#include <mutex>
+#include <vector>
+
 #include "common/config.h"
+#include "core/rocc.h"
+#include "harness/knobs.h"
 #include "harness/report.h"
 #include "harness/runner.h"
 #include "log/log_manager.h"
 #include "obs/chrome_trace.h"
+#include "obs/http_server.h"
 #include "obs/obs.h"
 #include "obs/prometheus.h"
+#include "obs/watchdog.h"
 #include "workload/tpcc/tpcc.h"
 #include "workload/ycsb.h"
 
@@ -82,6 +105,10 @@ struct BenchEnv {
   std::string trace_file;      // --trace: Chrome trace JSON dumped at exit
   std::string prom_file;       // --prom: Prometheus snapshot per run
   uint32_t prom_stream_ms = 0;  // --prom-stream-ms: live streaming period
+  uint16_t http_port = 0;      // --http-port: observability plane (0 = off)
+  uint32_t obs_slo_us = 0;     // --obs-slo-us: tail-latency capture threshold
+  uint32_t watchdog_ms = 0;    // --watchdog-ms: stall threshold (0 = off)
+  std::string knob_file;       // --knob-file: startup + SIGHUP knob overrides
   // Quick scale keeps the paper's 40 workers (cheap under the fiber runner)
   // but shrinks the table and transaction counts.
   uint32_t threads = 40;
@@ -106,6 +133,166 @@ struct BenchEnv {
 inline obs::PrometheusStreamer*& PromStreamer() {
   static obs::PrometheusStreamer* streamer = nullptr;
   return streamer;
+}
+
+/// Stall watchdog started by ParseEnv when --watchdog-ms is set (null
+/// otherwise); /vars reads its counter.
+inline obs::StallWatchdog*& BenchWatchdog() {
+  static obs::StallWatchdog* watchdog = nullptr;
+  return watchdog;
+}
+
+/// Observability HTTP server started by ParseEnv when --http-port is set.
+inline obs::HttpServer*& BenchHttpServer() {
+  static obs::HttpServer* server = nullptr;
+  return server;
+}
+
+// --- live per-range telemetry source for /vars -----------------------------
+//
+// The protocol instance only exists while a measurement is set up, so the
+// bench scaffolding publishes a closure over it for the duration of each run
+// (LiveRangeScope below) and the /vars handler calls through it. The mutex
+// guards the closure swap against a concurrent scrape.
+
+inline std::mutex& LiveRangeMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+inline std::function<std::vector<RangeTelemetry>(size_t)>& LiveRangeFn() {
+  static std::function<std::vector<RangeTelemetry>(size_t)> fn;
+  return fn;
+}
+
+inline std::vector<RangeTelemetry> CollectLiveRanges(size_t top_n) {
+  std::lock_guard<std::mutex> g(LiveRangeMutex());
+  if (!LiveRangeFn()) return {};
+  return LiveRangeFn()(top_n);
+}
+
+/// Publishes the protocol's range telemetry for the scope of one run when
+/// the protocol is ROCC-family (Rocc or Mvrcc); a no-op for the others.
+class LiveRangeScope {
+ public:
+  explicit LiveRangeScope(ConcurrencyControl* cc) {
+    Rocc* rocc = dynamic_cast<Rocc*>(cc);
+    if (rocc == nullptr) return;
+    std::lock_guard<std::mutex> g(LiveRangeMutex());
+    LiveRangeFn() = [rocc](size_t top_n) {
+      return rocc->LiveRangeTelemetry(top_n);
+    };
+  }
+  ~LiveRangeScope() {
+    std::lock_guard<std::mutex> g(LiveRangeMutex());
+    LiveRangeFn() = nullptr;
+  }
+};
+
+namespace detail {
+inline void VarsAppendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+inline void VarsAppendf(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, std::min<size_t>(static_cast<size_t>(n), sizeof(buf) - 1));
+}
+}  // namespace detail
+
+/// The GET /vars document: merged live run counters, SLO attribution, stall
+/// count, every knob's current value, and the per-range contention heatmap
+/// (range_id × AbortReason) of the running protocol.
+inline std::string BuildVarsJson(const std::string& binary) {
+  using detail::VarsAppendf;
+  using ull = unsigned long long;
+  const TxnStats s = CollectLiveStats();
+  std::string out;
+  out.reserve(4096);
+  VarsAppendf(&out, "{\"binary\":\"%s\",\"live_run\":%s", binary.c_str(),
+              LiveRunActive() ? "true" : "false");
+  VarsAppendf(&out,
+              ",\"commits\":%llu,\"aborts\":%llu,\"abort_rate\":%.6f,"
+              "\"scan_commits\":%llu,\"scan_aborts\":%llu,\"give_ups\":%llu,"
+              "\"escalations\":%llu,\"durable_acks\":%llu",
+              static_cast<ull>(s.commits), static_cast<ull>(s.aborts),
+              s.AbortRate(), static_cast<ull>(s.scan_txn_commits),
+              static_cast<ull>(s.scan_txn_aborts), static_cast<ull>(s.give_ups),
+              static_cast<ull>(s.escalations), static_cast<ull>(s.durable_acks));
+  out += ",\"aborts_by_reason\":{";
+  for (size_t c = 0; c < kNumAbortCauses; c++) {
+    VarsAppendf(&out, "%s\"%s\":%llu", c == 0 ? "" : ",",
+                AbortReasonName(kAbortCauses[c]),
+                static_cast<ull>(AbortCauseCount(s, kAbortCauses[c])));
+  }
+  out += "}";
+  VarsAppendf(&out, ",\"slo_violations\":%llu,\"slo_by_slowest_phase\":{",
+              static_cast<ull>(s.SloViolationTotal()));
+  for (uint32_t p = 0; p < TxnStats::kNumSloPhases; p++) {
+    uint64_t row = 0;
+    for (uint32_t c = 0; c <= kNumAbortCauses; c++) row += s.slo_violations[p][c];
+    VarsAppendf(&out, "%s\"%s\":%llu", p == 0 ? "" : ",",
+                obs::PhaseName(static_cast<obs::Phase>(p)),
+                static_cast<ull>(row));
+  }
+  out += "}";
+  VarsAppendf(&out, ",\"stalls\":%llu",
+              static_cast<ull>(BenchWatchdog() != nullptr
+                                   ? BenchWatchdog()->stalls_detected()
+                                   : 0));
+  out += ",\"knobs\":{";
+  {
+    bool first = true;
+    for (const auto& kv : KnobRegistry::Instance().Snapshot()) {
+      VarsAppendf(&out, "%s\"%s\":%llu", first ? "" : ",", kv.first.c_str(),
+                  static_cast<ull>(kv.second));
+      first = false;
+    }
+  }
+  out += "},\"tables\":[";
+  const std::vector<RangeTelemetry> tables = CollectLiveRanges(16);
+  for (size_t ti = 0; ti < tables.size(); ti++) {
+    const RangeTelemetry& t = tables[ti];
+    VarsAppendf(&out,
+                "%s{\"table_version\":%llu,\"num_ranges\":%u,\"splits\":%llu,"
+                "\"merges\":%llu,\"resizes\":%llu,\"registrations\":%llu,"
+                "\"ranges\":[",
+                ti == 0 ? "" : ",", static_cast<ull>(t.table_version),
+                t.num_ranges, static_cast<ull>(t.splits),
+                static_cast<ull>(t.merges), static_cast<ull>(t.resizes),
+                static_cast<ull>(t.total_registrations));
+    for (size_t ri = 0; ri < t.rows.size(); ri++) {
+      const RangeTelemetry::Row& r = t.rows[ri];
+      VarsAppendf(&out,
+                  "%s{\"range_id\":%u,\"start_key\":%llu,\"end_key\":%llu,"
+                  "\"registrations\":%llu,\"ring_lost\":%llu,"
+                  "\"scan_conflict\":%llu,\"ring_capacity\":%u,"
+                  "\"ring_high_water\":%llu,\"ring_resizes\":%llu,"
+                  "\"aborts_by_reason\":{",
+                  ri == 0 ? "" : ",", r.range_id,
+                  static_cast<ull>(r.start_key), static_cast<ull>(r.end_key),
+                  static_cast<ull>(r.registrations),
+                  static_cast<ull>(r.ring_lost),
+                  static_cast<ull>(r.scan_conflict), r.ring_capacity,
+                  static_cast<ull>(r.ring_high_water),
+                  static_cast<ull>(r.ring_resizes));
+      // Heatmap row, nonzero cells only, to bound the document size.
+      bool first = true;
+      for (size_t c = 0; c < kNumAbortCauses; c++) {
+        if (r.abort_by_reason[c] == 0) continue;
+        VarsAppendf(&out, "%s\"%s\":%llu", first ? "" : ",",
+                    AbortReasonName(kAbortCauses[c]),
+                    static_cast<ull>(r.abort_by_reason[c]));
+        first = false;
+      }
+      out += "}}";
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
 }
 
 inline BenchEnv ParseEnv(int argc, char** argv) {
@@ -143,8 +330,13 @@ inline BenchEnv ParseEnv(int argc, char** argv) {
   env.prom_file = env.cfg.GetString("prom", "");
   env.prom_stream_ms =
       static_cast<uint32_t>(env.cfg.GetInt("prom-stream-ms", 0));
+  env.http_port = static_cast<uint16_t>(env.cfg.GetInt("http-port", 0));
+  env.obs_slo_us = static_cast<uint32_t>(env.cfg.GetInt("obs-slo-us", 0));
+  env.watchdog_ms = static_cast<uint32_t>(env.cfg.GetInt("watchdog-ms", 0));
+  env.knob_file = env.cfg.GetString("knob-file", "");
   env.obs = env.cfg.GetBool("obs", false) || !env.trace_file.empty() ||
-            !env.prom_file.empty() || env.prom_stream_ms > 0;
+            !env.prom_file.empty() || env.prom_stream_ms > 0 ||
+            env.http_port != 0 || env.obs_slo_us > 0 || env.watchdog_ms > 0;
   env.obs_sample =
       static_cast<uint32_t>(env.cfg.GetInt("obs-sample", env.obs_sample));
   env.obs_ring = static_cast<uint32_t>(env.cfg.GetInt("obs-ring", env.obs_ring));
@@ -163,6 +355,7 @@ inline BenchEnv ParseEnv(int argc, char** argv) {
     obs::ObsOptions oo;
     oo.sample_period = env.obs_sample;
     oo.ring_capacity = env.obs_ring;
+    oo.slo_us = env.obs_slo_us;
     oo.max_workers = std::max<uint32_t>(env.threads * 2, 128);
     // Static: the recorder must outlive every worker AND the atexit dump.
     // ParseEnv runs once per binary, before any worker starts.
@@ -193,6 +386,54 @@ inline BenchEnv ParseEnv(int argc, char** argv) {
         PromStreamer() = &streamer;
         streamer.Start();
       }
+    }
+    if (env.watchdog_ms > 0) {
+      obs::WatchdogOptions wo;
+      wo.stall_threshold_ms = env.watchdog_ms;
+      static obs::StallWatchdog watchdog(wo);
+      BenchWatchdog() = &watchdog;
+      watchdog.Start();
+    }
+  }
+
+  // Knob overrides apply to already-registered cells (the recorder's, the
+  // watchdog's); knobs registered later by protocol constructors re-arm to
+  // their own config — latest constructor wins, see KnobRegistry. SIGHUP
+  // re-applies the file, drained by the watchdog thread when one runs.
+  if (!env.knob_file.empty()) {
+    const int applied = KnobRegistry::Instance().LoadFile(env.knob_file.c_str());
+    if (applied < 0) {
+      std::fprintf(stderr, "warning: cannot read --knob-file %s\n",
+                   env.knob_file.c_str());
+    } else {
+      KnobRegistry::Instance().SetReloadFile(env.knob_file);
+    }
+  }
+
+  if (env.http_port != 0) {
+    obs::HttpServerOptions ho;
+    ho.port = env.http_port;
+    static obs::HttpServer server(ho);
+    // Static: the providers' captures must stay valid for the server thread.
+    static std::string labels = "binary=\"" + env.binary + "\"";
+    static std::string binary_name = env.binary;
+    server.SetMetricsProvider([] {
+      // With a live streamer the scrape shares its cursors, so the body
+      // carries the ring-derived rocc_stream_* series too. The streamer only
+      // renders the txn families once it holds stats, so hand it the mid-run
+      // worker-sink merge first (guarded: between runs the live merge is
+      // empty and would clobber the accumulated end-of-run totals).
+      if (PromStreamer() != nullptr) {
+        if (LiveRunActive()) PromStreamer()->UpdateStats(CollectLiveStats());
+        return PromStreamer()->CollectString();
+      }
+      return obs::PrometheusSnapshot(CollectLiveStats(), labels);
+    });
+    server.SetVarsProvider([] { return BuildVarsJson(binary_name); });
+    if (server.Start()) {
+      BenchHttpServer() = &server;
+      std::fprintf(stderr, "[http] observability plane on 127.0.0.1:%u\n",
+                   server.port());
     }
   }
   return env;
@@ -326,6 +567,7 @@ class YcsbBench {
     run.lock_impl = lock_impl_;
     std::unique_ptr<LogManager> log = OpenRunLog(env_, run.num_threads);
     run.log = log.get();
+    LiveRangeScope ranges(cc);  // /vars heatmap source for this run
     RunResult r = RunExperiment(cc, workload_.get(), run);
     if (log != nullptr) log->Stop();
     EmitProm(env_, r.stats);
@@ -361,6 +603,7 @@ inline RunResult RunTpcc(const BenchEnv& env, const TpccOptions& opts,
   run.warmup_txns_per_thread = env.warmup;
   std::unique_ptr<LogManager> log = OpenRunLog(env, threads);
   run.log = log.get();
+  LiveRangeScope ranges(cc.get());  // /vars heatmap source for this run
   RunResult r = RunExperiment(cc.get(), &workload, run);
   if (log != nullptr) log->Stop();
   EmitProm(env, r.stats);

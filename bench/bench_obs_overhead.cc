@@ -1,7 +1,7 @@
 // Flight-recorder overhead guard: the observability layer must be free when
 // off and near-free when sampling.
 //
-// Three cells run the same hybrid-YCSB workload (interleaved within each
+// Five cells run the same hybrid-YCSB workload (interleaved within each
 // repetition so ambient drift on a shared host cancels out of the paired
 // deltas):
 //
@@ -9,6 +9,14 @@
 //             predicted null-pointer branch
 //   sample64  recorder installed, 1/64 txn sampling (the default)
 //   full      recorder installed, every transaction traced
+//   slo-capture-on    sampling OFF but --obs-slo-us armed at 200us: the cost
+//             of the per-attempt SLO check + heartbeat stores alone (the
+//             tail-latency outlier path, DESIGN.md §16.2); held to the same
+//             budget as sample64
+//   scrape-under-load 1/64 sampling plus the HTTP plane being scraped
+//             (/metrics + /vars) every few ms from a client thread for the
+//             whole cell — the "Prometheus is pointed at a live run" regime.
+//             Informational: the scraper thread legitimately steals CPU.
 //
 // Reported overheads are the median of the per-rep PAIRED deltas against the
 // off cell of the same rep. The binary exits nonzero when:
@@ -29,9 +37,17 @@
 // degenerates to the ambient swing. Short cells keep each off/sampled pair
 // inside one burst; the median over many pairs then isolates recorder cost.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstring>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -49,8 +65,38 @@ double Median(std::vector<double> v) {
 
 struct Cell {
   const char* name;
-  uint32_t sample_period;  // 0 = no recorder installed
+  uint32_t sample_period;  // 1/N sampling; meaningless when !recorder
+  uint32_t slo_us;         // tail-latency SLO knob for the cell (0 = off)
+  bool recorder;           // install a FlightRecorder for this cell
+  bool scrape;             // hammer the HTTP plane for the whole cell
 };
+
+/// Minimal blocking GET against the local observability plane; returns the
+/// body or empty on any failure. Scraper-thread use only.
+std::string HttpGet(uint16_t port, const char* target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::string();
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  std::string out;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    char req[128];
+    const int n = std::snprintf(req, sizeof(req),
+                                "GET %s HTTP/1.1\r\nHost: l\r\n\r\n", target);
+    if (::send(fd, req, static_cast<size_t>(n), 0) == n) {
+      char buf[4096];
+      ssize_t r;
+      while ((r = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+        out.append(buf, static_cast<size_t>(r));
+      }
+    }
+  }
+  ::close(fd);
+  return out;
+}
 
 }  // namespace
 
@@ -73,29 +119,78 @@ int main(int argc, char** argv) {
 
   YcsbBench bench(env, YcsbOptions{});
 
-  const Cell cells[] = {{"off", 0}, {"sample64", 64}, {"full", 1}};
+  const Cell cells[] = {
+      {"off", 0, 0, false, false},
+      {"sample64", 64, 0, true, false},
+      {"full", 1, 0, true, false},
+      {"slo-capture-on", 0, 200, true, false},
+      {"scrape-under-load", 64, 0, true, true},
+  };
   constexpr size_t kNumCells = sizeof(cells) / sizeof(cells[0]);
 
   // One long-lived recorder per enabled cell: recorders must stay alive past
   // any worker that might still be inside an instrumentation site, and
   // re-allocating rings every rep would measure the allocator instead.
+  // Sampling rate and SLO live in PROCESS-GLOBAL knob cells that every
+  // recorder shares (the last constructor armed them), so each cell re-arms
+  // both knobs right before its run.
   std::unique_ptr<obs::FlightRecorder> recorders[kNumCells];
   for (size_t c = 0; c < kNumCells; c++) {
-    if (cells[c].sample_period == 0) continue;
+    if (!cells[c].recorder) continue;
     obs::ObsOptions oo;
     oo.sample_period = cells[c].sample_period;
+    oo.slo_us = cells[c].slo_us;
     oo.ring_capacity = env.obs_ring;
     oo.max_workers = std::max<uint32_t>(env.threads * 2, 128);
     recorders[c] = std::make_unique<obs::FlightRecorder>(oo);
   }
 
+  // The scrape cell's observability plane: kernel-assigned port, /metrics
+  // from the racy live-stats merge, /vars the full bench document.
+  obs::HttpServerOptions ho;
+  obs::HttpServer server(ho);
+  server.SetMetricsProvider(
+      [] { return obs::PrometheusSnapshot(CollectLiveStats(), ""); });
+  server.SetVarsProvider([] { return BuildVarsJson("bench_obs_overhead"); });
+  if (!server.Start()) {
+    std::fprintf(stderr, "ERROR: cannot start the observability server\n");
+    return 1;
+  }
+
+  uint64_t scrapes = 0;       // successful /metrics + /vars fetches
+  uint64_t scrapes_live = 0;  // ... that observed a run in flight
   std::vector<double> tps[kNumCells];
   std::vector<double> paired_overhead[kNumCells];  // vs same-rep off cell
   for (int rep = 0; rep < reps; rep++) {
     double off_tps = 0.0;
     for (size_t c = 0; c < kNumCells; c++) {
+      KnobRegistry::Instance().Set("obs_sample_period", cells[c].sample_period);
+      KnobRegistry::Instance().Set("obs_slo_us", cells[c].slo_us);
       obs::SetRecorder(recorders[c].get());
+      std::atomic<bool> stop_scraper{false};
+      std::thread scraper;
+      if (cells[c].scrape) {
+        scraper = std::thread([&stop_scraper, &server, &scrapes,
+                               &scrapes_live] {
+          while (!stop_scraper.load(std::memory_order_relaxed)) {
+            const std::string metrics = HttpGet(server.port(), "/metrics");
+            const std::string vars = HttpGet(server.port(), "/vars");
+            if (metrics.find("rocc_txn_commits_total") != std::string::npos &&
+                vars.find("\"binary\"") != std::string::npos) {
+              scrapes++;
+              if (vars.find("\"live_run\":true") != std::string::npos) {
+                scrapes_live++;
+              }
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          }
+        });
+      }
       const RunResult r = bench.Run(scheme);
+      if (scraper.joinable()) {
+        stop_scraper.store(true, std::memory_order_relaxed);
+        scraper.join();
+      }
       obs::SetRecorder(nullptr);
       const double t = r.Throughput();
       tps[c].push_back(t);
@@ -105,26 +200,31 @@ int main(int argc, char** argv) {
         paired_overhead[c].push_back((off_tps - t) / off_tps * 100.0);
       }
       if (!paired_overhead[c].empty() && c != 0) {
-        std::printf("  [rep %d] %-8s tps=%.0f (paired overhead %.2f%%)\n", rep,
-                    cells[c].name, t, paired_overhead[c].back());
+        std::printf("  [rep %d] %-17s tps=%.0f (paired overhead %.2f%%)\n",
+                    rep, cells[c].name, t, paired_overhead[c].back());
       } else {
-        std::printf("  [rep %d] %-8s tps=%.0f\n", rep, cells[c].name, t);
+        std::printf("  [rep %d] %-17s tps=%.0f\n", rep, cells[c].name, t);
       }
     }
   }
+  server.Stop();
 
-  ReportTable table({"cell", "sample_period", "median_tps", "min_tps",
-                     "max_tps", "overhead_pct", "events_recorded"});
+  ReportTable table({"cell", "sample_period", "slo_us", "median_tps",
+                     "min_tps", "max_tps", "overhead_pct", "events_recorded"});
   for (size_t c = 0; c < kNumCells; c++) {
     std::vector<double> sorted = tps[c];
     std::sort(sorted.begin(), sorted.end());
     table.AddRow(
         {cells[c].name, F(static_cast<uint64_t>(cells[c].sample_period)),
-         F(Median(tps[c]), 0), F(sorted.front(), 0), F(sorted.back(), 0),
+         F(static_cast<uint64_t>(cells[c].slo_us)), F(Median(tps[c]), 0),
+         F(sorted.front(), 0), F(sorted.back(), 0),
          c == 0 ? "0" : F(Median(paired_overhead[c]), 2),
          F(recorders[c] ? recorders[c]->TotalEvents() : 0)});
   }
   Emit(env, table, "obs_overhead");
+  std::printf("scrape-under-load: %llu scrapes, %llu mid-run\n",
+              static_cast<unsigned long long>(scrapes),
+              static_cast<unsigned long long>(scrapes_live));
 
   int rc = 0;
   const double sampled_overhead = Median(paired_overhead[1]);
@@ -138,6 +238,26 @@ int main(int argc, char** argv) {
   if (full_ceiling > 0 && full_overhead > full_ceiling) {
     std::fprintf(stderr, "ERROR: full tracing costs %.2f%% (ceiling %.2f%%)\n",
                  full_overhead, full_ceiling);
+    rc = 1;
+  }
+  // The outlier path alone (sampling off, SLO armed) is held to the same
+  // budget as default sampling: it is two relaxed loads and a compare per
+  // attempt plus the heartbeat stores every recorder-on cell already pays.
+  const double slo_overhead = Median(paired_overhead[3]);
+  if (slo_overhead > max_overhead) {
+    std::fprintf(stderr,
+                 "ERROR: SLO outlier capture costs %.2f%% (budget %.2f%%)\n",
+                 slo_overhead, max_overhead);
+    rc = 1;
+  }
+  // The scrape cell is informational for throughput, but the plane must have
+  // actually answered while workers were running.
+  if (scrapes == 0 || scrapes_live == 0) {
+    std::fprintf(stderr,
+                 "ERROR: scrape-under-load cell never observed a live run "
+                 "(%llu scrapes, %llu mid-run)\n",
+                 static_cast<unsigned long long>(scrapes),
+                 static_cast<unsigned long long>(scrapes_live));
     rc = 1;
   }
   if (baseline_tps > 0) {

@@ -463,15 +463,16 @@ uint64_t OccBase::LogWrites(const TxnDescriptor* t, uint64_t commit_ts) {
   return log_->LogCommit(t->thread_id, t, commit_ts);
 }
 
-void OccBase::AwaitDurable(uint64_t ticket, uint64_t begin_nanos,
-                           uint32_t thread_id, TxnStats& s) {
-  if (ticket == 0) return;
+uint64_t OccBase::AwaitDurable(uint64_t ticket, uint64_t begin_nanos,
+                               uint32_t thread_id, TxnStats& s) {
+  if (ticket == 0) return 0;
   s.log_records++;
   // Async mode acknowledges from memory — WaitDurable returns immediately —
   // so counting it as a durable ack would pass off in-memory latency as
   // durable-ack latency. Leave the durable_* stats at zero.
-  if (!log_->options().sync_ack) return;
+  if (!log_->options().sync_ack) return 0;
   const uint64_t wait_start = NowNanos();
+  obs::HeartbeatPhase(thread_id, obs::Phase::kLogWait, wait_start);
   const bool durable = log_->WaitDurable(ticket);
   const uint64_t now = NowNanos();
   s.durable_wait_ns += now - wait_start;
@@ -485,6 +486,55 @@ void OccBase::AwaitDurable(uint64_t ticket, uint64_t begin_nanos,
   } else {
     s.durable_ack_failures++;
   }
+  return now - wait_start;
+}
+
+void OccBase::MaybeCaptureSlo(uint32_t tid, uint64_t txn_id, TxnStats& s,
+                              uint64_t begin_ns, uint64_t commit_start,
+                              uint64_t validation_end, uint64_t end_ns,
+                              uint64_t log_wait_ns, AbortReason reason) {
+  obs::FlightRecorder* r = obs::Recorder();
+  if (r == nullptr) return;
+  const uint64_t slo_ns = r->SloNanos();
+  if (slo_ns == 0) return;
+  const uint64_t total = (end_ns - begin_ns) + log_wait_ns;
+  if (total <= slo_ns) return;
+  // Slowest-phase attribution from the timestamps the commit path already
+  // took. The first four Phase values are exactly the commit pipeline, so
+  // the duration index doubles as the Phase.
+  const uint64_t durs[TxnStats::kNumSloPhases] = {
+      commit_start - begin_ns, validation_end - commit_start,
+      end_ns - validation_end, log_wait_ns};
+  uint32_t slowest = 0;
+  for (uint32_t p = 1; p < TxnStats::kNumSloPhases; p++) {
+    if (durs[p] > durs[slowest]) slowest = p;
+  }
+  s.slo_violations[slowest][AbortReasonColumn(reason)]++;
+  s.latency_slo.Record(total);
+  // Retroactive capture: a sampled attempt already has its spans in the
+  // ring; an unsampled one gets them force-emitted now, tagged with
+  // kOutlierFlag. The log-wait span is reconstructed as [end, end + wait] —
+  // its true start trails `end_ns` by the nanoseconds FinishTxn took.
+  if (!r->IsSampled(tid)) {
+    uint64_t start = begin_ns;
+    const uint64_t ends[TxnStats::kNumSloPhases] = {
+        commit_start, validation_end, end_ns, end_ns + log_wait_ns};
+    for (uint32_t p = 0; p < TxnStats::kNumSloPhases; p++) {
+      if (ends[p] > start) {
+        r->Emit(tid, obs::EventType::kSpan,
+                static_cast<uint8_t>(p) | obs::kOutlierFlag, start,
+                ends[p] - start, txn_id, 0);
+      }
+      start = ends[p];
+    }
+  }
+  const uint64_t total_us = total / 1000;
+  r->Emit(tid, obs::EventType::kSloViolation,
+          obs::SloDetail(static_cast<obs::Phase>(slowest),
+                         static_cast<uint8_t>(reason)),
+          end_ns + log_wait_ns, total, txn_id,
+          total_us > 0xFFFFFFFFull ? 0xFFFFFFFFu
+                                   : static_cast<uint32_t>(total_us));
 }
 
 uint64_t OccBase::ApplyWritesAndUnlock(TxnDescriptor* t, uint64_t commit_ts) {
@@ -604,6 +654,9 @@ Status OccBase::CommitSnapshotReadOnly(TxnDescriptor* t) {
                     static_cast<uint8_t>(ctx.last_abort_reason),
                     ctx.last_conflict_range);
     }
+    MaybeCaptureSlo(tid, txn_id, s, begin_nanos, end, end, end, 0,
+                    AbortReason::kSnapshotEvicted);
+    obs::HeartbeatClear(tid);
     return Status::Aborted("snapshot evicted");
   }
   FinishTxn(t, TxnState::kCommitted);
@@ -622,6 +675,9 @@ Status OccBase::CommitSnapshotReadOnly(TxnDescriptor* t) {
     obs::SpanEvent(tid, obs::Phase::kExecute, begin_nanos, end, txn_id);
     obs::TxnCommit(tid, end, txn_id, scan_txn);
   }
+  MaybeCaptureSlo(tid, txn_id, s, begin_nanos, end, end, end, 0,
+                  AbortReason::kNone);
+  obs::HeartbeatClear(tid);
   return Status::Ok();
 }
 
@@ -641,6 +697,7 @@ Status OccBase::Commit(TxnDescriptor* t) {
   const uint64_t txn_id = t->txn_id;
   const uint64_t begin_nanos = t->begin_nanos;
   const uint64_t commit_start = NowNanos();
+  obs::HeartbeatPhase(tid, obs::Phase::kValidate, commit_start);
 
   t->state.store(TxnState::kValidating, std::memory_order_release);
   bool ok = true;
@@ -672,6 +729,7 @@ Status OccBase::Commit(TxnDescriptor* t) {
     }
   }
   const uint64_t validation_end = NowNanos();
+  obs::HeartbeatPhase(tid, obs::Phase::kWriteApply, validation_end);
 
   if (ok) {
     uint64_t log_ticket = 0;
@@ -704,7 +762,10 @@ Status OccBase::Commit(TxnDescriptor* t) {
     // The group-commit wait happens after the in-memory commit is fully
     // published (locks dropped, descriptor retired) so concurrent workers
     // are never stalled behind this worker's fsync batch.
-    AwaitDurable(log_ticket, begin_nanos, tid, s);
+    const uint64_t log_wait_ns = AwaitDurable(log_ticket, begin_nanos, tid, s);
+    MaybeCaptureSlo(tid, txn_id, s, begin_nanos, commit_start, validation_end,
+                    end, log_wait_ns, AbortReason::kNone);
+    obs::HeartbeatClear(tid);
     return Status::Ok();
   }
 
@@ -725,6 +786,9 @@ Status OccBase::Commit(TxnDescriptor* t) {
                   static_cast<uint8_t>(ctx.last_abort_reason),
                   ctx.last_conflict_range);
   }
+  MaybeCaptureSlo(tid, txn_id, s, begin_nanos, commit_start, validation_end,
+                  end, 0, ctxs_[tid]->last_abort_reason);
+  obs::HeartbeatClear(tid);
   return Status::Aborted();
 }
 
@@ -806,6 +870,9 @@ void OccBase::Abort(TxnDescriptor* t) {
                   static_cast<uint8_t>(ctx.last_abort_reason),
                   ctx.last_conflict_range);
   }
+  MaybeCaptureSlo(tid, txn_id, s, begin_nanos, end, end, end, 0,
+                  ctxs_[tid]->last_abort_reason);
+  obs::HeartbeatClear(tid);
 }
 
 }  // namespace rocc

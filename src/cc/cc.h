@@ -276,9 +276,24 @@ class OccBase : public ConcurrencyControl {
 
   /// Block until `ticket`'s epoch is durable, charging the wait and the
   /// begin -> durable latency to `s` (and a log_wait span to `thread_id`'s
-  /// trace ring when sampled). No-op when ticket is 0.
-  void AwaitDurable(uint64_t ticket, uint64_t begin_nanos, uint32_t thread_id,
-                    TxnStats& s);
+  /// trace ring when sampled). No-op when ticket is 0. Returns the nanos
+  /// spent waiting so the SLO capture can fold the wait into the attempt's
+  /// total latency without re-reading the clock.
+  uint64_t AwaitDurable(uint64_t ticket, uint64_t begin_nanos,
+                        uint32_t thread_id, TxnStats& s);
+
+  /// Tail-latency outlier capture (DESIGN.md §16.2): when the attempt's
+  /// total latency (end - begin + log wait) exceeds the hot-reloadable
+  /// obs_slo_us knob, attribute the violation to its slowest phase in `s`,
+  /// and — when the 1/N countdown did NOT sample the attempt — retroactively
+  /// force-emit its whole span set into the worker ring with kOutlierFlag.
+  /// Reuses the phase timestamps the commit path already took: zero extra
+  /// clock reads. Execute-only paths (read-only snapshot commit, read-phase
+  /// abort) pass commit_start == validation_end == end_ns.
+  void MaybeCaptureSlo(uint32_t tid, uint64_t txn_id, TxnStats& s,
+                       uint64_t begin_ns, uint64_t commit_start,
+                       uint64_t validation_end, uint64_t end_ns,
+                       uint64_t log_wait_ns, AbortReason reason);
 
   /// Release locks without applying (abort path); removes insert placeholders.
   void UnlockWriteSet(TxnDescriptor* t);

@@ -216,6 +216,7 @@ Status TplNoWait::Commit(TxnDescriptor* t) {
   const uint64_t txn_id = t->txn_id;
   const uint64_t begin_nanos = t->begin_nanos;
   const uint64_t commit_start = NowNanos();
+  obs::HeartbeatPhase(tid, obs::Phase::kWriteApply, commit_start);
 
   // Same watermark discipline as OccBase: announce the commit window before
   // drawing the timestamp, clear it after the shrink phase drops the locks.
@@ -263,7 +264,11 @@ Status TplNoWait::Commit(TxnDescriptor* t) {
     obs::SpanEvent(tid, obs::Phase::kWriteApply, commit_start, end, txn_id);
     obs::TxnCommit(tid, end, txn_id, scan_txn);
   }
-  AwaitDurable(log_ticket, begin_nanos, tid, s);
+  const uint64_t log_wait_ns = AwaitDurable(log_ticket, begin_nanos, tid, s);
+  // 2PL has no validation window: attribute commit-entry -> end to apply.
+  MaybeCaptureSlo(tid, txn_id, s, begin_nanos, commit_start, commit_start, end,
+                  log_wait_ns, AbortReason::kNone);
+  obs::HeartbeatClear(tid);
   return Status::Ok();
 }
 
@@ -286,6 +291,9 @@ void TplNoWait::Abort(TxnDescriptor* t) {
     obs::TxnAbort(tid, end, txn_id, static_cast<uint8_t>(LastAbortReason(tid)),
                   obs::kNoRange);
   }
+  MaybeCaptureSlo(tid, txn_id, s, begin_nanos, end, end, end, 0,
+                  LastAbortReason(tid));
+  obs::HeartbeatClear(tid);
 }
 
 }  // namespace rocc

@@ -238,6 +238,10 @@ RangeTelemetry RangeManager::Telemetry(size_t top_n) const {
     row.ring_high_water = lr->stats.ring_high_water.load(std::memory_order_relaxed);
     row.ring_resizes = lr->stats.ring_resizes.load(std::memory_order_relaxed);
     row.combining = lr->ring->combining();
+    for (size_t c = 0; c < kNumAbortCauses; c++) {
+      row.abort_by_reason[c] =
+          lr->stats.abort_by_reason[c].load(std::memory_order_relaxed);
+    }
     out.total_registrations += row.registrations;
     out.rows.push_back(row);
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/txn_ring.h"
+#include "harness/stats.h"
 #include "txn/epoch.h"
 
 namespace rocc {
@@ -18,6 +19,11 @@ struct RangeStats {
   std::atomic<uint64_t> registrations{0};   ///< writer registrations
   std::atomic<uint64_t> ring_lost{0};       ///< aborts attributed: ring wrapped
   std::atomic<uint64_t> scan_conflict{0};   ///< aborts attributed: overlap
+  /// Contention heatmap: aborts attributed to this range per AbortReason
+  /// (kAbortCauses order). The ring_lost/scan_conflict columns restate the
+  /// two counters above; the rest come from point conflicts the protocol
+  /// attributed to a range (dirty reads/lock fails inside a scan window).
+  std::atomic<uint64_t> abort_by_reason[kNumAbortCauses] = {};
   /// Widest validation window (v_ts - rd_ts) a validator covered on this
   /// range's primary ring — a direct measurement of the ring capacity the
   /// workload needs. CAS-max'd on the validation path; reset by a resize so
@@ -101,6 +107,8 @@ struct RangeTelemetry {
     uint64_t ring_high_water;
     uint64_t ring_resizes;
     bool combining;
+    /// range_id × AbortReason heatmap row (kAbortCauses order).
+    uint64_t abort_by_reason[kNumAbortCauses];
   };
   uint64_t table_version = 0;
   uint32_t num_ranges = 0;

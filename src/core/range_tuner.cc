@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "harness/knobs.h"
 #include "sync/optiql.h"
 #include "txn/txn.h"
 
@@ -25,25 +26,43 @@ RangeTuner::RangeTuner(const std::vector<std::unique_ptr<RangeManager>>* manager
       std::min<uint32_t>(opts_.max_children, RangePredicate::kMaxPrevRings);
   if (opts_.pressure_threshold == 0) opts_.pressure_threshold = 1;
   if (opts_.max_ranges_factor == 0) opts_.max_ranges_factor = 1;
+  pressure_knob_ = KnobRegistry::Instance().Register("tuner_pressure_threshold",
+                                                     opts_.pressure_threshold);
+  split_score_knob_ = KnobRegistry::Instance().Register("tuner_min_split_score",
+                                                        opts_.min_split_score);
 }
 
 bool RangeTuner::MaybeTune() {
-  if (pressure_.load(std::memory_order_relaxed) < opts_.pressure_threshold) {
+  // A reload setting the threshold to 0 must not melt into a pass-per-commit
+  // storm: clamp to 1, same as the constructor does for the config field.
+  const uint64_t threshold = std::max<uint64_t>(
+      1, pressure_knob_->load(std::memory_order_relaxed));
+  if (pressure_.load(std::memory_order_relaxed) < threshold) {
     return false;
   }
   std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
   if (!lock.owns_lock()) return false;  // someone else is tuning
-  if (pressure_.load(std::memory_order_relaxed) < opts_.pressure_threshold) {
+  if (pressure_.load(std::memory_order_relaxed) < threshold) {
     return false;  // raced: a pass just consumed the pressure
   }
   pressure_.store(0, std::memory_order_relaxed);
-  return RunPass(opts_.min_split_score);
+  return RunPass(split_score_knob_->load(std::memory_order_relaxed));
 }
 
 bool RangeTuner::ForceTune() {
   std::lock_guard<std::mutex> lock(mu_);
   pressure_.store(0, std::memory_order_relaxed);
   return RunPass(/*min_score=*/1);
+}
+
+std::vector<RangeTelemetry> RangeTuner::TelemetryLocked(size_t top_n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RangeTelemetry> out;
+  out.reserve(managers_->size());
+  for (const auto& rm : *managers_) {
+    if (rm != nullptr) out.push_back(rm->Telemetry(top_n));
+  }
+  return out;
 }
 
 bool RangeTuner::RunPass(uint64_t min_score) {

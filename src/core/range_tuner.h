@@ -96,6 +96,12 @@ class RangeTuner {
   uint64_t resizes() const { return resizes_.load(std::memory_order_relaxed); }
   const RangeTunerOptions& options() const { return opts_; }
 
+  /// Per-table telemetry safe against concurrent structural passes: holds
+  /// `mu_` across the reads, so no retired table (or ring) can be reclaimed
+  /// and freed mid-read. For the live /vars endpoint, whose server thread
+  /// does not participate in the workers' epoch protocol.
+  std::vector<RangeTelemetry> TelemetryLocked(size_t top_n);
+
  private:
   /// One pass over all tables; requires `mu_` held.
   bool RunPass(uint64_t min_score);
@@ -103,6 +109,11 @@ class RangeTuner {
   const std::vector<std::unique_ptr<RangeManager>>* managers_;
   EpochManager* epoch_;
   RangeTunerOptions opts_;
+  /// Hot-reloadable split policy (knobs "tuner_pressure_threshold" /
+  /// "tuner_min_split_score"), read instead of the opts_ fields on the
+  /// commit-piggybacked MaybeTune path.
+  std::atomic<uint64_t>* pressure_knob_;
+  std::atomic<uint64_t>* split_score_knob_;
 
   std::atomic<uint64_t> pressure_{0};
   std::mutex mu_;

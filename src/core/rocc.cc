@@ -66,6 +66,15 @@ Rocc::Rocc(Database* db, uint32_t num_threads, RoccOptions options)
   }
 }
 
+std::vector<RangeTelemetry> Rocc::LiveRangeTelemetry(size_t top_n) {
+  if (tuner_ != nullptr) return tuner_->TelemetryLocked(top_n);
+  std::vector<RangeTelemetry> out;
+  for (const auto& m : managers_) {
+    if (m != nullptr) out.push_back(m->Telemetry(top_n));
+  }
+  return out;
+}
+
 Status Rocc::Commit(TxnDescriptor* t) {
   const Status st = OccBase::Commit(t);
   // Piggybacked tuning: runs after FinishTxn, so this thread holds no locks
@@ -203,6 +212,14 @@ void Rocc::NoteScanAbort(TxnDescriptor* t, const RangePredicate& p,
                                          ? p.range->stats.ring_lost
                                          : p.range->stats.scan_conflict;
     counter.fetch_add(1, std::memory_order_relaxed);
+    // Contention heatmap: the same attribution, keyed by the full reason so
+    // /vars and report --json can render range_id × AbortReason without a
+    // trace dump. kNone never reaches this path (callers pass a real cause).
+    const uint32_t col = AbortReasonColumn(reason);
+    if (col > 0) {
+      p.range->stats.abort_by_reason[col - 1].fetch_add(
+          1, std::memory_order_relaxed);
+    }
   }
   if (tuner_ != nullptr) tuner_->NoteAbortPressure(1);
 }

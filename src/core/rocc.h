@@ -83,6 +83,13 @@ class Rocc : public OccBase {
   RangeManager* range_manager(uint32_t table_id) { return managers_[table_id].get(); }
   RangeTuner* tuner() { return tuner_.get(); }
 
+  /// Per-table range telemetry for a live observer (/vars) that is NOT in
+  /// the worker epoch protocol. With a tuner, rows come from
+  /// RangeTuner::TelemetryLocked — serialized against structural passes so
+  /// no retired table is freed mid-read; without one the layout is static
+  /// and direct reads are safe.
+  std::vector<RangeTelemetry> LiveRangeTelemetry(size_t top_n = 8);
+
  protected:
   void RegisterWrites(TxnDescriptor* t) override;
   bool ValidateScans(TxnDescriptor* t) override;

@@ -4,6 +4,7 @@
 
 #include "common/fiber.h"
 #include "common/timer.h"
+#include "harness/knobs.h"
 #include "obs/obs.h"
 #include "sync/optiql.h"
 
@@ -11,6 +12,8 @@ namespace rocc {
 
 ContentionManager::ContentionManager(uint32_t num_threads, ContentionOptions options)
     : options_(options) {
+  scan_escalation_knob_ = KnobRegistry::Instance().Register(
+      "gate_scan_escalation_aborts", options_.scan_escalation_aborts);
   states_.reserve(num_threads);
   for (uint32_t i = 0; i < num_threads; i++) {
     states_.push_back(std::make_unique<State>());
@@ -36,6 +39,7 @@ void ContentionManager::Admit(uint32_t thread_id) {
   uint32_t h = holder_.load(std::memory_order_acquire);
   if (h == kNoHolder || h == thread_id) return;
   const uint64_t wait_start = NowNanos();
+  obs::HeartbeatPhase(thread_id, obs::Phase::kGateWait, wait_start);
   do {
     CooperativeYield();
     h = holder_.load(std::memory_order_acquire);
@@ -45,6 +49,7 @@ void ContentionManager::Admit(uint32_t thread_id) {
   // Always recorded: gate stalls are rare but long, exactly what 1/N
   // sampling would miss.
   obs::SpanEventAlways(thread_id, obs::Phase::kGateWait, wait_start, now);
+  obs::HeartbeatClear(thread_id);
 }
 
 void ContentionManager::EnterProtected(uint32_t thread_id) {
@@ -96,8 +101,12 @@ void ContentionManager::OnAbort(uint32_t thread_id, AbortReason reason, Rng& rng
     return;
   }
 
-  const uint32_t threshold = st.is_scan ? options_.scan_escalation_aborts
-                                        : options_.point_escalation_aborts;
+  // Contention-gate K for scans reads the hot-reloadable knob; the point
+  // threshold is a last-resort constant and stays plain config.
+  const uint32_t threshold =
+      st.is_scan ? static_cast<uint32_t>(scan_escalation_knob_->load(
+                       std::memory_order_relaxed))
+                 : options_.point_escalation_aborts;
   if (threshold != 0 && st.consecutive_aborts >= threshold) {
     // Structural relief before the stop-the-world gate: once per logical
     // transaction, let the protocol try a cheaper fix (split the hot range).
@@ -118,6 +127,7 @@ void ContentionManager::OnAbort(uint32_t thread_id, AbortReason reason, Rng& rng
   }
 
   const uint64_t backoff_start = NowNanos();
+  obs::HeartbeatPhase(thread_id, obs::Phase::kBackoff, backoff_start);
   const uint32_t rung = st.consecutive_aborts - 1;  // first abort = rung 0
   switch (reason) {
     case AbortReason::kUnresolved:
@@ -164,6 +174,7 @@ void ContentionManager::OnAbort(uint32_t thread_id, AbortReason reason, Rng& rng
   // Sampling-gated like the txn spans: the aborted attempt that triggered
   // this backoff belongs to the same sampled transaction timeline.
   obs::SpanEvent(thread_id, obs::Phase::kBackoff, backoff_start, backoff_end);
+  obs::HeartbeatClear(thread_id);
 }
 
 void ContentionManager::OnCommit(uint32_t thread_id, uint32_t attempts) {

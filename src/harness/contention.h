@@ -143,6 +143,10 @@ class ContentionManager {
   void SpinWithYields(uint64_t spins) const;
 
   ContentionOptions options_;
+  /// Hot-reloadable contention-gate K (knob "gate_scan_escalation_aborts"):
+  /// the scan escalation threshold is consulted on every scan abort, so the
+  /// knob cell replaces the plain options_ field on that read.
+  std::atomic<uint64_t>* scan_escalation_knob_;
   std::function<bool(uint32_t)> relief_hook_;
   std::vector<std::unique_ptr<State>> states_;
   /// Protected-retry token: thread id of the holder, kNoHolder when free.

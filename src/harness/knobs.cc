@@ -1,0 +1,134 @@
+#include "harness/knobs.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rocc {
+
+namespace {
+std::atomic<bool> g_reload_pending{false};
+
+void SighupHandler(int) { KnobRegistry::RequestReload(); }
+}  // namespace
+
+KnobRegistry& KnobRegistry::Instance() {
+  static KnobRegistry* registry = new KnobRegistry();  // never destroyed
+  return *registry;
+}
+
+std::atomic<uint64_t>* KnobRegistry::Register(const std::string& name,
+                                              uint64_t initial) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = knobs_.find(name);
+  if (it == knobs_.end()) {
+    it = knobs_
+             .emplace(name,
+                      std::make_unique<std::atomic<uint64_t>>(initial))
+             .first;
+  } else {
+    it->second->store(initial, std::memory_order_release);
+  }
+  return it->second.get();
+}
+
+std::atomic<uint64_t>* KnobRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = knobs_.find(name);
+  return it == knobs_.end() ? nullptr : it->second.get();
+}
+
+bool KnobRegistry::Set(const std::string& name, uint64_t value) {
+  std::atomic<uint64_t>* knob = Find(name);
+  if (knob == nullptr) return false;
+  knob->store(value, std::memory_order_release);
+  return true;
+}
+
+bool KnobRegistry::Get(const std::string& name, uint64_t* out) const {
+  std::atomic<uint64_t>* knob = Find(name);
+  if (knob == nullptr) return false;
+  *out = knob->load(std::memory_order_acquire);
+  return true;
+}
+
+std::vector<std::pair<std::string, uint64_t>> KnobRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(knobs_.size());
+  for (const auto& kv : knobs_) {
+    out.emplace_back(kv.first, kv.second->load(std::memory_order_acquire));
+  }
+  return out;
+}
+
+int KnobRegistry::LoadFile(const char* path) {
+  FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  int applied = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    char* p = line;
+    while (*p == ' ' || *p == '\t') p++;
+    if (*p == '\0' || *p == '\n' || *p == '#') continue;
+    char* eq = std::strchr(p, '=');
+    if (eq == nullptr) {
+      std::fprintf(stderr, "[knobs] skipping malformed line: %s", line);
+      continue;
+    }
+    *eq = '\0';
+    // Trim trailing whitespace off the name.
+    char* name_end = eq;
+    while (name_end > p && (name_end[-1] == ' ' || name_end[-1] == '\t')) {
+      *--name_end = '\0';
+    }
+    char* end = nullptr;
+    const uint64_t value = std::strtoull(eq + 1, &end, 0);
+    if (end == eq + 1) {
+      std::fprintf(stderr, "[knobs] skipping non-numeric value for %s\n", p);
+      continue;
+    }
+    if (!Set(p, value)) {
+      std::fprintf(stderr, "[knobs] unknown knob: %s\n", p);
+      continue;
+    }
+    applied++;
+  }
+  std::fclose(f);
+  return applied;
+}
+
+void KnobRegistry::SetReloadFile(std::string path) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    reload_file_ = std::move(path);
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = SighupHandler;
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGHUP, &sa, nullptr);
+}
+
+bool KnobRegistry::DrainPendingReload() {
+  if (!g_reload_pending.exchange(false, std::memory_order_acq_rel)) {
+    return false;
+  }
+  std::string path;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    path = reload_file_;
+  }
+  if (path.empty()) return false;
+  const int applied = LoadFile(path.c_str());
+  std::fprintf(stderr, "[knobs] SIGHUP reload of %s: %d knob(s) applied\n",
+               path.c_str(), applied);
+  return applied >= 0;
+}
+
+void KnobRegistry::RequestReload() {
+  g_reload_pending.store(true, std::memory_order_release);
+}
+
+}  // namespace rocc

@@ -1,0 +1,83 @@
+// Hot-reloadable named knobs (DESIGN.md §16.4).
+//
+// A knob is a process-global atomic uint64 registered by the subsystem that
+// consumes it. The subsystem keeps the returned atomic pointer and reads it
+// with a relaxed load on its hot path — one predicted L1-resident load, the
+// same cost as reading the plain config field the knob replaces. Writers
+// (POST /config, SIGHUP file reload, tests) rendezvous through the registry
+// by name.
+//
+// Memory-order contract: Set() is a release store, hot-path reads are
+// relaxed loads. Each knob is an independent scalar configuration word — a
+// knob value never publishes other memory, so readers need no acquire and
+// there is no ordering guarantee BETWEEN knobs (a reload applying two knobs
+// can be observed half-applied between two reads). Consumers must therefore
+// read a knob once per decision, not once per field of a decision.
+//
+// Re-registering an existing name re-arms the cell to the new initial value
+// and returns the same cell: a freshly constructed subsystem instance starts
+// from its configured value, and any operator override is intentionally
+// dropped at that boundary (the new instance's config is the operator's most
+// recent statement of intent). Cells are never freed, so a pointer obtained
+// from Register() stays valid for the life of the process even after the
+// registering instance dies.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rocc {
+
+class KnobRegistry {
+ public:
+  static KnobRegistry& Instance();
+
+  // Creates the knob if absent; re-arms it to `initial` if present. The
+  // returned pointer is process-lifetime stable.
+  std::atomic<uint64_t>* Register(const std::string& name, uint64_t initial);
+
+  // nullptr when no such knob has been registered.
+  std::atomic<uint64_t>* Find(const std::string& name) const;
+
+  // Release-stores `value`; false when the name is unknown (unknown names
+  // are rejected, not auto-created: a typo in POST /config must 400, not
+  // silently create a dead knob).
+  bool Set(const std::string& name, uint64_t value);
+
+  bool Get(const std::string& name, uint64_t* out) const;
+
+  // Name/value pairs sorted by name — the /vars "knobs" object.
+  std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+
+  // Applies "name=value" lines (blank lines and '#' comments ignored).
+  // Returns the number of knobs applied, or -1 when the file cannot be
+  // opened. Unknown names and malformed lines are skipped with a note on
+  // stderr so a fat-fingered reload never aborts a live run.
+  int LoadFile(const char* path);
+
+  // SIGHUP plumbing: the handler must stay async-signal-safe, so it only
+  // latches a flag; a service thread (stall watchdog) drains it by calling
+  // DrainPendingReload(), which re-applies the configured file.
+  void SetReloadFile(std::string path);  // also installs the SIGHUP handler
+  bool DrainPendingReload();             // true when a reload was applied
+
+  static void RequestReload();  // async-signal-safe: latches the flag
+
+ private:
+  KnobRegistry() = default;
+
+  mutable std::mutex mu_;
+  // unique_ptr cells: map rebalancing must not move the atomics that
+  // hot paths hold raw pointers to.
+  std::map<std::string, std::unique_ptr<std::atomic<uint64_t>>> knobs_;
+  std::string reload_file_;
+};
+
+}  // namespace rocc

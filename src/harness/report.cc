@@ -199,22 +199,35 @@ std::vector<std::string> RangeSummaryCells(const RangeTelemetry& t) {
 }
 
 ReportTable RangeTelemetryTable(const RangeTelemetry& t) {
-  ReportTable table({"range_id", "start_key", "end_key", "slices",
-                     "ring_version", "ring_cap", "ring_high_water",
-                     "ring_resizes", "combining", "prev_rings", "registrations",
-                     "ring_lost", "scan_conflict"});
+  // The trailing ab_<reason> columns are the range_id × AbortReason
+  // contention heatmap; the same names appear in /vars and the Prometheus
+  // labels (single string table via AbortReasonName).
+  std::vector<std::string> headers = {
+      "range_id",       "start_key",  "end_key",       "slices",
+      "ring_version",   "ring_cap",   "ring_high_water", "ring_resizes",
+      "combining",      "prev_rings", "registrations", "ring_lost",
+      "scan_conflict"};
+  for (AbortReason r : kAbortCauses) {
+    headers.push_back(std::string("ab_") + AbortReasonName(r));
+  }
+  ReportTable table(std::move(headers));
   for (const RangeTelemetry::Row& r : t.rows) {
-    table.AddRow({ReportTable::Fmt(static_cast<uint64_t>(r.range_id)),
-                  ReportTable::Fmt(r.start_key), ReportTable::Fmt(r.end_key),
-                  ReportTable::Fmt(static_cast<uint64_t>(r.num_slices)),
-                  ReportTable::Fmt(r.ring_version),
-                  ReportTable::Fmt(static_cast<uint64_t>(r.ring_capacity)),
-                  ReportTable::Fmt(r.ring_high_water),
-                  ReportTable::Fmt(r.ring_resizes),
-                  std::string(r.combining ? "yes" : "no"),
-                  ReportTable::Fmt(static_cast<uint64_t>(r.prev_rings)),
-                  ReportTable::Fmt(r.registrations), ReportTable::Fmt(r.ring_lost),
-                  ReportTable::Fmt(r.scan_conflict)});
+    std::vector<std::string> cells = {
+        ReportTable::Fmt(static_cast<uint64_t>(r.range_id)),
+        ReportTable::Fmt(r.start_key), ReportTable::Fmt(r.end_key),
+        ReportTable::Fmt(static_cast<uint64_t>(r.num_slices)),
+        ReportTable::Fmt(r.ring_version),
+        ReportTable::Fmt(static_cast<uint64_t>(r.ring_capacity)),
+        ReportTable::Fmt(r.ring_high_water),
+        ReportTable::Fmt(r.ring_resizes),
+        std::string(r.combining ? "yes" : "no"),
+        ReportTable::Fmt(static_cast<uint64_t>(r.prev_rings)),
+        ReportTable::Fmt(r.registrations), ReportTable::Fmt(r.ring_lost),
+        ReportTable::Fmt(r.scan_conflict)};
+    for (size_t c = 0; c < kNumAbortCauses; c++) {
+      cells.push_back(ReportTable::Fmt(r.abort_by_reason[c]));
+    }
+    table.AddRow(std::move(cells));
   }
   return table;
 }

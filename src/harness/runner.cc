@@ -3,8 +3,11 @@
 #include <atomic>
 #include <cassert>
 #include <cstdio>
+#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/tsan.h"
 
 #include "cc/hyper_gwv.h"
 #include "cc/mvrcc.h"
@@ -21,6 +24,30 @@ namespace rocc {
 
 namespace {
 
+// Live-stats plumbing: while an experiment runs, its per-worker sinks are
+// published here so an observer thread (the HTTP /vars handler) can merge
+// them mid-run. The mutex only guards the POINTERS (install/remove vs.
+// collect); the sink contents are read racily by design.
+std::mutex g_live_mu;
+const std::vector<TxnStats>* g_live_warm = nullptr;
+const std::vector<TxnStats>* g_live_measured = nullptr;
+
+/// RAII installer; the experiment's stack vectors outlive the scope.
+class LiveStatsScope {
+ public:
+  LiveStatsScope(const std::vector<TxnStats>* warm,
+                 const std::vector<TxnStats>* measured) {
+    std::lock_guard<std::mutex> g(g_live_mu);
+    g_live_warm = warm;
+    g_live_measured = measured;
+  }
+  ~LiveStatsScope() {
+    std::lock_guard<std::mutex> g(g_live_mu);
+    g_live_warm = nullptr;
+    g_live_measured = nullptr;
+  }
+};
+
 /// Honest-accounting invariant: every aborted attempt carries exactly one
 /// structured cause, so the abort_* counters sum to `aborts` (debug builds).
 void CheckAbortAccounting(const TxnStats& s) {
@@ -36,6 +63,7 @@ RunResult RunFiberExperiment(ConcurrencyControl* cc, Workload* workload,
   const uint32_t n = options.num_threads;
   std::vector<TxnStats> warm_stats(n);
   std::vector<TxnStats> stats(n);
+  LiveStatsScope live(&warm_stats, &stats);
   CoopYieldCc coop(cc);  // non-owning: yield points around every operation
   // Make validation work visible as exposure time (see SetValidationPacing):
   // roughly one yield per "operation's worth" of validation.
@@ -79,6 +107,7 @@ RunResult RunThreadExperiment(ConcurrencyControl* cc, Workload* workload,
   std::vector<TxnStats> warm_stats(n);
   std::vector<TxnStats> stats(n);
   SpinBarrier barrier(n + 1);  // workers + the coordinating thread
+  LiveStatsScope live(&warm_stats, &stats);
 
   std::vector<std::thread> workers;
   workers.reserve(n);
@@ -120,6 +149,25 @@ RunResult RunThreadExperiment(ConcurrencyControl* cc, Workload* workload,
 }
 
 }  // namespace
+
+TxnStats CollectLiveStats() {
+  TxnStats out;
+  std::lock_guard<std::mutex> g(g_live_mu);
+  TsanIgnoreReadsBegin();
+  if (g_live_warm != nullptr) {
+    for (const TxnStats& s : *g_live_warm) out.Merge(s);
+  }
+  if (g_live_measured != nullptr) {
+    for (const TxnStats& s : *g_live_measured) out.Merge(s);
+  }
+  TsanIgnoreReadsEnd();
+  return out;
+}
+
+bool LiveRunActive() {
+  std::lock_guard<std::mutex> g(g_live_mu);
+  return g_live_measured != nullptr;
+}
 
 RunResult RunExperiment(ConcurrencyControl* cc, Workload* workload,
                         const RunOptions& options) {

@@ -73,6 +73,17 @@ struct RunResult {
 RunResult RunExperiment(ConcurrencyControl* cc, Workload* workload,
                         const RunOptions& options);
 
+/// Mid-run merge of every worker's statistics sink (warm-up + measured),
+/// for the live observability plane (/vars, /metrics without a streamer).
+/// Returns zeros when no experiment is in flight. The reads deliberately
+/// race the owning workers — plain counter loads whose torn values are at
+/// worst one increment stale — and are bracketed with TSan ignore
+/// annotations; treat the result as diagnostics, not accounting.
+TxnStats CollectLiveStats();
+
+/// True while an experiment's workers are running.
+bool LiveRunActive();
+
 /// Names accepted by CreateProtocol: "rocc", "lrv", "gwv", "mvrcc", "2pl".
 /// `ranges_hint` scales the workload's logical-range layout (0 = default);
 /// `ring_capacity` sizes every circular transaction list.

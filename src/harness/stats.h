@@ -53,6 +53,24 @@ inline constexpr AbortReason kAbortCauses[] = {
 inline constexpr size_t kNumAbortCauses =
     sizeof(kAbortCauses) / sizeof(kAbortCauses[0]);
 
+/// Column index of `r` in per-reason matrices: 0 = kNone (the attempt
+/// committed), 1.. = kAbortCauses order. Reporting code maps a column back
+/// to a name via AbortReasonName(column == 0 ? kNone : kAbortCauses[c - 1]).
+constexpr uint32_t AbortReasonColumn(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone: return 0;
+    case AbortReason::kDirtyRead: return 1;
+    case AbortReason::kLockFail: return 2;
+    case AbortReason::kReadValidation: return 3;
+    case AbortReason::kScanConflict: return 4;
+    case AbortReason::kRingLost: return 5;
+    case AbortReason::kUnresolved: return 6;
+    case AbortReason::kExplicit: return 7;
+    case AbortReason::kSnapshotEvicted: return 8;
+  }
+  return 0;
+}
+
 /// Per-thread execution statistics.
 ///
 /// Counters mirror the measurements the paper reports:
@@ -136,6 +154,25 @@ struct alignas(kCacheLineSize) TxnStats {
   Histogram phase_apply;     ///< write install + ring publish
   Histogram phase_log_wait;  ///< group-commit durability wait
 
+  // Tail-latency SLO accounting (populated only when the flight recorder is
+  // installed AND obs_slo_us > 0). slo_violations[p][c] counts attempts
+  // whose total latency blew the SLO, attributed to slowest phase p (the
+  // first four Phase values: execute/validate/apply/log_wait) and outcome
+  // column c (AbortReasonColumn: 0 = committed, 1.. = abort cause).
+  static constexpr uint32_t kNumSloPhases = 4;
+  uint64_t slo_violations[kNumSloPhases][kNumAbortCauses + 1] = {};
+  Histogram latency_slo;  ///< total latency of SLO-violating attempts (ns)
+
+  uint64_t SloViolationTotal() const {
+    uint64_t total = 0;
+    for (uint32_t p = 0; p < kNumSloPhases; p++) {
+      for (uint32_t c = 0; c <= kNumAbortCauses; c++) {
+        total += slo_violations[p][c];
+      }
+    }
+    return total;
+  }
+
   void Merge(const TxnStats& o) {
     commits += o.commits;
     aborts += o.aborts;
@@ -183,6 +220,12 @@ struct alignas(kCacheLineSize) TxnStats {
     phase_validate.Merge(o.phase_validate);
     phase_apply.Merge(o.phase_apply);
     phase_log_wait.Merge(o.phase_log_wait);
+    for (uint32_t p = 0; p < kNumSloPhases; p++) {
+      for (uint32_t c = 0; c <= kNumAbortCauses; c++) {
+        slo_violations[p][c] += o.slo_violations[p][c];
+      }
+    }
+    latency_slo.Merge(o.latency_slo);
   }
 
   /// Bump the cause counter matching `r` (kNone is not a cause).

@@ -6,6 +6,7 @@
 #include "common/fiber.h"
 #include "common/timer.h"
 #include "common/tsan.h"
+#include "harness/knobs.h"
 #include "index/index.h"
 #include "obs/obs.h"
 #include "storage/database.h"
@@ -34,7 +35,8 @@ VersionStore::VersionStore(GlobalClock* clock, EpochManager* epoch,
   for (auto& a : snapshot_acquired_ns_) {
     a->store(0, std::memory_order_relaxed);
   }
-  ceiling_bytes_.store(options.max_live_bytes, std::memory_order_relaxed);
+  ceiling_knob_ = KnobRegistry::Instance().Register("mv_live_bytes_ceiling",
+                                                    options.max_live_bytes);
   workers_.reserve(num_threads);
   for (uint32_t i = 0; i < num_threads; i++) {
     workers_.push_back(std::make_unique<Worker>());
@@ -224,7 +226,7 @@ void VersionStore::InstallPredecessor(uint32_t thread_id, Row* row,
     // install path never sums per-worker counters: when live version bytes
     // cross the ceiling, evict the oldest pinned snapshot — the floor then
     // rises past it and the very prunes below reclaim its chains.
-    const uint64_t ceiling = ceiling_bytes_.load(std::memory_order_relaxed);
+    const uint64_t ceiling = ceiling_knob_->load(std::memory_order_relaxed);
     if (ceiling != 0) {
       const MvTelemetry t = Telemetry();
       if (t.live_bytes() > ceiling) EvictOldestSnapshot();

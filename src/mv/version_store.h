@@ -152,12 +152,14 @@ class VersionStore {
            kEvictedSnapshot;
   }
 
-  /// Runtime knob for MvOptions::max_live_bytes (0 = unlimited).
+  /// Runtime knob for MvOptions::max_live_bytes (0 = unlimited). The cell
+  /// lives in the KnobRegistry ("mv_live_bytes_ceiling"), so POST /config
+  /// and SIGHUP reloads reach the same value this setter does.
   void SetLiveBytesCeiling(uint64_t bytes) {
-    ceiling_bytes_.store(bytes, std::memory_order_relaxed);
+    ceiling_knob_->store(bytes, std::memory_order_release);
   }
   uint64_t LiveBytesCeiling() const {
-    return ceiling_bytes_.load(std::memory_order_relaxed);
+    return ceiling_knob_->load(std::memory_order_relaxed);
   }
 
   /// Age of the oldest pinned snapshot in nanoseconds (0 when none is
@@ -268,7 +270,8 @@ class VersionStore {
   /// Wall-clock of each thread's AcquireSnapshot (0 when idle); telemetry.
   std::vector<CachePadded<std::atomic<uint64_t>>> snapshot_acquired_ns_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::atomic<uint64_t> ceiling_bytes_{0};
+  /// Prune ceiling cell, owned by the KnobRegistry ("mv_live_bytes_ceiling").
+  std::atomic<uint64_t>* ceiling_knob_;
   std::atomic<uint64_t> snapshots_evicted_{0};
   std::atomic<uint64_t> gc_locked_rows_{0};
 };

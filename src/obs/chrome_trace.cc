@@ -33,17 +33,6 @@ class FdWriter {
     len_ += n;
   }
 
-  void Str(const char* s) { Append(s, std::strlen(s)); }
-
-  void Printf(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
-    char tmp[512];
-    va_list ap;
-    va_start(ap, fmt);
-    const int n = std::vsnprintf(tmp, sizeof(tmp), fmt, ap);
-    va_end(ap);
-    if (n > 0) Append(tmp, std::min<size_t>(static_cast<size_t>(n), sizeof(tmp) - 1));
-  }
-
   void Flush() {
     if (len_ > 0) WriteAll(buf_, len_);
     len_ = 0;
@@ -70,72 +59,149 @@ class FdWriter {
   char buf_[1 << 16];
 };
 
-void EmitEvent(FdWriter& w, const TraceEvent& e, uint64_t base_ns, bool* first) {
-  const double ts_us = static_cast<double>(e.ts_ns - base_ns) / 1e3;
+/// std::string writer with the same surface as FdWriter, for the HTTP
+/// /trace endpoint (ordinary thread context — allocation is fine there).
+class StringWriter {
+ public:
+  explicit StringWriter(std::string* out) : out_(out) {}
+  void Append(const char* data, size_t n) { out_->append(data, n); }
+  bool ok() const { return true; }
+
+ private:
+  std::string* out_;
+};
+
+template <typename W>
+void Str(W& w, const char* s) {
+  w.Append(s, std::strlen(s));
+}
+
+/// printf into a stack buffer, then hand to the writer. Every format string
+/// in this file uses only %s/%u/%llu conversions: vsnprintf floating-point
+/// conversion can malloc in some libc implementations (arbitrary-precision
+/// digit generation), which would break the SIGUSR1 path, so timestamps are
+/// pre-split into integer microseconds + a 3-digit nanosecond remainder and
+/// printed as "%llu.%03llu" instead of "%.3f".
+template <typename W>
+__attribute__((format(printf, 2, 3))) void Printf(W& w, const char* fmt, ...) {
+  char tmp[512];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(tmp, sizeof(tmp), fmt, ap);
+  va_end(ap);
+  if (n > 0) w.Append(tmp, std::min<size_t>(static_cast<size_t>(n), sizeof(tmp) - 1));
+}
+
+using ull = unsigned long long;
+
+/// Microsecond part of a nanosecond delta, for "%llu.%03llu" rendering.
+constexpr ull UsWhole(uint64_t ns) { return static_cast<ull>(ns / 1000); }
+constexpr ull UsFrac(uint64_t ns) { return static_cast<ull>(ns % 1000); }
+
+template <typename W>
+void EmitEvent(W& w, const TraceEvent& e, uint64_t base_ns, bool* first) {
+  const uint64_t rel_ns = e.ts_ns >= base_ns ? e.ts_ns - base_ns : 0;
   const unsigned tid = e.tid;
-  if (!*first) w.Str(",\n");
+  if (!*first) Str(w, ",\n");
   *first = false;
   switch (static_cast<EventType>(e.type)) {
     case EventType::kSpan:
-      w.Printf(
-          "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
-          "\"cat\":\"phase\",\"ts\":%.3f,\"dur\":%.3f,"
-          "\"args\":{\"txn\":%llu}}",
-          tid, PhaseName(static_cast<Phase>(e.detail)), ts_us,
-          static_cast<double>(e.dur_ns) / 1e3,
-          static_cast<unsigned long long>(e.a));
+      if ((e.detail & kOutlierFlag) != 0) {
+        // Retroactively force-emitted because the attempt blew the SLO while
+        // unsampled (§16.2); flagged so a Perfetto query can separate forced
+        // outlier spans from the 1/N-sampled population.
+        Printf(w,
+               "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
+               "\"cat\":\"phase\",\"ts\":%llu.%03llu,\"dur\":%llu.%03llu,"
+               "\"args\":{\"txn\":%llu,\"outlier\":1}}",
+               tid,
+               PhaseName(static_cast<Phase>(e.detail &
+                                            static_cast<uint8_t>(~kOutlierFlag))),
+               UsWhole(rel_ns), UsFrac(rel_ns), UsWhole(e.dur_ns),
+               UsFrac(e.dur_ns), static_cast<ull>(e.a));
+      } else {
+        Printf(w,
+               "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
+               "\"cat\":\"phase\",\"ts\":%llu.%03llu,\"dur\":%llu.%03llu,"
+               "\"args\":{\"txn\":%llu}}",
+               tid, PhaseName(static_cast<Phase>(e.detail)), UsWhole(rel_ns),
+               UsFrac(rel_ns), UsWhole(e.dur_ns), UsFrac(e.dur_ns),
+               static_cast<ull>(e.a));
+      }
       break;
     case EventType::kTxnBegin:
     case EventType::kTxnCommit:
-      w.Printf(
-          "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
-          "\"cat\":\"txn\",\"ts\":%.3f,\"args\":{\"txn\":%llu,\"scan\":%u}}",
-          tid, EventTypeName(static_cast<EventType>(e.type)), ts_us,
-          static_cast<unsigned long long>(e.a), e.detail);
+      Printf(w,
+             "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
+             "\"cat\":\"txn\",\"ts\":%llu.%03llu,"
+             "\"args\":{\"txn\":%llu,\"scan\":%u}}",
+             tid, EventTypeName(static_cast<EventType>(e.type)),
+             UsWhole(rel_ns), UsFrac(rel_ns), static_cast<ull>(e.a), e.detail);
       break;
     case EventType::kTxnAbort:
       // The structured cause plus the conflicting range id (when a scan
       // validation attributed one) ride in args for Perfetto queries.
       if (e.b == kNoRange) {
-        w.Printf(
-            "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,"
-            "\"name\":\"abort\",\"cat\":\"txn\",\"ts\":%.3f,"
-            "\"args\":{\"txn\":%llu,\"reason\":\"%s\"}}",
-            tid, ts_us, static_cast<unsigned long long>(e.a),
-            AbortReasonName(static_cast<AbortReason>(e.detail)));
+        Printf(w,
+               "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,"
+               "\"name\":\"abort\",\"cat\":\"txn\",\"ts\":%llu.%03llu,"
+               "\"args\":{\"txn\":%llu,\"reason\":\"%s\"}}",
+               tid, UsWhole(rel_ns), UsFrac(rel_ns), static_cast<ull>(e.a),
+               AbortReasonName(static_cast<AbortReason>(e.detail)));
       } else {
-        w.Printf(
-            "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,"
-            "\"name\":\"abort\",\"cat\":\"txn\",\"ts\":%.3f,"
-            "\"args\":{\"txn\":%llu,\"reason\":\"%s\",\"range\":%u}}",
-            tid, ts_us, static_cast<unsigned long long>(e.a),
-            AbortReasonName(static_cast<AbortReason>(e.detail)), e.b);
+        Printf(w,
+               "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,"
+               "\"name\":\"abort\",\"cat\":\"txn\",\"ts\":%llu.%03llu,"
+               "\"args\":{\"txn\":%llu,\"reason\":\"%s\",\"range\":%u}}",
+               tid, UsWhole(rel_ns), UsFrac(rel_ns), static_cast<ull>(e.a),
+               AbortReasonName(static_cast<AbortReason>(e.detail)), e.b);
       }
       break;
     case EventType::kWalFlush:
-      w.Printf(
-          "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"wal_flush\","
-          "\"cat\":\"log\",\"ts\":%.3f,\"dur\":%.3f,"
-          "\"args\":{\"bytes\":%llu,\"epoch\":%u}}",
-          tid, ts_us, static_cast<double>(e.dur_ns) / 1e3,
-          static_cast<unsigned long long>(e.a), e.b);
+      Printf(w,
+             "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"wal_flush\","
+             "\"cat\":\"log\",\"ts\":%llu.%03llu,\"dur\":%llu.%03llu,"
+             "\"args\":{\"bytes\":%llu,\"epoch\":%u}}",
+             tid, UsWhole(rel_ns), UsFrac(rel_ns), UsWhole(e.dur_ns),
+             UsFrac(e.dur_ns), static_cast<ull>(e.a), e.b);
       break;
     case EventType::kSnapshotScan:
-      w.Printf(
-          "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"snapshot_scan\","
-          "\"cat\":\"mv\",\"ts\":%.3f,\"dur\":%.3f,"
-          "\"args\":{\"records\":%llu,\"chain_reads\":%u}}",
-          tid, ts_us, static_cast<double>(e.dur_ns) / 1e3,
-          static_cast<unsigned long long>(e.a), e.b);
+      Printf(w,
+             "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"snapshot_scan\","
+             "\"cat\":\"mv\",\"ts\":%llu.%03llu,\"dur\":%llu.%03llu,"
+             "\"args\":{\"records\":%llu,\"chain_reads\":%u}}",
+             tid, UsWhole(rel_ns), UsFrac(rel_ns), UsWhole(e.dur_ns),
+             UsFrac(e.dur_ns), static_cast<ull>(e.a), e.b);
       break;
     case EventType::kVersionInstall:
     case EventType::kVersionGc:
     case EventType::kSnapshotEvict:
-      w.Printf(
-          "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
-          "\"cat\":\"mv\",\"ts\":%.3f,\"args\":{\"a\":%llu,\"b\":%u}}",
-          tid, EventTypeName(static_cast<EventType>(e.type)), ts_us,
-          static_cast<unsigned long long>(e.a), e.b);
+      Printf(w,
+             "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
+             "\"cat\":\"mv\",\"ts\":%llu.%03llu,\"args\":{\"a\":%llu,\"b\":%u}}",
+             tid, EventTypeName(static_cast<EventType>(e.type)),
+             UsWhole(rel_ns), UsFrac(rel_ns), static_cast<ull>(e.a), e.b);
+      break;
+    case EventType::kStall:
+      // Watchdog attribution: a = stuck worker id, detail = its phase,
+      // b = how long it had been there (ms) when the watchdog fired.
+      Printf(w,
+             "{\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":%u,"
+             "\"name\":\"stall\",\"cat\":\"watchdog\",\"ts\":%llu.%03llu,"
+             "\"args\":{\"worker\":%llu,\"phase\":\"%s\",\"ms\":%u}}",
+             tid, UsWhole(rel_ns), UsFrac(rel_ns), static_cast<ull>(e.a),
+             PhaseName(static_cast<Phase>(e.detail)), e.b);
+      break;
+    case EventType::kSloViolation:
+      Printf(w,
+             "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,"
+             "\"name\":\"slo_violation\",\"cat\":\"slo\",\"ts\":%llu.%03llu,"
+             "\"args\":{\"txn\":%llu,\"us\":%u,\"slowest\":\"%s\","
+             "\"reason\":\"%s\"}}",
+             tid, UsWhole(rel_ns), UsFrac(rel_ns), static_cast<ull>(e.a), e.b,
+             PhaseName(SloDetailPhase(e.detail)),
+             AbortReasonName(
+                 static_cast<AbortReason>(SloDetailReason(e.detail))));
       break;
     case EventType::kRangePublish:
     case EventType::kRangeSplit:
@@ -143,19 +209,73 @@ void EmitEvent(FdWriter& w, const TraceEvent& e, uint64_t base_ns, bool* first) 
     case EventType::kGateEnter:
     case EventType::kGateExit:
     default:
-      w.Printf(
-          "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
-          "\"cat\":\"control\",\"ts\":%.3f,\"args\":{\"a\":%llu,\"b\":%u}}",
-          tid, EventTypeName(static_cast<EventType>(e.type)), ts_us,
-          static_cast<unsigned long long>(e.a), e.b);
+      Printf(w,
+             "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
+             "\"cat\":\"control\",\"ts\":%llu.%03llu,"
+             "\"args\":{\"a\":%llu,\"b\":%u}}",
+             tid, EventTypeName(static_cast<EventType>(e.type)),
+             UsWhole(rel_ns), UsFrac(rel_ns), static_cast<ull>(e.a), e.b);
       break;
   }
 }
 
-// SIGUSR1 dump target; fixed storage so the handler never allocates.
+/// Shared trace-document body: header, track-name metadata, events, footer.
+/// `for_each` is called once with a per-event callback.
+template <typename W, typename ForEach>
+void RenderTrace(W& w, const FlightRecorder& recorder, ForEach&& for_each) {
+  // Pass 1: earliest timestamp, so exported times start near zero.
+  uint64_t base_ns = ~0ULL;
+  for_each([&](const TraceEvent& e) {
+    if (e.ts_ns != 0 && e.ts_ns < base_ns) base_ns = e.ts_ns;
+  });
+  if (base_ns == ~0ULL) base_ns = 0;
+
+  Str(w, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+  bool first = true;
+  // Track-naming metadata: one row per worker ring that saw events, plus the
+  // control-plane track. Under the fiber runner, worker ids are fiber ids —
+  // this is exactly the synthetic-tid mapping that makes 40 fibers on one OS
+  // thread render as 40 parallel tracks.
+  for (uint32_t tid = 0; tid < recorder.num_workers(); tid++) {
+    if (recorder.worker_ring(tid).head() == 0) continue;
+    if (!first) Str(w, ",\n");
+    first = false;
+    Printf(w,
+           "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\","
+           "\"args\":{\"name\":\"worker %u\"}}",
+           tid, tid);
+  }
+  if (recorder.service_ring().head() != 0) {
+    if (!first) Str(w, ",\n");
+    first = false;
+    Printf(w,
+           "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\","
+           "\"args\":{\"name\":\"control\"}}",
+           static_cast<unsigned>(FlightRecorder::kServiceTid));
+  }
+  // Pass 2: the events. Perfetto does not require global timestamp order.
+  for_each([&](const TraceEvent& e) { EmitEvent(w, e, base_ns, &first); });
+  Str(w, "\n]}\n");
+}
+
+// --- SIGUSR1 dump-on-signal state; all fixed storage / lock-free so the
+// handler never allocates. ---
+
 char g_signal_dump_path[512] = {0};
 
+/// Latched by the handler when a drainer thread is registered; that thread
+/// performs the dump from ordinary context (the conservative path — the
+/// handler then does nothing but one relaxed store).
+std::atomic<bool> g_dump_pending{false};
+std::atomic<int> g_dump_drainers{0};
+
 void SignalDumpHandler(int) {
+  if (g_dump_drainers.load(std::memory_order_relaxed) > 0) {
+    g_dump_pending.store(true, std::memory_order_release);
+    return;
+  }
+  // No drainer (bench without a watchdog): dump inline, best effort. The
+  // writer is allocation-free and stdio-lock-free by construction.
   FlightRecorder* r = Recorder();
   if (r == nullptr || g_signal_dump_path[0] == '\0') return;
   WriteChromeTrace(*r, g_signal_dump_path);
@@ -167,45 +287,31 @@ bool WriteChromeTrace(const FlightRecorder& recorder, const char* path) {
   const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return false;
   FdWriter w(fd);
-
-  // Pass 1: earliest timestamp, so exported times start near zero.
-  uint64_t base_ns = ~0ULL;
-  recorder.ForEachEvent([&](const TraceEvent& e) {
-    if (e.ts_ns != 0 && e.ts_ns < base_ns) base_ns = e.ts_ns;
+  RenderTrace(w, recorder, [&recorder](auto&& fn) {
+    recorder.ForEachEvent(fn);
   });
-  if (base_ns == ~0ULL) base_ns = 0;
-
-  w.Str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
-  bool first = true;
-  // Track-naming metadata: one row per worker ring that saw events, plus the
-  // control-plane track. Under the fiber runner, worker ids are fiber ids —
-  // this is exactly the synthetic-tid mapping that makes 40 fibers on one OS
-  // thread render as 40 parallel tracks.
-  for (uint32_t tid = 0; tid < recorder.num_workers(); tid++) {
-    if (recorder.worker_ring(tid).head() == 0) continue;
-    if (!first) w.Str(",\n");
-    first = false;
-    w.Printf(
-        "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\","
-        "\"args\":{\"name\":\"worker %u\"}}",
-        tid, tid);
-  }
-  if (recorder.service_ring().head() != 0) {
-    if (!first) w.Str(",\n");
-    first = false;
-    w.Printf(
-        "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\","
-        "\"args\":{\"name\":\"control\"}}",
-        static_cast<unsigned>(FlightRecorder::kServiceTid));
-  }
-  // Pass 2: the events. Perfetto does not require global timestamp order.
-  recorder.ForEachEvent(
-      [&](const TraceEvent& e) { EmitEvent(w, e, base_ns, &first); });
-  w.Str("\n]}\n");
   w.Flush();
   const bool ok = w.ok();
   ::close(fd);
   return ok;
+}
+
+void RenderChromeTraceWindow(const FlightRecorder& recorder,
+                             const std::vector<uint64_t>& from_cursors,
+                             std::string* out) {
+  StringWriter w(out);
+  // Bound the window to the ring heads as of entry, so a capture racing live
+  // writers terminates even if workers outrun the renderer.
+  const uint32_t n = recorder.num_workers();
+  RenderTrace(w, recorder, [&](auto&& fn) {
+    for (uint32_t tid = 0; tid < n; tid++) {
+      const uint64_t from = tid < from_cursors.size() ? from_cursors[tid] : 0;
+      recorder.worker_ring(tid).ForEachFrom(from, fn);
+    }
+    const uint64_t sfrom =
+        from_cursors.size() > n ? from_cursors[n] : 0;
+    recorder.service_ring().ForEachFrom(sfrom, fn);
+  });
 }
 
 void InstallSignalDump(const std::string& path) {
@@ -217,6 +323,21 @@ void InstallSignalDump(const std::string& path) {
   sigemptyset(&sa.sa_mask);
   sa.sa_flags = SA_RESTART;
   ::sigaction(SIGUSR1, &sa, nullptr);
+}
+
+void RegisterSignalDumpDrainer() {
+  g_dump_drainers.fetch_add(1, std::memory_order_relaxed);
+}
+
+void UnregisterSignalDumpDrainer() {
+  g_dump_drainers.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool DrainPendingSignalDump() {
+  if (!g_dump_pending.exchange(false, std::memory_order_acquire)) return false;
+  FlightRecorder* r = Recorder();
+  if (r == nullptr || g_signal_dump_path[0] == '\0') return false;
+  return WriteChromeTrace(*r, g_signal_dump_path);
 }
 
 }  // namespace obs

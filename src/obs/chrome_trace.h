@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "obs/obs.h"
 
@@ -15,19 +17,46 @@ namespace obs {
 /// 40 fibers on one OS thread render as 40 parallel tracks; the service ring
 /// renders as a separate "control" track.
 ///
-/// The writer uses only open/write + stack buffers (no allocation, no stdio
-/// locks), so it is safe enough to call from the SIGUSR1 handler installed by
-/// InstallSignalDump while workers are still running: a racing ring append
-/// can tear at most the event being overwritten, never the JSON structure.
+/// The writer uses only open/write + stack buffers — no allocation, no stdio
+/// locks, and (since the §16 audit) integer-only formatting, so no
+/// locale/floating-point machinery either — making it safe to call from the
+/// SIGUSR1 handler installed by InstallSignalDump while workers are still
+/// running: a racing ring append can tear at most the event being
+/// overwritten, never the JSON structure.
 ///
 /// Returns false when the file cannot be opened or a write fails.
 bool WriteChromeTrace(const FlightRecorder& recorder, const char* path);
+
+/// Render the events with per-ring sequence >= from_cursors[i] as Chrome
+/// trace JSON appended to *out. Cursor i covers worker ring i; the entry at
+/// index num_workers() (when present) covers the service ring. This is the
+/// bounded capture window behind GET /trace?ms=N: snapshot the ring heads,
+/// wait, render what arrived. Allocates (std::string) — NOT signal-safe.
+void RenderChromeTraceWindow(const FlightRecorder& recorder,
+                             const std::vector<uint64_t>& from_cursors,
+                             std::string* out);
 
 /// Install a SIGUSR1 handler that dumps the current global recorder to
 /// `path` (dump-on-signal; pair with the dump-on-exit done by the bench
 /// scaffolding). The path is copied into static storage; a second call
 /// replaces it.
+///
+/// When a drainer thread is registered (see below) the handler only latches
+/// a flag — the fully conservative async-signal-safe path — and the drainer
+/// performs the dump from ordinary thread context. Without a drainer the
+/// handler calls WriteChromeTrace directly (best effort, still
+/// allocation-free).
 void InstallSignalDump(const std::string& path);
+
+/// A service thread (stall watchdog, Prometheus streamer) announces it will
+/// poll DrainPendingSignalDump(); while at least one drainer is registered,
+/// SIGUSR1 only sets a flag. Unregister on thread exit.
+void RegisterSignalDumpDrainer();
+void UnregisterSignalDumpDrainer();
+
+/// Serve a pending SIGUSR1 dump request, if any; returns true when a dump
+/// was written. Called from drainer threads, never from a handler.
+bool DrainPendingSignalDump();
 
 }  // namespace obs
 }  // namespace rocc

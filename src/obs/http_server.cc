@@ -1,0 +1,348 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "harness/knobs.h"
+#include "obs/chrome_trace.h"
+#include "obs/obs.h"
+
+namespace rocc {
+namespace obs {
+
+namespace {
+
+/// One parsed request: method, path (query split off), body (POST only).
+struct Request {
+  std::string method;
+  std::string path;
+  std::string query;
+  std::string body;
+};
+
+/// Read one HTTP/1.1 request from `fd` (blocking, SO_RCVTIMEO-bounded).
+/// Returns false on timeout, close, or oversized/garbled input.
+bool ReadRequest(int fd, Request* req) {
+  constexpr size_t kMaxHeader = 16 * 1024;
+  constexpr size_t kMaxBody = 64 * 1024;
+  std::string buf;
+  size_t header_end = std::string::npos;
+  char chunk[4096];
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buf.append(chunk, static_cast<size_t>(n));
+    if (buf.size() > kMaxHeader) return false;
+    header_end = buf.find("\r\n\r\n");
+  }
+
+  // Request line: METHOD SP path[?query] SP version.
+  const size_t line_end = buf.find("\r\n");
+  const std::string line = buf.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  req->method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t q = target.find('?');
+  if (q == std::string::npos) {
+    req->path = target;
+  } else {
+    req->path = target.substr(0, q);
+    req->query = target.substr(q + 1);
+  }
+
+  // Content-Length (case-insensitive scan of the header block).
+  size_t content_length = 0;
+  {
+    std::string headers = buf.substr(0, header_end);
+    for (char& c : headers) c = static_cast<char>(std::tolower(c));
+    const size_t at = headers.find("content-length:");
+    if (at != std::string::npos) {
+      content_length = std::strtoul(headers.c_str() + at + 15, nullptr, 10);
+      if (content_length > kMaxBody) return false;
+    }
+  }
+
+  const size_t body_start = header_end + 4;
+  while (buf.size() - body_start < content_length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+  req->body = buf.substr(body_start, content_length);
+  return true;
+}
+
+void WriteAll(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w <= 0) return;
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+void Respond(int fd, int status, const char* reason, const char* content_type,
+             const std::string& body) {
+  char header[256];
+  const int n = std::snprintf(
+      header, sizeof(header),
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      status, reason, content_type, body.size());
+  WriteAll(fd, header, static_cast<size_t>(n));
+  WriteAll(fd, body.data(), body.size());
+}
+
+void RespondText(int fd, int status, const char* reason,
+                 const std::string& body) {
+  Respond(fd, status, reason, "text/plain; charset=utf-8", body);
+}
+
+/// `ms=` value from a query string; `fallback` when absent or malformed.
+uint32_t QueryMs(const std::string& query, uint32_t fallback) {
+  const size_t at = query.find("ms=");
+  if (at != 0 && (at == std::string::npos || query[at - 1] != '&')) {
+    return fallback;
+  }
+  const unsigned long v = std::strtoul(query.c_str() + at + 3, nullptr, 10);
+  return v == 0 ? fallback : static_cast<uint32_t>(v);
+}
+
+/// Capture a bounded window of live ring traffic as Chrome trace JSON:
+/// snapshot every ring head, sleep, render what arrived since. Blocks the
+/// (single) server thread by design — the operator asked for a timed
+/// capture, and queued scrapes proceed afterwards.
+std::string CaptureTraceWindow(uint32_t ms) {
+  FlightRecorder* r = Recorder();
+  if (r == nullptr) return std::string();
+  std::vector<uint64_t> cursors;
+  cursors.reserve(r->num_workers() + 1);
+  for (uint32_t tid = 0; tid < r->num_workers(); tid++) {
+    cursors.push_back(r->worker_ring(tid).head());
+  }
+  cursors.push_back(r->service_ring().head());
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  std::string out;
+  RenderChromeTraceWindow(*r, cursors, &out);
+  return out;
+}
+
+/// Apply "name=value" lines to the KnobRegistry. All-or-nothing per line:
+/// the first unknown/garbled line fails the request with its name in the
+/// message (a typo must 400, not silently create a dead knob).
+bool ApplyConfig(const std::string& body, std::string* message) {
+  size_t applied = 0;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // Trim + skip blanks/comments.
+    const size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    line = line.substr(first);
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      *message = "malformed line: " + line + "\n";
+      return false;
+    }
+    std::string name = line.substr(0, eq);
+    const size_t name_end = name.find_last_not_of(" \t");
+    name = name.substr(0, name_end + 1);
+    char* end = nullptr;
+    const uint64_t value = std::strtoull(line.c_str() + eq + 1, &end, 0);
+    if (end == line.c_str() + eq + 1) {
+      *message = "bad value for " + name + "\n";
+      return false;
+    }
+    if (!KnobRegistry::Instance().Set(name, value)) {
+      *message = "unknown knob: " + name + "\n";
+      return false;
+    }
+    applied++;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "applied %zu knob(s)\n", applied);
+  *message = buf;
+  return true;
+}
+
+std::string KnobsJson() {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& kv : KnobRegistry::Instance().Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "\"%s\":%llu", kv.first.c_str(),
+                  static_cast<unsigned long long>(kv.second));
+    out += buf;
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : options_(std::move(options)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+bool HttpServer::Start() {
+  if (running_) return true;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "[http] bad bind address %s\n",
+                 options_.bind_address.c_str());
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    std::fprintf(stderr, "[http] cannot listen on %s:%u\n",
+                 options_.bind_address.c_str(), options_.port);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  bound_port_ = ntohs(addr.sin_port);
+
+  if (::pipe(stop_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  running_ = true;
+  thread_ = std::thread([this] { Run(); });
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (!running_) return;
+  const char b = 'q';
+  (void)!::write(stop_pipe_[1], &b, 1);
+  thread_.join();
+  running_ = false;
+  ::close(stop_pipe_[0]);
+  ::close(stop_pipe_[1]);
+  stop_pipe_[0] = stop_pipe_[1] = -1;
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpServer::Run() {
+  const int ep = ::epoll_create1(EPOLL_CLOEXEC);
+  if (ep < 0) return;
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(ep, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = stop_pipe_[0];
+  ::epoll_ctl(ep, EPOLL_CTL_ADD, stop_pipe_[0], &ev);
+
+  for (;;) {
+    epoll_event events[4];
+    const int n = ::epoll_wait(ep, events, 4, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    bool stop = false;
+    for (int i = 0; i < n; i++) {
+      if (events[i].data.fd == stop_pipe_[0]) {
+        stop = true;
+      } else if (events[i].data.fd == listen_fd_) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) continue;
+        // Bound a stuck client instead of wedging the plane forever.
+        timeval tv{1, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        HandleConnection(fd);
+        ::close(fd);
+      }
+    }
+    if (stop) break;
+  }
+  ::close(ep);
+}
+
+void HttpServer::HandleConnection(int fd) {
+  Request req;
+  if (!ReadRequest(fd, &req)) return;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  if (req.method == "GET" && req.path == "/healthz") {
+    RespondText(fd, 200, "OK", "ok\n");
+  } else if (req.method == "GET" && req.path == "/metrics") {
+    if (!metrics_fn_) {
+      RespondText(fd, 503, "Service Unavailable", "no metrics source\n");
+      return;
+    }
+    Respond(fd, 200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+            metrics_fn_());
+  } else if (req.method == "GET" && req.path == "/vars") {
+    if (!vars_fn_) {
+      RespondText(fd, 503, "Service Unavailable", "no vars source\n");
+      return;
+    }
+    Respond(fd, 200, "OK", "application/json", vars_fn_());
+  } else if (req.method == "GET" && req.path == "/trace") {
+    uint32_t ms = QueryMs(req.query, 100);
+    if (ms > options_.max_trace_ms) ms = options_.max_trace_ms;
+    const std::string trace = CaptureTraceWindow(ms);
+    if (trace.empty()) {
+      RespondText(fd, 503, "Service Unavailable", "no recorder installed\n");
+      return;
+    }
+    Respond(fd, 200, "OK", "application/json", trace);
+  } else if (req.method == "GET" && req.path == "/config") {
+    Respond(fd, 200, "OK", "application/json", KnobsJson());
+  } else if (req.method == "POST" && req.path == "/config") {
+    std::string message;
+    if (ApplyConfig(req.body, &message)) {
+      RespondText(fd, 200, "OK", message + KnobsJson());
+    } else {
+      RespondText(fd, 400, "Bad Request", message);
+    }
+  } else {
+    RespondText(fd, 404, "Not Found", "unknown route\n");
+  }
+}
+
+}  // namespace obs
+}  // namespace rocc

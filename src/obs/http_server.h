@@ -1,0 +1,102 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace rocc {
+namespace obs {
+
+/// Configuration for the in-process observability endpoint. Off by default:
+/// a process that never calls Start() (port 0 in the bench scaffolding)
+/// creates no socket, no thread, and pays nothing.
+struct HttpServerOptions {
+  /// TCP port to listen on; 0 lets the kernel pick one (tests read it back
+  /// via port()).
+  uint16_t port = 0;
+  /// Bind address. Loopback by default — this is an operator plane, not a
+  /// public service.
+  std::string bind_address = "127.0.0.1";
+  /// Upper bound for the /trace?ms=N capture window.
+  uint32_t max_trace_ms = 5000;
+};
+
+/// Minimal single-threaded HTTP/1.1 observability server (DESIGN.md §16.5).
+///
+/// One service thread multiplexes a listen socket and a stop pipe through
+/// epoll and handles requests strictly sequentially with Connection: close —
+/// an operator plane serving a curl or a Prometheus scrape every few
+/// seconds, not a web server. Nothing here touches worker hot paths: reads
+/// go through the same racy-by-design ring cursors and relaxed counter loads
+/// the file streamer uses, and writes go through KnobRegistry's release
+/// stores.
+///
+/// Routes:
+///   GET  /healthz     -> 200 "ok" (liveness; no providers needed)
+///   GET  /metrics     -> Prometheus text exposition (metrics provider)
+///   GET  /vars        -> JSON counters + per-range telemetry (vars provider)
+///   GET  /trace?ms=N  -> Chrome trace JSON of the next N milliseconds of
+///                        ring traffic (global recorder; blocks the server
+///                        thread for N ms, clamped to max_trace_ms)
+///   POST /config      -> hot knob updates, body lines "name=value";
+///                        unknown names fail the whole request with 400
+///   GET  /config      -> current knob values as JSON
+///
+/// The metrics/vars providers are plain std::functions so the server has no
+/// compile-time dependency on the streamer or the runner; routes without a
+/// provider answer 503.
+class HttpServer {
+ public:
+  explicit HttpServer(HttpServerOptions options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Install the GET /metrics body source (e.g. PrometheusStreamer::
+  /// CollectString). Must be set before Start().
+  void SetMetricsProvider(std::function<std::string()> fn) {
+    metrics_fn_ = std::move(fn);
+  }
+
+  /// Install the GET /vars body source (JSON document). Must be set before
+  /// Start().
+  void SetVarsProvider(std::function<std::string()> fn) {
+    vars_fn_ = std::move(fn);
+  }
+
+  /// Bind, listen, and launch the service thread. Returns false (with a
+  /// stderr note) when the socket cannot be bound.
+  bool Start();
+
+  /// Stop and join the service thread; close the socket. Idempotent.
+  void Stop();
+
+  /// The port actually bound (resolves port 0), or 0 before Start().
+  uint16_t port() const { return bound_port_; }
+
+  /// Requests served (any route, including errors); test visibility.
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run();
+  void HandleConnection(int fd);
+
+  HttpServerOptions options_;
+  std::function<std::string()> metrics_fn_;
+  std::function<std::string()> vars_fn_;
+
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  uint16_t bound_port_ = 0;
+  std::atomic<uint64_t> requests_{0};
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace rocc

@@ -1,5 +1,7 @@
 #include "obs/obs.h"
 
+#include "harness/knobs.h"
+
 namespace rocc {
 namespace obs {
 
@@ -36,6 +38,8 @@ const char* EventTypeName(EventType t) {
     case EventType::kSnapshotScan: return "snapshot_scan";
     case EventType::kSnapshotEvict: return "snapshot_evict";
     case EventType::kRingResize: return "ring_resize";
+    case EventType::kStall: return "stall";
+    case EventType::kSloViolation: return "slo_violation";
   }
   return "unknown";
 }
@@ -66,6 +70,16 @@ void TraceRing::Snapshot(std::vector<TraceEvent>* out) const {
 FlightRecorder::FlightRecorder(ObsOptions options)
     : options_(options), num_workers_(options.max_workers) {
   workers_ = std::make_unique<CachePadded<TraceRing>[]>(num_workers_);
+  heartbeats_ =
+      std::make_unique<CachePadded<std::atomic<uint64_t>>[]>(num_workers_);
+  for (uint32_t i = 0; i < num_workers_; i++) {
+    heartbeats_[i].value.store(0, std::memory_order_relaxed);
+  }
+  // Hot-reloadable knobs: the constructor's configured values arm the cells;
+  // POST /config and SIGHUP re-point them mid-run.
+  sample_knob_ = KnobRegistry::Instance().Register("obs_sample_period",
+                                                   options_.sample_period);
+  slo_knob_ = KnobRegistry::Instance().Register("obs_slo_us", options_.slo_us);
   // The service ring is shared by rare control-plane emitters (tuner passes,
   // the WAL flusher); allocate it eagerly so EmitService never races an Init.
   service_.Init(options_.ring_capacity);
@@ -75,12 +89,17 @@ bool FlightRecorder::BeginTxn(uint32_t tid, uint64_t ts_ns, uint64_t txn_id) {
   if (tid >= num_workers_) return false;
   TraceRing& ring = workers_[tid].value;
   if (!ring.initialized()) ring.Init(options_.ring_capacity);
-  if (options_.sample_period == 0) {
+  // The attempt enters its execute phase now; the caller's Begin timestamp
+  // doubles as the heartbeat entry time (no extra clock read).
+  heartbeats_[tid].value.store(PackHeartbeat(Phase::kExecute, ts_ns),
+                               std::memory_order_relaxed);
+  const uint64_t period = sample_knob_->load(std::memory_order_relaxed);
+  if (period == 0) {
     ring.sampled = false;
     return false;
   }
-  if (--ring.sample_countdown == 0) {
-    ring.sample_countdown = options_.sample_period;
+  if (--ring.sample_countdown == 0 || ring.sample_countdown > period) {
+    ring.sample_countdown = period;
     ring.sampled = true;
     ring.Push({ts_ns, 0, txn_id, 0, static_cast<uint16_t>(tid),
                static_cast<uint8_t>(EventType::kTxnBegin), 0});

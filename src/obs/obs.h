@@ -8,6 +8,7 @@
 #include "common/cacheline.h"
 #include "common/latch.h"
 #include "common/timer.h"
+#include "common/tsan.h"
 
 namespace rocc {
 namespace obs {
@@ -48,9 +49,33 @@ enum class EventType : uint8_t {
                   ///< tid = victim thread, a = evicted snapshot ts
   kRingResize,    ///< adaptive ring capacity change; a = range id,
                   ///< b = new slot count
+  kStall,         ///< watchdog: worker stuck in one phase past threshold;
+                  ///< detail = Phase, a = worker id, b = stall millis
+  kSloViolation,  ///< attempt latency exceeded --obs-slo-us; detail packs
+                  ///< slowest Phase | AbortReason (see kSloPhaseBits),
+                  ///< a = txn id, b = total latency in microseconds
 };
 
 const char* EventTypeName(EventType t);
+
+/// kSpan detail flag: the span was retroactively force-emitted because its
+/// transaction attempt blew the SLO while UNSAMPLED (tail-latency outlier
+/// capture). The low bits still carry the Phase.
+constexpr uint8_t kOutlierFlag = 0x80;
+
+/// kSloViolation detail layout: low 3 bits = slowest Phase, bits [3..6] =
+/// AbortReason of the attempt (0 when it committed).
+constexpr uint32_t kSloPhaseBits = 3;
+constexpr uint8_t SloDetail(Phase slowest, uint8_t abort_reason) {
+  return static_cast<uint8_t>(static_cast<uint8_t>(slowest) |
+                              (abort_reason << kSloPhaseBits));
+}
+constexpr Phase SloDetailPhase(uint8_t detail) {
+  return static_cast<Phase>(detail & ((1u << kSloPhaseBits) - 1));
+}
+constexpr uint8_t SloDetailReason(uint8_t detail) {
+  return static_cast<uint8_t>(detail >> kSloPhaseBits);
+}
 
 /// Sentinel for "no conflicting range attributed" in kTxnAbort events.
 constexpr uint32_t kNoRange = 0xFFFFFFFFu;
@@ -107,13 +132,21 @@ class TraceRing {
   void Snapshot(std::vector<TraceEvent>* out) const;
 
   /// Visit the live window oldest-first without allocating (signal-safe).
+  /// A reader racing the owner can see a slot mid-overwrite — acceptable
+  /// for diagnostics, so each slot is copied out under a tight TSan
+  /// ignore-reads bracket and the visitor only ever sees the copy.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     const TraceEvent* slots = events_.load(std::memory_order_acquire);
     if (slots == nullptr) return;
     const uint64_t h = head_.load(std::memory_order_acquire);
     const uint64_t lo = h > mask_ + 1 ? h - (mask_ + 1) : 0;
-    for (uint64_t seq = lo; seq < h; seq++) fn(slots[seq & mask_]);
+    for (uint64_t seq = lo; seq < h; seq++) {
+      TsanIgnoreReadsBegin();
+      const TraceEvent copy = slots[seq & mask_];
+      TsanIgnoreReadsEnd();
+      fn(copy);
+    }
   }
 
   /// Incremental visit for streaming consumers: deliver events with sequence
@@ -128,7 +161,12 @@ class TraceRing {
     const uint64_t h = head_.load(std::memory_order_acquire);
     uint64_t lo = h > mask_ + 1 ? h - (mask_ + 1) : 0;
     if (from > lo) lo = from;
-    for (uint64_t seq = lo; seq < h; seq++) fn(slots[seq & mask_]);
+    for (uint64_t seq = lo; seq < h; seq++) {
+      TsanIgnoreReadsBegin();
+      const TraceEvent copy = slots[seq & mask_];
+      TsanIgnoreReadsEnd();
+      fn(copy);
+    }
     return h;
   }
 
@@ -153,6 +191,10 @@ struct ObsOptions {
   uint32_t sample_period = 64;
   /// Worker ring slots (worker ids above this are silently dropped).
   uint32_t max_workers = 128;
+  /// Tail-latency SLO in microseconds (0 = outlier capture off). Attempts
+  /// whose total latency exceeds this are force-captured into the worker
+  /// ring even when the 1/N countdown did not sample them.
+  uint32_t slo_us = 0;
 };
 
 /// Always-compiled, runtime-gated flight recorder: per-worker lock-free trace
@@ -213,6 +255,55 @@ class FlightRecorder {
   /// Drop all recorded events; sampling countdowns keep their position.
   void ResetRings();
 
+  // --- stall-watchdog heartbeats (DESIGN.md §16.3) ---
+  //
+  // One cache-padded word per worker: (Phase + 1) << 56 | phase-entry
+  // timestamp (low 56 bits of the NowNanos clock; 2^56 ns ≈ 2.3 years of
+  // uptime, far past any run). 0 means idle (no attempt in flight). The
+  // owner writes it with a relaxed store at phase boundaries where the
+  // commit path already holds a timestamp — zero extra clock reads — and
+  // the watchdog thread samples it with relaxed loads. A torn phase/ts
+  // pair is impossible (single 64-bit word); a stale read just delays
+  // detection by one watchdog period.
+
+  static constexpr uint64_t kHeartbeatTsMask = (1ULL << 56) - 1;
+
+  static constexpr uint64_t PackHeartbeat(Phase phase, uint64_t ts_ns) {
+    return ((static_cast<uint64_t>(phase) + 1) << 56) |
+           (ts_ns & kHeartbeatTsMask);
+  }
+  /// 0 when idle, else Phase + 1.
+  static constexpr uint32_t HeartbeatPhasePlusOne(uint64_t word) {
+    return static_cast<uint32_t>(word >> 56);
+  }
+  /// Phase-entry timestamp (low 56 bits of the NowNanos clock).
+  static constexpr uint64_t HeartbeatTs(uint64_t word) {
+    return word & kHeartbeatTsMask;
+  }
+
+  void SetHeartbeat(uint32_t tid, Phase phase, uint64_t ts_ns) {
+    if (tid < num_workers_) {
+      heartbeats_[tid].value.store(PackHeartbeat(phase, ts_ns),
+                                   std::memory_order_relaxed);
+    }
+  }
+  void ClearHeartbeat(uint32_t tid) {
+    if (tid < num_workers_) {
+      heartbeats_[tid].value.store(0, std::memory_order_relaxed);
+    }
+  }
+  uint64_t HeartbeatWord(uint32_t tid) const {
+    return tid < num_workers_
+               ? heartbeats_[tid].value.load(std::memory_order_relaxed)
+               : 0;
+  }
+
+  /// Tail-latency SLO threshold in nanoseconds (0 = capture off): a relaxed
+  /// read of the hot-reloadable "obs_slo_us" knob.
+  uint64_t SloNanos() const {
+    return slo_knob_->load(std::memory_order_relaxed) * 1000;
+  }
+
   const ObsOptions& options() const { return options_; }
   uint32_t num_workers() const { return num_workers_; }
   const TraceRing& worker_ring(uint32_t tid) const {
@@ -224,6 +315,10 @@ class FlightRecorder {
   ObsOptions options_;
   uint32_t num_workers_;
   std::unique_ptr<CachePadded<TraceRing>[]> workers_;
+  std::unique_ptr<CachePadded<std::atomic<uint64_t>>[]> heartbeats_;
+  // Hot-reloadable knob cells (KnobRegistry-owned, process-lifetime).
+  std::atomic<uint64_t>* sample_knob_;
+  std::atomic<uint64_t>* slo_knob_;
   TraceRing service_;
   SpinLatch service_latch_;
 };
@@ -312,6 +407,32 @@ inline void ServiceEvent(EventType type, uint8_t detail, uint64_t ts_ns,
                          uint64_t dur_ns, uint64_t a, uint32_t b) {
   FlightRecorder* r = Recorder();
   if (r != nullptr) r->EmitService(type, detail, ts_ns, dur_ns, a, b);
+}
+
+/// Retroactive outlier emit (tail-latency capture, §16.2): a phase span
+/// pushed regardless of the sampling decision, tagged with kOutlierFlag so
+/// exporters can tell a forced span from a sampled one.
+inline void ForceSpanOutlier(uint32_t tid, Phase phase, uint64_t start_ns,
+                             uint64_t end_ns, uint64_t txn_id) {
+  FlightRecorder* r = Recorder();
+  if (r != nullptr && end_ns > start_ns) {
+    r->Emit(tid, EventType::kSpan,
+            static_cast<uint8_t>(static_cast<uint8_t>(phase) | kOutlierFlag),
+            start_ns, end_ns - start_ns, txn_id, 0);
+  }
+}
+
+/// Stall-watchdog heartbeat: mark `tid` as inside `phase` since `ts_ns`.
+/// The caller passes a timestamp it already took — no clock read here.
+inline void HeartbeatPhase(uint32_t tid, Phase phase, uint64_t ts_ns) {
+  FlightRecorder* r = Recorder();
+  if (r != nullptr) r->SetHeartbeat(tid, phase, ts_ns);
+}
+
+/// Mark `tid` idle (no transaction attempt in flight).
+inline void HeartbeatClear(uint32_t tid) {
+  FlightRecorder* r = Recorder();
+  if (r != nullptr) r->ClearHeartbeat(tid);
 }
 
 /// MVCC pre-image installs of one commit; rides the transaction's sampling

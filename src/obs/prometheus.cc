@@ -141,6 +141,32 @@ std::string PrometheusSnapshot(const TxnStats& s, const std::string& labels) {
     }
   }
 
+  // Tail-latency SLO attribution (§16.2): violations as a
+  // slowest_phase × reason matrix, nonzero cells only. Present only when the
+  // run recorded any so obs-off / SLO-off snapshots stay byte-identical.
+  if (s.SloViolationTotal() != 0) {
+    Appendf(&out,
+            "# HELP rocc_slo_violations_total Attempts over the latency SLO "
+            "by slowest phase and outcome\n"
+            "# TYPE rocc_slo_violations_total counter\n");
+    for (uint32_t p = 0; p < TxnStats::kNumSloPhases; p++) {
+      for (uint32_t c = 0; c <= kNumAbortCauses; c++) {
+        if (s.slo_violations[p][c] == 0) continue;
+        const AbortReason r = c == 0 ? AbortReason::kNone : kAbortCauses[c - 1];
+        Appendf(&out,
+                "rocc_slo_violations_total{%sslowest_phase=\"%s\","
+                "reason=\"%s\"} %llu\n",
+                prefix.c_str(), PhaseName(static_cast<obs::Phase>(p)),
+                AbortReasonName(r),
+                static_cast<unsigned long long>(s.slo_violations[p][c]));
+      }
+    }
+    if (s.latency_slo.count() != 0) {
+      Hist(&out, "rocc_txn_slo_latency_seconds",
+           "Total latency of SLO-violating attempts", labels, s.latency_slo);
+    }
+  }
+
   struct NamedHist {
     const char* name;
     const char* help;
@@ -253,6 +279,14 @@ bool PrometheusStreamer::CollectOnce() {
   return WriteLocked();
 }
 
+std::string PrometheusStreamer::CollectString() {
+  std::lock_guard<std::mutex> g(mu_);
+  DrainLocked();
+  std::string out;
+  RenderLocked(&out);
+  return out;
+}
+
 StreamCounters PrometheusStreamer::counters() const {
   std::lock_guard<std::mutex> g(mu_);
   return counters_;
@@ -324,13 +358,19 @@ void PrometheusStreamer::AccountLocked(const TraceEvent& e) {
     case EventType::kSnapshotEvict:
       counters_.snapshot_evictions++;
       break;
+    case EventType::kStall:
+      counters_.stalls++;
+      break;
+    case EventType::kSloViolation:
+      counters_.slo_violations++;
+      break;
     default:
       break;
   }
 }
 
-bool PrometheusStreamer::WriteLocked() {
-  std::string out;
+void PrometheusStreamer::RenderLocked(std::string* outp) {
+  std::string& out = *outp;
   out.reserve(16384);
   if (has_stats_) out = PrometheusSnapshot(stats_, options_.labels);
 
@@ -371,6 +411,14 @@ bool PrometheusStreamer::WriteLocked() {
   Counter(&out, "rocc_stream_snapshot_evictions_total",
           "Pinned snapshots evicted under prune pressure (exact)",
           options_.labels, c.snapshot_evictions);
+  // Always emitted (even at zero) so clean CI runs can assert absence of
+  // stalls by value instead of by missing series.
+  Counter(&out, "rocc_stream_stalls_total",
+          "Distinct worker stalls reported by the watchdog", options_.labels,
+          c.stalls);
+  Counter(&out, "rocc_stream_slo_violations_total",
+          "SLO-violating attempts seen in the trace rings", options_.labels,
+          c.slo_violations);
   Counter(&out, "rocc_stream_trace_events_total",
           "Trace events delivered to the streamer", options_.labels,
           c.events_seen);
@@ -379,6 +427,11 @@ bool PrometheusStreamer::WriteLocked() {
           options_.labels, c.events_dropped);
 
   if (gauge_fn_) AppendMvGauges(&out, gauge_fn_(), options_.labels);
+}
+
+bool PrometheusStreamer::WriteLocked() {
+  std::string out;
+  RenderLocked(&out);
 
   // Write-then-rename so a concurrent scrape never reads a torn file.
   const std::string tmp = options_.path + ".tmp";

@@ -62,6 +62,8 @@ struct StreamCounters {
   uint64_t snapshot_scans = 0;     ///< snapshot scans finished (sampled)
   uint64_t snapshot_records = 0;   ///< records those scans returned (sampled)
   uint64_t snapshot_evictions = 0;  ///< pinned snapshots evicted (exact)
+  uint64_t stalls = 0;          ///< watchdog stall reports (exact)
+  uint64_t slo_violations = 0;  ///< SLO-violating attempts seen in rings
   uint64_t events_seen = 0;     ///< trace events delivered to the streamer
   uint64_t events_dropped = 0;  ///< events that wrapped out before a drain
 };
@@ -113,6 +115,12 @@ class PrometheusStreamer {
   /// failure. Safe to call without Start() (tests, single-shot callers).
   bool CollectOnce();
 
+  /// Drain the rings and return the full exposition document as a string
+  /// without touching the file — the in-memory render behind GET /metrics.
+  /// Serialized with the background thread by the streamer mutex, so a
+  /// scrape and a timed rewrite never interleave their cursor updates.
+  std::string CollectString();
+
   /// Current derived counters (latched copy).
   StreamCounters counters() const;
 
@@ -120,6 +128,7 @@ class PrometheusStreamer {
   void Run();
   void DrainLocked();
   void AccountLocked(const TraceEvent& e);
+  void RenderLocked(std::string* out);
   bool WriteLocked();
 
   Options options_;

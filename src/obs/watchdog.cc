@@ -1,0 +1,98 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/timer.h"
+#include "harness/knobs.h"
+#include "obs/chrome_trace.h"
+#include "obs/obs.h"
+
+namespace rocc {
+namespace obs {
+
+StallWatchdog::StallWatchdog(WatchdogOptions options) : options_(options) {
+  period_knob_ = KnobRegistry::Instance().Register("watchdog_period_ms",
+                                                   options_.period_ms);
+  threshold_knob_ = KnobRegistry::Instance().Register(
+      "watchdog_stall_ms", options_.stall_threshold_ms);
+}
+
+StallWatchdog::~StallWatchdog() { Stop(); }
+
+void StallWatchdog::Start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void StallWatchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  running_ = false;
+}
+
+uint32_t StallWatchdog::PollOnce(uint64_t now_ns) {
+  FlightRecorder* r = Recorder();
+  if (r == nullptr) return 0;
+  const uint64_t threshold_ms = threshold_knob_->load(std::memory_order_relaxed);
+  if (threshold_ms == 0) return 0;
+  const uint64_t threshold_ns = threshold_ms * 1000000ULL;
+  if (last_reported_.size() < r->num_workers()) {
+    last_reported_.resize(r->num_workers(), 0);
+  }
+  const uint64_t now_masked = now_ns & FlightRecorder::kHeartbeatTsMask;
+  uint32_t fired = 0;
+  for (uint32_t tid = 0; tid < r->num_workers(); tid++) {
+    const uint64_t word = r->HeartbeatWord(tid);
+    if (word == 0) {
+      last_reported_[tid] = 0;  // idle: re-arm for the next dwell
+      continue;
+    }
+    const uint32_t phase_p1 = FlightRecorder::HeartbeatPhasePlusOne(word);
+    const uint64_t entered = FlightRecorder::HeartbeatTs(word);
+    // The heartbeat carries the low 56 bits of the clock (~2.3 years); a
+    // "future" timestamp means a wrap or a store racing our read — skip.
+    if (now_masked <= entered) continue;
+    const uint64_t stall_ns = now_masked - entered;
+    if (stall_ns < threshold_ns) continue;
+    if (last_reported_[tid] == word) continue;  // this dwell already reported
+    last_reported_[tid] = word;
+    const uint64_t stall_ms = stall_ns / 1000000ULL;
+    r->EmitService(EventType::kStall, static_cast<uint8_t>(phase_p1 - 1),
+                   now_ns, stall_ns, tid,
+                   static_cast<uint32_t>(std::min<uint64_t>(stall_ms, ~0u)));
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    fired++;
+  }
+  return fired;
+}
+
+void StallWatchdog::Run() {
+  RegisterSignalDumpDrainer();
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    const uint64_t period_ms =
+        std::max<uint64_t>(1, period_knob_->load(std::memory_order_relaxed));
+    cv_.wait_for(lk, std::chrono::milliseconds(period_ms),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lk.unlock();
+    KnobRegistry::Instance().DrainPendingReload();
+    DrainPendingSignalDump();
+    PollOnce(NowNanos());
+    lk.lock();
+  }
+  UnregisterSignalDumpDrainer();
+}
+
+}  // namespace obs
+}  // namespace rocc

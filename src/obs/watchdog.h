@@ -1,0 +1,87 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rocc {
+namespace obs {
+
+/// Stall-watchdog configuration. Both values seed hot-reloadable knobs
+/// ("watchdog_period_ms", "watchdog_stall_ms") so an operator can tighten
+/// the threshold on a live process via POST /config or SIGHUP.
+struct WatchdogOptions {
+  /// Heartbeat sampling period.
+  uint32_t period_ms = 100;
+  /// A worker parked in one phase longer than this is reported. 0 disables
+  /// detection (the thread still drains knob reloads and signal dumps).
+  uint32_t stall_threshold_ms = 1000;
+};
+
+/// Samples the per-worker heartbeat words published by the commit path
+/// (FlightRecorder::SetHeartbeat, DESIGN.md §16.3) and reports workers stuck
+/// in one phase past the threshold: a kStall service event (detail = phase,
+/// a = worker id, b = stall millis) plus a monotonic counter surfaced via
+/// /metrics and /vars.
+///
+/// Detection is edge-triggered per dwell: one report per (worker, heartbeat
+/// word), so a worker permanently wedged in kLogWait produces one event, not
+/// one per period — the counter is "distinct stalls observed", directly
+/// assertable as 0 in clean CI runs.
+///
+/// The watchdog thread doubles as the process's service drainer: each tick
+/// it applies pending SIGHUP knob reloads (KnobRegistry::DrainPendingReload)
+/// and pending SIGUSR1 trace dumps (DrainPendingSignalDump), keeping both
+/// signal handlers down to a single flag store while it runs.
+///
+/// PollOnce is public so tests can drive detection deterministically with a
+/// synthetic clock, no thread or sleeps involved.
+class StallWatchdog {
+ public:
+  explicit StallWatchdog(WatchdogOptions options);
+  ~StallWatchdog();
+
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  /// Launch the sampling thread (idempotent).
+  void Start();
+
+  /// Stop and join the sampling thread (idempotent; called by the dtor).
+  void Stop();
+
+  /// One detection pass against the CURRENT global recorder at time
+  /// `now_ns` (NowNanos clock). Returns the number of stalls newly
+  /// reported. Not thread-safe against the running watchdog thread — call
+  /// either from tests (no Start) or from the thread itself.
+  uint32_t PollOnce(uint64_t now_ns);
+
+  /// Distinct stalls reported since construction.
+  uint64_t stalls_detected() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run();
+
+  WatchdogOptions options_;
+  // Hot-reloadable knob cells (KnobRegistry-owned, process-lifetime).
+  std::atomic<uint64_t>* period_knob_;
+  std::atomic<uint64_t>* threshold_knob_;
+
+  std::atomic<uint64_t> stalls_{0};
+  /// Last heartbeat word reported per worker (poll-context only).
+  std::vector<uint64_t> last_reported_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace rocc
